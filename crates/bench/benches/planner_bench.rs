@@ -1,0 +1,88 @@
+//! Criterion benchmarks for the planner's hot paths: model construction,
+//! profiling, stage partitioning (Algorithm 3), DP partitioning
+//! (Algorithm 2), and full plan assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whale::{models, strategies, Session};
+use whale_graph::{CostProfile, TrainingConfig};
+use whale_hardware::Cluster;
+use whale_planner::{dp_partition, pipeline_partition};
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_build");
+    g.bench_function("resnet50", |b| {
+        b.iter(|| black_box(models::resnet50(32).unwrap()))
+    });
+    g.bench_function("bert_large", |b| {
+        b.iter(|| black_box(models::bert_large(32, 128).unwrap()))
+    });
+    g.bench_function("m6_moe_100b", |b| {
+        b.iter(|| black_box(models::m6_moe_100b(32).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let graph = models::bert_large(32, 128).unwrap();
+    c.bench_function("profile_bert_large", |b| {
+        b.iter(|| black_box(CostProfile::from_graph(&graph, 32)))
+    });
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+    let graph = models::bert_large(64, 128).unwrap();
+    let profile = CostProfile::from_graph(&graph, 64);
+    let cfg = TrainingConfig::default();
+
+    c.bench_function("alg2_dp_partition_16gpu", |b| {
+        b.iter(|| {
+            black_box(dp_partition(&profile, &cfg, cluster.gpus(), 512, 1.0, true).unwrap())
+        })
+    });
+
+    let stage_cluster = Cluster::parse("2xP100,2xV100").unwrap();
+    c.bench_function("alg3_pipeline_partition_4stage", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline_partition(&graph, &cfg, stage_cluster.gpus(), 4, 8, false, 64, true)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_full_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_plan");
+    type Case = (&'static str, &'static str, fn() -> whale::WhaleIr);
+    let cases: Vec<Case> = vec![
+        ("dp_hetero_16gpu", "8xV100+8xP100", || {
+            strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap()
+        }),
+        ("pipeline_8stage", "1x(8xV100)", || {
+            strategies::pipeline_only(models::bert_large(64, 128).unwrap(), 64, 8).unwrap()
+        }),
+        ("moe_49tg_32gpu", "4x(8xV100)", || {
+            strategies::moe_hybrid(models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(), 64)
+                .unwrap()
+        }),
+    ];
+    for (name, cluster, mk) in cases {
+        let session = Session::on_cluster(cluster).unwrap();
+        let ir = mk();
+        g.bench_with_input(BenchmarkId::from_parameter(name), &ir, |b, ir| {
+            b.iter(|| black_box(session.plan(ir).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_model_build,
+    bench_profile,
+    bench_algorithms,
+    bench_full_plan
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the discrete-event simulator: step simulation
+//! across pipeline depths and micro-batch counts, collective cost models,
+//! and the scaling-law trainer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use whale::{models, strategies, Session};
+use whale_hardware::{Cluster, CommModel, GpuModel};
+use whale_sim::{simulate_step, simulate_training, LossModel, SimConfig};
+
+fn bench_simulate_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_step");
+    for micros in [4usize, 16, 35] {
+        let session = Session::on_cluster("4x(8xV100)").unwrap().outer_dp(4);
+        let ir = strategies::pipeline_with_dp(
+            models::bert_large(128, 128).unwrap(),
+            128,
+            micros,
+        )
+        .unwrap();
+        let plan = session.plan(&ir).unwrap();
+        let cluster = session.cluster().clone();
+        g.bench_with_input(
+            BenchmarkId::new("pipeline8_micro", micros),
+            &plan,
+            |b, plan| {
+                b.iter(|| black_box(simulate_step(plan, &cluster, &SimConfig::default()).unwrap()))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let cluster = Cluster::homogeneous(GpuModel::V100_32GB, 32, 8);
+    let comm = CommModel::new(&cluster);
+    let group: Vec<usize> = (0..256).collect();
+    c.bench_function("hierarchical_allreduce_256", |b| {
+        b.iter(|| black_box(comm.hierarchical_allreduce(&group, 1 << 30).unwrap()))
+    });
+}
+
+fn bench_training_run(c: &mut Criterion) {
+    let session = Session::on_cluster("1x(8xV100)").unwrap();
+    let ir = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+    let plan = session.plan(&ir).unwrap();
+    let cluster = session.cluster().clone();
+    let loss = LossModel::for_params(25e6);
+    c.bench_function("training_run_64ckpt", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_training(&plan, &cluster, &SimConfig::default(), &loss, 1e7, 64, 3)
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulate_step, bench_collectives, bench_training_run);
+criterion_main!(benches);

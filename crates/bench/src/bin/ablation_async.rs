@@ -1,0 +1,77 @@
+//! Ablation — synchronous vs asynchronous pipelining (§6, "Asynchronous
+//! Training" / PipeMare \[46\]).
+//!
+//! The paper leaves asynchronous pipelines to future work because stale
+//! gradients threaten convergence. This extension quantifies the trade:
+//! removing the flush removes the bubble (pure throughput win), but each
+//! sample is worth less, so *time to a target loss* can go either way.
+
+use whale::{models, strategies, LossModel, ScheduleKind, Session};
+use whale_bench::{fmt_secs, header, row};
+
+fn main() {
+    header(
+        "Ablation (extension)",
+        "synchronous 1F1B vs asynchronous no-flush pipeline (PipeMare-style)",
+    );
+    let batch = 128;
+    let micros = 8;
+    let ir = || {
+        strategies::pipeline_only(models::bert_large(batch, 128).unwrap(), batch, micros).unwrap()
+    };
+
+    let sync_session = Session::on_cluster("1x(8xV100)")
+        .unwrap()
+        .schedule(ScheduleKind::BackwardFirst);
+    let async_session = Session::on_cluster("1x(8xV100)")
+        .unwrap()
+        .schedule(ScheduleKind::AsyncNoFlush);
+
+    let sync_stats = sync_session.step(&ir()).unwrap().stats;
+    let async_stats = async_session.step(&ir()).unwrap().stats;
+
+    println!();
+    row("1F1B step time", fmt_secs(sync_stats.step_time));
+    row("async step time", fmt_secs(async_stats.step_time));
+    row(
+        "raw throughput gain",
+        format!("{:.2}x", sync_stats.step_time / async_stats.step_time),
+    );
+    row(
+        "1F1B bubble",
+        format!("{:.1}%", sync_stats.bubble_ratio() * 100.0),
+    );
+
+    // Time-to-loss: the async run discounts each sample (stale gradients).
+    let target_loss = 9.0;
+    let sync_loss = LossModel::for_params(340e6);
+    let async_loss = sync_loss.with_sample_efficiency(0.7);
+    let solve_samples = |m: &LossModel| {
+        // Invert L(D) = target for the data term.
+        let residual = target_loss - m.l_infinity
+            - m.capacity_coeff * m.effective_params.powf(-m.capacity_exponent);
+        (m.data_coeff / residual).powf(1.0 / m.data_exponent) / m.sample_efficiency
+    };
+    let sync_need = solve_samples(&sync_loss);
+    let async_need = solve_samples(&async_loss);
+    let sync_wall = sync_need / sync_stats.throughput;
+    let async_wall = async_need / async_stats.throughput;
+    println!();
+    row(
+        "samples to reach loss 9.0 (sync)",
+        format!("{:.1}M", sync_need / 1e6),
+    );
+    row(
+        "samples to reach loss 9.0 (async, 0.7 efficiency)",
+        format!("{:.1}M", async_need / 1e6),
+    );
+    row("wall time to loss 9.0 (sync)", fmt_secs(sync_wall));
+    row("wall time to loss 9.0 (async)", fmt_secs(async_wall));
+    row(
+        "async net win",
+        format!("{:.2}x {}", sync_wall / async_wall, if async_wall < sync_wall { "(faster)" } else { "(slower!)" }),
+    );
+    println!("\n  expected shape: async wins raw steps/sec by exactly the bubble");
+    println!("  ratio, but stale-gradient inefficiency can erase the win — which");
+    println!("  is why the paper (§6) sticks to synchronous training for now.");
+}

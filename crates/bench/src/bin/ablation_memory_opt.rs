@@ -1,0 +1,112 @@
+//! Ablation — the memory-optimization stack Whale integrates (§4):
+//! recomputation \[9\], AMP \[26\], ZeRO stages \[31\], and ZeRO-Offload \[34\].
+//!
+//! Measures per-GPU memory and step time for BERT-Large data parallelism on
+//! 8 V100s under each option, and shows which combinations unlock an
+//! otherwise-OOM M6-10B replica.
+
+use whale::{models, strategies, Optimizer, Session, TrainingConfig, ZeroStage};
+use whale_bench::{fmt_secs, header};
+
+fn run(label: &str, training: TrainingConfig) {
+    let session = Session::on_cluster("1x(8xV100)").unwrap().training(training);
+    let batch = 256;
+    let ir = strategies::data_parallel(models::bert_large(batch, 128).unwrap(), batch).unwrap();
+    let plan = session.plan(&ir).unwrap();
+    let out = session.step_plan(&plan).unwrap();
+    let peak = plan.memory_per_gpu().values().copied().max().unwrap_or(0);
+    println!(
+        "  {:<34} {:>9.1} GiB {:>12} {:>6}",
+        label,
+        peak as f64 / (1u64 << 30) as f64,
+        fmt_secs(out.stats.step_time),
+        if out.stats.has_oom() { "OOM" } else { "ok" }
+    );
+}
+
+fn main() {
+    header(
+        "Ablation",
+        "memory optimizations: recompute / AMP / ZeRO / offload (BERT-Large DP x8 V100)",
+    );
+    let base = TrainingConfig {
+        optimizer: Optimizer::Adam,
+        ..TrainingConfig::default()
+    };
+    println!(
+        "\n  {:<34} {:>13} {:>12} {:>6}",
+        "configuration", "peak mem/GPU", "step", ""
+    );
+    run("baseline (Adam, fp32)", base);
+    run("+ recompute", TrainingConfig { recompute: true, ..base });
+    run("+ AMP", TrainingConfig { amp: true, ..base });
+    run(
+        "+ ZeRO-1 (optimizer states)",
+        TrainingConfig { zero: ZeroStage::OptimizerState, ..base },
+    );
+    run(
+        "+ ZeRO-2 (grads + states)",
+        TrainingConfig { zero: ZeroStage::Gradients, ..base },
+    );
+    run(
+        "+ ZeRO-3 (params too)",
+        TrainingConfig { zero: ZeroStage::Parameters, ..base },
+    );
+    run("+ ZeRO-Offload", TrainingConfig { offload: true, amp: true, ..base });
+    run(
+        "everything",
+        TrainingConfig {
+            recompute: true,
+            amp: true,
+            zero: ZeroStage::Parameters,
+            offload: true,
+            ..base
+        },
+    );
+
+    // The unlock test: a 10B dense replica cannot fit a 32 GB V100 without
+    // the stack.
+    println!("\n  M6-10B single DP replica on 8xV100 (needs ~150 GiB naive):");
+    for (label, t) in [
+        (
+            "recompute + AMP only",
+            TrainingConfig {
+                optimizer: Optimizer::Adafactor,
+                recompute: true,
+                amp: true,
+                ..TrainingConfig::default()
+            },
+        ),
+        (
+            "recompute + AMP + ZeRO-3 + offload",
+            TrainingConfig {
+                optimizer: Optimizer::Adafactor,
+                recompute: true,
+                amp: true,
+                zero: ZeroStage::Parameters,
+                offload: true,
+                ..TrainingConfig::default()
+            },
+        ),
+    ] {
+        let session = Session::on_cluster("1x(8xV100)").unwrap().training(t);
+        let ir = strategies::data_parallel(models::m6_10b(32).unwrap(), 32).unwrap();
+        let plan = session.plan(&ir);
+        match plan {
+            Ok(plan) => {
+                let out = session.step_plan(&plan).unwrap();
+                let peak = plan.memory_per_gpu().values().copied().max().unwrap_or(0);
+                println!(
+                    "  {:<34} {:>9.1} GiB  {}",
+                    label,
+                    peak as f64 / (1u64 << 30) as f64,
+                    if out.stats.has_oom() { "OOM" } else { "fits!" }
+                );
+            }
+            Err(e) => println!("  {label:<34} planning failed: {e}"),
+        }
+    }
+    println!("\n  expected shape: each optimization peels off its own slice of the");
+    println!("  footprint; the full ZeRO stack turns a 10B dense replica from");
+    println!("  impossible to feasible — exactly why Whale integrates them (§4).");
+}

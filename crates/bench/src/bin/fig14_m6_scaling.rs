@@ -1,0 +1,73 @@
+//! Fig. 14 — M6-10B training with hybrid pipeline + data parallelism.
+//!
+//! Paper setup: the 10-billion-parameter M6 model trained with pipeline
+//! parallelism inside each 8×V100-32GB node and data parallelism across
+//! nodes, 35 micro batches, recomputation enabled, Adafactor optimizer
+//! (§5.1). Scaling nodes 1 → 32 (8 → 256 GPUs), Whale achieves 91 %
+//! scalability.
+//!
+//! Scalability here is throughput(N) / (N · throughput(1)) — the same
+//! definition that yields the paper's 91 % at 32 nodes.
+
+use whale::{strategies, Optimizer, Session, TrainingConfig};
+use whale_bench::{fmt_secs, header};
+
+fn main() {
+    header(
+        "Figure 14",
+        "M6-10B pipeline+DP scaling on 8xV100 nodes (paper: 91% at 32 nodes)",
+    );
+    // §5.1 applies recomputation (AMP/XLA are only cited for the MoE runs
+    // of §5.2), and Adafactor is the stated optimizer.
+    let training = TrainingConfig {
+        optimizer: Optimizer::Adafactor,
+        amp: false,
+        recompute: true,
+        ..TrainingConfig::default()
+    };
+    // Per-node batch stays constant (weak scaling); 35 micro batches as in
+    // §5.1.
+    let per_node_batch = 70;
+    let micro = 35;
+
+    let mut base_throughput = None;
+    println!(
+        "\n  {:>6} {:>6} {:>12} {:>16} {:>13}",
+        "nodes", "GPUs", "step time", "samples/sec", "scalability"
+    );
+    for nodes in [1usize, 2, 4, 8, 16, 32] {
+        let spec = format!("{nodes}x(8xV100)");
+        // Gradient AllReduce overlaps with the pipeline drain at partial
+        // efficiency: each stage's sync starts once its backward finishes,
+        // but the per-stage groups share each node's single 50 Gb/s NIC and
+        // real overlap is imperfect (DAPPLE reports the same effect).
+        let session = Session::on_cluster(&spec)
+            .unwrap()
+            .training(training)
+            .sync_overlap(0.6)
+            .outer_dp(nodes);
+        let global_batch = per_node_batch * nodes;
+        let graph = whale::models::m6_10b(global_batch).expect("build M6-10B");
+        let ir = strategies::pipeline_with_dp(graph, global_batch, micro).expect("annotate");
+        let out = session.step(&ir).expect("simulate");
+        let s = &out.stats;
+        assert!(!s.has_oom(), "M6-10B plan must fit in 32 GB with recompute");
+        let scalability = match base_throughput {
+            None => {
+                base_throughput = Some(s.throughput);
+                1.0
+            }
+            Some(base) => s.throughput / (base * nodes as f64),
+        };
+        println!(
+            "  {:>6} {:>6} {:>12} {:>16.2} {:>12.1}%",
+            nodes,
+            nodes * 8,
+            fmt_secs(s.step_time),
+            s.throughput,
+            scalability * 100.0
+        );
+    }
+    println!("\n  paper: 91% scalability at 32 nodes (256 GPUs), Fig. 14.");
+    println!("  expected shape: monotone decline from 100% flattening out near ~90%.");
+}

@@ -1,0 +1,100 @@
+//! Fig. 17 + Table 2 — hardware-aware data parallelism on heterogeneous
+//! GPUs.
+//!
+//! Paper setup: ResNet-50, BERT-Large, and GNMT trained data-parallel on
+//! 8 NVIDIA V100-32GB plus 8 P100-16GB. Baseline uses the same batch size on
+//! every replica; the hardware-aware policy applies Algorithm 2. Paper
+//! results: 1.3–1.4× speedup (Fig. 17) and V100 SMACT up 1.39–1.96× with a
+//! slight P100 dip (Table 2).
+
+use whale::{strategies, Session, StepStats};
+use whale_bench::{fmt_secs, header, row};
+use whale_graph::Graph;
+
+fn run(session: &Session, graph: Graph, batch: usize) -> StepStats {
+    let ir = strategies::data_parallel(graph, batch).expect("annotate");
+    session.step(&ir).expect("simulate").stats
+}
+
+type Workload = (&'static str, Box<dyn Fn(usize) -> Graph>, usize, f64);
+
+fn main() {
+    header(
+        "Figure 17 + Table 2",
+        "hardware-aware DP speedup and SMACT on 8xV100 + 8xP100",
+    );
+    let cluster = "1x(8xV100)+1x(8xP100)";
+    let aware = Session::on_cluster(cluster).unwrap().hardware_aware(true);
+    let base = Session::on_cluster(cluster).unwrap().hardware_aware(false);
+
+    // (name, builder, global batch, paper speedup)
+    let workloads: Vec<Workload> = vec![
+        (
+            "ResNet50",
+            Box::new(|b| whale::models::resnet50(b).unwrap()),
+            1024,
+            1.3,
+        ),
+        (
+            "Bert-Large",
+            Box::new(|b| whale::models::bert_large(b, 128).unwrap()),
+            256,
+            1.3,
+        ),
+        (
+            "GNMT",
+            Box::new(|b| whale::models::gnmt(b, 50).unwrap()),
+            512,
+            1.4,
+        ),
+    ];
+
+    println!("\nFig. 17 — speedup of hardware-aware over same-batch baseline");
+    println!(
+        "  {:<12} {:>12} {:>14} {:>9} {:>9}",
+        "model", "baseline", "hardware-aware", "speedup", "paper"
+    );
+    let mut results = Vec::new();
+    for (name, build, batch, paper) in &workloads {
+        let sb = run(&base, build(*batch), *batch);
+        let sa = run(&aware, build(*batch), *batch);
+        let speedup = sb.step_time / sa.step_time;
+        println!(
+            "  {:<12} {:>12} {:>14} {:>8.2}x {:>8.1}x",
+            name,
+            fmt_secs(sb.step_time),
+            fmt_secs(sa.step_time),
+            speedup,
+            paper
+        );
+        results.push((*name, sb, sa));
+    }
+
+    println!("\nTable 2 — mean GPU utilization (SMACT proxy) per GPU type");
+    println!(
+        "  {:<12} {:>14} {:>14} {:>14} {:>14}",
+        "model", "base P100", "base V100", "aware P100", "aware V100"
+    );
+    for (name, sb, sa) in &results {
+        let ub = sb.utilization_by_model();
+        let ua = sa.utilization_by_model();
+        println!(
+            "  {:<12} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            name, ub["P100-16GB"], ub["V100-32GB"], ua["P100-16GB"], ua["V100-32GB"]
+        );
+    }
+    println!("\n  paper Table 2 (SMACT): ResNet50 0.68/0.56 → 0.62/0.87,");
+    println!("  GNMT 0.63/0.48 → 0.56/0.94, Bert-Large 0.71/0.57 → 0.62/0.79");
+    println!("  expected shape: V100 utilization rises sharply (paper: 1.39-1.96x),");
+    println!("  P100 dips slightly while overall step time improves 1.3-1.4x.");
+
+    for (name, sb, sa) in &results {
+        let ub = sb.utilization_by_model();
+        let ua = sa.utilization_by_model();
+        let v_gain = ua["V100-32GB"] / ub["V100-32GB"];
+        row(
+            &format!("{name}: V100 utilization gain"),
+            format!("{v_gain:.2}x"),
+        );
+    }
+}

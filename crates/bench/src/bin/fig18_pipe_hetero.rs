@@ -1,0 +1,104 @@
+//! Fig. 18 + Table 3 — hardware-aware pipeline parallelism on heterogeneous
+//! GPUs.
+//!
+//! Paper setup: BERT-Large and T5-Large partitioned into 4 pipeline stages
+//! over 4 V100-32GB + 4 P100-16GB, with data parallelism over the whole
+//! pipeline. The baseline partitions stages FLOP-evenly and places the
+//! lower-memory GPUs (P100) on the earlier stages (which hold more in-flight
+//! activations); the hardware-aware policy applies Algorithm 3. Paper
+//! results: ~20 % speedup (Fig. 18) and ~1.4× V100 utilization (Table 3).
+
+use whale::{strategies, ScheduleKind, Session, StepStats};
+use whale_bench::{fmt_secs, header};
+use whale_graph::Graph;
+
+fn run(session: &Session, graph: Graph, batch: usize, micro: usize) -> StepStats {
+    let ir = strategies::pipeline_with_dp(graph, batch, micro).expect("annotate");
+    session.step(&ir).expect("simulate").stats
+}
+
+type Workload = (&'static str, Box<dyn Fn(usize) -> Graph>, usize, usize, f64);
+
+fn main() {
+    header(
+        "Figure 18 + Table 3",
+        "hardware-aware pipeline speedup and SMACT on 4xV100 + 4xP100",
+    );
+    // Two pipeline replicas (DP over the pipeline), each with stages on
+    // [P100, P100, V100, V100] — the paper's baseline places low-memory GPUs
+    // on the earlier, activation-heavy stages.
+    let cluster = "2x(2xP100,2xV100)";
+    let mk = |aware: bool| {
+        Session::on_cluster(cluster)
+            .unwrap()
+            .hardware_aware(aware)
+            .schedule(ScheduleKind::BackwardFirst)
+            .outer_dp(2)
+    };
+    let aware = mk(true);
+    let base = mk(false);
+
+    let workloads: Vec<Workload> = vec![
+        (
+            "Bert-Large",
+            Box::new(|b| whale::models::bert_large(b, 128).unwrap()),
+            512,
+            16,
+            1.2,
+        ),
+        (
+            "T5-Large",
+            Box::new(|b| whale::models::t5_large(b, 128, 128).unwrap()),
+            512,
+            16,
+            1.2,
+        ),
+    ];
+
+    println!("\nFig. 18 — speedup of hardware-aware stage partitioning");
+    println!(
+        "  {:<12} {:>12} {:>14} {:>9} {:>9}",
+        "model", "baseline", "hardware-aware", "speedup", "paper"
+    );
+    let mut results = Vec::new();
+    for (name, build, batch, micro, paper) in &workloads {
+        let sb = run(&base, build(*batch), *batch, *micro);
+        let sa = run(&aware, build(*batch), *batch, *micro);
+        let speedup = sb.step_time / sa.step_time;
+        println!(
+            "  {:<12} {:>12} {:>14} {:>8.2}x {:>8.1}x",
+            name,
+            fmt_secs(sb.step_time),
+            fmt_secs(sa.step_time),
+            speedup,
+            paper
+        );
+        results.push((*name, sb, sa));
+    }
+
+    println!("\nTable 3 — mean GPU utilization (SMACT proxy) per GPU type");
+    println!(
+        "  {:<12} {:>14} {:>14} {:>14} {:>14}",
+        "model", "base P100", "base V100", "aware P100", "aware V100"
+    );
+    for (name, sb, sa) in &results {
+        let ub = sb.utilization_by_model();
+        let ua = sa.utilization_by_model();
+        println!(
+            "  {:<12} {:>14.2} {:>14.2} {:>14.2} {:>14.2}",
+            name, ub["P100-16GB"], ub["V100-32GB"], ua["P100-16GB"], ua["V100-32GB"]
+        );
+    }
+    println!("\n  paper Table 3 (SMACT): Bert-Large 0.68/0.63 → 0.71/0.77,");
+    println!("  T5 0.70/0.58 → 0.88/0.83");
+    println!("  expected shape: ~20% step speedup; V100 utilization up ~1.2-1.4x;");
+    println!("  P100 utilization rises too (stages shrink but bubbles shrink more).");
+
+    for (name, sb, sa) in &results {
+        let bubble_b = sb.bubble_ratio();
+        let bubble_a = sa.bubble_ratio();
+        println!(
+            "  {name}: pipeline bubble ratio {bubble_b:.3} (baseline) -> {bubble_a:.3} (aware)"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Strategy matrix — every zoo model × every applicable strategy on a
+//! reference cluster, in one table.
+//!
+//! This is the "which parallelism should I use?" overview the paper's
+//! primitives make cheap to answer: annotate, plan, simulate, compare.
+
+use whale::{models, strategies, Session, WhaleIr};
+use whale_bench::{fmt_secs, header};
+use whale_graph::Graph;
+
+type Builder = fn(usize) -> Graph;
+
+fn build_ir(strategy: &str, graph: Graph, batch: usize) -> whale::Result<WhaleIr> {
+    match strategy {
+        "dp" => strategies::data_parallel(graph, batch),
+        "pipeline" => strategies::pipeline_only(graph, batch, 8),
+        "pipeline+dp" => strategies::pipeline_with_dp(graph, batch, 8),
+        "moe" => strategies::moe_hybrid(graph, batch),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    header(
+        "Strategy matrix",
+        "step time per model × strategy on 2x(4xV100) (— = OOM/N.A.)",
+    );
+    let cluster = "2x(4xV100)";
+    let zoo: Vec<(&str, Builder, usize)> = vec![
+        ("resnet50", |b| models::resnet50(b).unwrap(), 256),
+        ("bert-large", |b| models::bert_large(b, 128).unwrap(), 128),
+        ("gnmt", |b| models::gnmt(b, 50).unwrap(), 128),
+        ("t5-large", |b| models::t5_large(b, 128, 128).unwrap(), 64),
+        ("vit-large", |b| models::vit_large(b).unwrap(), 128),
+        ("gpt2-xl", |b| models::gpt2_xl(b, 256).unwrap(), 32),
+        ("m6-10b", |b| models::m6_10b(b).unwrap(), 16),
+        (
+            "moe-tiny",
+            |b| models::m6_moe(models::MoeConfig::tiny(), b).unwrap(),
+            128,
+        ),
+    ];
+    let strategies_list = ["dp", "pipeline", "pipeline+dp", "moe"];
+    println!(
+        "\n  {:<12} {:>12} {:>12} {:>12} {:>12}",
+        "model", "dp", "pipeline", "pipeline+dp", "moe"
+    );
+    for (name, build, batch) in &zoo {
+        let mut cells = Vec::new();
+        for strat in strategies_list {
+            let is_moe_model = name.contains("moe");
+            if (strat == "moe") != is_moe_model && strat == "moe" {
+                cells.push("—".to_string());
+                continue;
+            }
+            let cell = (|| -> Option<String> {
+                let session = Session::on_cluster(cluster).ok()?;
+                let ir = build_ir(strat, build(*batch), *batch).ok()?;
+                let out = session.step(&ir).ok()?;
+                if out.stats.has_oom() {
+                    return None;
+                }
+                Some(fmt_secs(out.stats.step_time))
+            })()
+            .unwrap_or_else(|| "—".to_string());
+            cells.push(cell);
+        }
+        println!(
+            "  {:<12} {:>12} {:>12} {:>12} {:>12}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("\n  reading: small models prefer pure DP (no bubbles); the 10B dense");
+    println!("  model only runs under pipelines; MoE models pair expert-split with DP.");
+}

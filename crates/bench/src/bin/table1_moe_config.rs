@@ -1,0 +1,51 @@
+//! Table 1 — model configurations of M6-MoE-100B and M6-MoE-1T.
+//!
+//! Prints the paper's configuration table and verifies that the built graphs
+//! reach the advertised 100-billion and 1-trillion parameter scales.
+
+use whale_bench::{fmt_count, header, row};
+use whale_graph::models::{m6_moe, MoeConfig};
+
+fn main() {
+    header(
+        "Table 1",
+        "model configuration for M6-MoE-100B and M6-MoE-1T",
+    );
+    let configs = [
+        ("M6-MoE-100B", MoeConfig::m6_moe_100b()),
+        ("M6-MoE-1T", MoeConfig::m6_moe_1t()),
+    ];
+    println!(
+        "\n  {:<22} {:>14} {:>12}",
+        "config", "M6-MoE-100B", "M6-MoE-1T"
+    );
+    let get = |f: fn(&MoeConfig) -> usize| {
+        (
+            f(&configs[0].1),
+            f(&configs[1].1),
+        )
+    };
+    let (a, b) = get(|c| c.hidden);
+    println!("  {:<22} {:>14} {:>12}", "hidden_size", a, b);
+    let (a, b) = get(|c| c.heads);
+    println!("  {:<22} {:>14} {:>12}", "num_attention_heads", a, b);
+    let (a, b) = get(|c| c.intermediate);
+    println!("  {:<22} {:>14} {:>12}", "intermediate_size", a, b);
+    let (a, b) = get(|c| c.experts);
+    println!("  {:<22} {:>14} {:>12}", "num_experts", a, b);
+    println!();
+
+    for (name, cfg) in configs {
+        let analytic = cfg.analytic_params();
+        let graph = m6_moe(cfg, 1).expect("build MoE graph");
+        let built = graph.total_params();
+        row(
+            &format!("{name}: parameters (closed form / built graph)"),
+            format!("{} / {}", fmt_count(analytic as f64), fmt_count(built as f64)),
+        );
+    }
+    let ratio = MoeConfig::m6_moe_1t().analytic_params() as f64
+        / MoeConfig::m6_moe_100b().analytic_params() as f64;
+    row("1T / 100B parameter ratio (paper: ~10x)", format!("{ratio:.1}x"));
+    println!("\n  paper §5.2: scaled parameters 10x while GPUs only grew 3.75x (128 → 480).");
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the benchmark binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the experiment index). The helpers here keep the
+//! output format consistent: a header naming the paper artifact, aligned
+//! rows, and a `paper vs measured` note where the paper gives numbers.
+
+/// Print a section header naming the paper artifact being regenerated.
+pub fn header(artifact: &str, description: &str) {
+    println!("================================================================");
+    println!("{artifact} — {description}");
+    println!("================================================================");
+}
+
+/// Print one aligned key/value row.
+pub fn row(key: &str, value: impl std::fmt::Display) {
+    println!("  {key:<44} {value}");
+}
+
+/// Format seconds adaptively.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 86_400.0 {
+        format!("{:.2} days", s / 86_400.0)
+    } else if s >= 3600.0 {
+        format!("{:.2} h", s / 3600.0)
+    } else if s >= 1.0 {
+        format!("{s:.3} s")
+    } else {
+        format!("{:.3} ms", s * 1e3)
+    }
+}
+
+/// Format a big count with engineering suffixes.
+pub fn fmt_count(v: f64) -> String {
+    if v >= 1e12 {
+        format!("{:.2}T", v / 1e12)
+    } else if v >= 1e9 {
+        format!("{:.2}B", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_count(1.0027e12), "1.00T");
+        assert_eq!(fmt_count(103.4e9), "103.40B");
+        assert_eq!(fmt_secs(0.0123), "12.300 ms");
+        assert_eq!(fmt_secs(129_600.0), "1.50 days");
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal dependency-free argument parsing for the CLI.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding argv\[0\]).
+    pub fn parse(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                // `--key value` unless the next token is another option or
+                // missing → boolean flag.
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn commands_options_flags() {
+        let a = parse("simulate --cluster 8xV100 --batch 64 --amp --micro 8");
+        assert_eq!(a.command.as_deref(), Some("simulate"));
+        assert_eq!(a.get("cluster"), Some("8xV100"));
+        assert_eq!(a.get_num("batch", 0usize).unwrap(), 64);
+        assert_eq!(a.get_num("micro", 1usize).unwrap(), 8);
+        assert!(a.flag("amp"));
+        assert!(!a.flag("recompute"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("plan");
+        assert_eq!(a.get_or("model", "resnet50"), "resnet50");
+        assert_eq!(a.get_num("batch", 32usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn bad_number_reports_key() {
+        let a = parse("plan --batch many");
+        assert!(a.get_num("batch", 0usize).unwrap_err().contains("--batch"));
+    }
+
+    #[test]
+    fn extra_positional_rejected() {
+        assert!(Args::parse(["a".into(), "b".into()]).is_err());
+    }
+}

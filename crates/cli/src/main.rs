@@ -1,0 +1,278 @@
+//! `whale-cli` — plan and simulate giant-model training from the shell.
+//!
+//! ```console
+//! $ whale-cli simulate --cluster "8xV100+8xP100" --model bert-large \
+//!       --batch 256 --strategy dp
+//! $ whale-cli plan --cluster "1x(8xV100)" --model m6-10b --strategy pipeline \
+//!       --micro 35 --recompute
+//! $ whale-cli auto --cluster "2x(8xV100)" --model gpt2-xl --batch 64
+//! $ whale-cli models
+//! $ whale-cli gpus
+//! ```
+
+mod args;
+mod zoo;
+
+use args::Args;
+use whale::{
+    auto_parallel, strategies, Optimizer, ScheduleKind, Session, TrainingConfig, WhaleIr,
+    ZeroStage,
+};
+use whale_hardware::GpuModel;
+use whale_sim::ascii_timeline;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `whale-cli help` for usage");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    match args.command.as_deref() {
+        Some("models") => cmd_models(),
+        Some("gpus") => cmd_gpus(),
+        Some("plan") => cmd_plan(&args, false),
+        Some("simulate") => cmd_plan(&args, true),
+        Some("auto") => cmd_auto(&args),
+        Some("dot") => cmd_dot(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "whale-cli — plan and simulate giant-model training (Whale reproduction)
+
+USAGE:
+  whale-cli <command> [options]
+
+COMMANDS:
+  models     list the model zoo
+  gpus       list the GPU catalog
+  plan       build and print a distributed execution plan
+  simulate   plan, then simulate one training step (adds a timeline)
+  auto       explore strategies automatically and pick the fastest
+  dot        emit the annotated IR as Graphviz DOT (Fig. 6 style)
+  inspect    print a model's op/parameter/FLOP statistics
+
+COMMON OPTIONS:
+  --cluster SPEC     cluster spec, e.g. \"2x(8xV100)+2x(8xP100)\"  [1x(8xV100)]
+  --model NAME       zoo model (see `models`)                    [resnet50]
+  --batch N          global batch size                           [64]
+  --seq N            sequence length for text models             [128]
+  --strategy S       dp | pipeline | pipeline-dp | moe | split-classifier [dp]
+  --micro N          micro batches for pipelines                 [8]
+  --optimizer O      sgd | momentum | adam | adafactor           [adam]
+  --zero N           ZeRO stage 0-3                              [0]
+  --baseline         disable hardware-aware load balancing
+  --gpipe            GPipe flush schedule instead of 1F1B
+  --amp --recompute --offload
+  --json             (simulate) emit step stats as JSON
+"
+    );
+}
+
+fn cmd_models() -> Result<(), String> {
+    println!("{:<14} description", "name");
+    for (name, desc) in zoo::MODELS {
+        println!("{name:<14} {desc}");
+    }
+    Ok(())
+}
+
+fn cmd_gpus() -> Result<(), String> {
+    println!(
+        "{:<11} {:>12} {:>9} {:>10} {:>7} {:>6}",
+        "model", "fp32 TFLOPS", "mem GiB", "membw GB/s", "nvlink", "amp x"
+    );
+    for m in GpuModel::ALL {
+        println!(
+            "{:<11} {:>12.1} {:>9} {:>10.0} {:>7} {:>6.1}",
+            m.to_string(),
+            m.flops() / 1e12,
+            m.memory_bytes() >> 30,
+            m.memory_bandwidth() / 1e9,
+            if m.has_nvlink() { "yes" } else { "no" },
+            m.amp_speedup()
+        );
+    }
+    Ok(())
+}
+
+fn session_from(args: &Args) -> Result<Session, String> {
+    let cluster = args.get_or("cluster", "1x(8xV100)");
+    let zero = match args.get_num("zero", 0u8)? {
+        0 => ZeroStage::None,
+        1 => ZeroStage::OptimizerState,
+        2 => ZeroStage::Gradients,
+        3 => ZeroStage::Parameters,
+        n => return Err(format!("--zero must be 0-3, got {n}")),
+    };
+    let optimizer = match args.get_or("optimizer", "adam") {
+        "sgd" => Optimizer::Sgd,
+        "momentum" => Optimizer::SgdMomentum,
+        "adam" => Optimizer::Adam,
+        "adafactor" => Optimizer::Adafactor,
+        o => return Err(format!("unknown optimizer '{o}'")),
+    };
+    let training = TrainingConfig {
+        optimizer,
+        amp: args.flag("amp"),
+        recompute: args.flag("recompute"),
+        zero,
+        offload: args.flag("offload"),
+        dp_shards: 1,
+    };
+    let schedule = if args.flag("gpipe") {
+        ScheduleKind::GPipe
+    } else {
+        ScheduleKind::BackwardFirst
+    };
+    Ok(Session::on_cluster(cluster)
+        .map_err(|e| e.to_string())?
+        .training(training)
+        .schedule(schedule)
+        .hardware_aware(!args.flag("baseline")))
+}
+
+fn ir_from(args: &Args) -> Result<WhaleIr, String> {
+    let model = args.get_or("model", "resnet50");
+    let batch = args.get_num("batch", 64usize)?;
+    let seq = args.get_num("seq", 128usize)?;
+    let micro = args.get_num("micro", 8usize)?;
+    let graph = zoo::build(model, batch, seq)?;
+    let default_strategy = if zoo::is_moe(model) { "moe" } else { "dp" };
+    let strategy = args.get_or("strategy", default_strategy);
+    let ir = match strategy {
+        "dp" => strategies::data_parallel(graph, batch),
+        "pipeline" => strategies::pipeline_only(graph, batch, micro),
+        "pipeline-dp" => strategies::pipeline_with_dp(graph, batch, micro),
+        "moe" => strategies::moe_hybrid(graph, batch),
+        "split-classifier" => {
+            strategies::feature_dp_classifier_split(graph, batch, "fc_big")
+        }
+        s => return Err(format!("unknown strategy '{s}'")),
+    };
+    ir.map_err(|e| e.to_string())
+}
+
+fn cmd_plan(args: &Args, simulate: bool) -> Result<(), String> {
+    let session = session_from(args)?;
+    let ir = ir_from(args)?;
+    let plan = session.plan(&ir).map_err(|e| e.to_string())?;
+
+    // Full stage detail only for small plans; big ones get the summary line
+    // per stage from the library renderer trimmed to stage headers.
+    let rendered = whale_planner::render_plan(&plan, session.cluster());
+    if plan.all_gpus().len() <= 16 {
+        print!("{rendered}");
+    } else {
+        for line in rendered
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("gpu"))
+        {
+            println!("{line}");
+        }
+    }
+    let mem_ok = plan
+        .memory_feasible(session.cluster())
+        .map_err(|e| e.to_string())?;
+    println!("  memory: {}", if mem_ok { "fits" } else { "OUT OF MEMORY" });
+
+    if simulate {
+        let out = session.step_plan(&plan).map_err(|e| e.to_string())?;
+        let s = &out.stats;
+        if args.flag("json") {
+            let json = serde_json::to_string_pretty(s).map_err(|e| e.to_string())?;
+            println!("{json}");
+            return Ok(());
+        }
+        println!("\nsimulated step:");
+        println!("  step time    {:.4} s", s.step_time);
+        println!("  throughput   {:.1} samples/s", s.throughput);
+        println!(
+            "  sync         {:.4} s total, {:.4} s exposed",
+            s.sync_time_total, s.sync_time_exposed
+        );
+        println!("  bubble       {:.1} %", s.bubble_ratio() * 100.0);
+        for (model, util) in s.utilization_by_model() {
+            println!("  utilization  {model}: {util:.2}");
+        }
+        if plan.stages.len() > 1 && plan.num_micro_batches <= 16 {
+            println!("\ntimeline (F = forward, B = backward):");
+            print!("{}", ascii_timeline(&out, 100));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_auto(args: &Args) -> Result<(), String> {
+    let session = session_from(args)?;
+    let model = args.get_or("model", "resnet50").to_string();
+    let batch = args.get_num("batch", 64usize)?;
+    let seq = args.get_num("seq", 128usize)?;
+    let report = auto_parallel(&session, batch, || {
+        zoo::build(&model, batch, seq).map_err(whale::WhaleError::Graph)
+    })
+    .map_err(|e| e.to_string())?;
+    println!("auto-parallel over {model} (batch {batch}):");
+    for c in &report.candidates {
+        match (&c.stats, &c.rejected) {
+            (Some(s), _) => println!(
+                "  {:<24} step {:>9.3} s   {:>9.1} samples/s",
+                c.name, s.step_time, s.throughput
+            ),
+            (None, Some(why)) => println!("  {:<24} rejected: {why}", c.name),
+            _ => {}
+        }
+    }
+    println!("chosen: {}", report.chosen);
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let ir = ir_from(args)?;
+    print!("{}", whale::ir::to_dot(&ir));
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let model = args.get_or("model", "resnet50");
+    let batch = args.get_num("batch", 8usize)?;
+    let seq = args.get_num("seq", 128usize)?;
+    let graph = zoo::build(model, batch, seq)?;
+    let s = whale_graph::graph_stats(&graph);
+    println!("{} @ batch {batch}:", s.name);
+    println!("  ops        {} across {} layers", s.num_ops, s.num_layers);
+    println!("  parameters {:.2}M", s.params as f64 / 1e6);
+    println!(
+        "  fwd flops  {:.2} GFLOP/step ({:.2} GFLOP/sample)",
+        s.forward_flops / 1e9,
+        s.forward_flops / 1e9 / batch as f64
+    );
+    println!("  op census:");
+    for (kind, n) in &s.ops_by_kind {
+        println!("    {kind:<12} {n}");
+    }
+    println!("  heaviest ops (FLOPs):");
+    for (name, f) in &s.heaviest_ops {
+        println!("    {name:<40} {:.2} GFLOP", f / 1e9);
+    }
+    println!("  largest parameters:");
+    for (name, p) in &s.largest_params {
+        println!("    {name:<40} {:.2}M", *p as f64 / 1e6);
+    }
+    Ok(())
+}

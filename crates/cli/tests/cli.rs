@@ -1,0 +1,121 @@
+//! End-to-end CLI tests: run the real binary and check its output.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_whale-cli"))
+        .args(args)
+        .output()
+        .expect("launch whale-cli");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (stdout, _, ok) = run(&["help"]);
+    assert!(ok);
+    for cmd in ["models", "gpus", "plan", "simulate", "auto", "dot", "inspect"] {
+        assert!(stdout.contains(cmd), "help missing '{cmd}'");
+    }
+}
+
+#[test]
+fn models_and_gpus_tables() {
+    let (stdout, _, ok) = run(&["models"]);
+    assert!(ok);
+    assert!(stdout.contains("m6-moe-1t"));
+    let (stdout, _, ok) = run(&["gpus"]);
+    assert!(ok);
+    assert!(stdout.contains("V100-32GB"));
+    assert!(stdout.contains("P100-16GB"));
+}
+
+#[test]
+fn simulate_dp_reports_throughput() {
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--cluster",
+        "2xV100,2xP100",
+        "--model",
+        "resnet50",
+        "--batch",
+        "64",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("throughput"));
+    assert!(stdout.contains("memory: fits"));
+    assert!(stdout.contains("P100-16GB"));
+}
+
+#[test]
+fn simulate_json_is_parseable() {
+    let (stdout, _, ok) = run(&[
+        "simulate",
+        "--cluster",
+        "4xV100",
+        "--model",
+        "bert-base",
+        "--batch",
+        "32",
+        "--seq",
+        "64",
+        "--json",
+    ]);
+    assert!(ok);
+    let json_start = stdout.find('{').expect("json in output");
+    let v: serde_json::Value = serde_json::from_str(&stdout[json_start..]).expect("valid json");
+    assert!(v["step_time"].as_f64().unwrap() > 0.0);
+    assert_eq!(v["per_gpu"].as_array().unwrap().len(), 4);
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let (stdout, _, ok) = run(&["dot", "--model", "moe-tiny", "--batch", "8"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("cluster_tg"));
+}
+
+#[test]
+fn inspect_prints_census() {
+    let (stdout, _, ok) = run(&["inspect", "--model", "vit-large", "--batch", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("parameters"));
+    assert!(stdout.contains("MatMul"));
+}
+
+#[test]
+fn bad_inputs_fail_with_messages() {
+    let (_, stderr, ok) = run(&["plan", "--model", "alexnet"]);
+    assert!(!ok);
+    assert!(stderr.contains("alexnet"));
+    let (_, stderr, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    let (_, stderr, ok) = run(&["plan", "--zero", "7"]);
+    assert!(!ok);
+    assert!(stderr.contains("zero"));
+}
+
+#[test]
+fn baseline_flag_slows_hetero_dp() {
+    let step_time = |extra: &[&str]| {
+        let mut args = vec![
+            "simulate", "--cluster", "4xV100,4xP100", "--model", "resnet50", "--batch", "256",
+            "--json",
+        ];
+        args.extend_from_slice(extra);
+        let (stdout, _, ok) = run(&args);
+        assert!(ok);
+        let json_start = stdout.find('{').unwrap();
+        let v: serde_json::Value = serde_json::from_str(&stdout[json_start..]).unwrap();
+        v["step_time"].as_f64().unwrap()
+    };
+    let aware = step_time(&[]);
+    let baseline = step_time(&["--baseline"]);
+    assert!(baseline > aware * 1.2, "baseline {baseline} vs aware {aware}");
+}

@@ -1,0 +1,274 @@
+//! Automatic parallelism (paper Example 6: `wh.auto_parallel()`).
+//!
+//! Without user annotations, Whale explores parallel strategies itself. The
+//! reproduction enumerates candidate strategies (pure DP, auto pipelines at
+//! several micro-batch counts, pipeline+DP when the cluster has several
+//! nodes), plans each, discards memory-infeasible ones, simulates the rest,
+//! and returns the plan with the highest throughput.
+
+use whale_graph::Graph;
+use whale_planner::ExecutionPlan;
+use whale_sim::StepStats;
+
+use crate::error::{Result, WhaleError};
+use crate::session::Session;
+use crate::strategies;
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Human-readable strategy name.
+    pub name: String,
+    /// The plan, if planning succeeded.
+    pub plan: Option<ExecutionPlan>,
+    /// Step statistics, if simulation succeeded and memory fit.
+    pub stats: Option<StepStats>,
+    /// Why the candidate was rejected, if it was.
+    pub rejected: Option<String>,
+}
+
+/// The auto-parallel decision.
+#[derive(Debug, Clone)]
+pub struct AutoReport {
+    /// Winning strategy name.
+    pub chosen: String,
+    /// Winning plan.
+    pub plan: ExecutionPlan,
+    /// Winning step stats.
+    pub stats: StepStats,
+    /// All candidates in evaluation order.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Explore strategies for `graph` on the session's cluster and pick the
+/// fastest memory-feasible one.
+///
+/// `build` must be able to rebuild the graph for each candidate (annotation
+/// consumes it); a closure over the model constructor does this naturally.
+pub fn auto_parallel(
+    session: &Session,
+    global_batch: usize,
+    build: impl Fn() -> Result<Graph>,
+) -> Result<AutoReport> {
+    let n_gpus = session.cluster().num_gpus();
+    let n_nodes = session.cluster().num_nodes();
+    let mut candidates: Vec<Candidate> = Vec::new();
+
+    // Probe the model structure once to propose structure-specific
+    // strategies (the paper's planner likewise pattern-matches MoE and
+    // large-classification graphs, §4 "TaskGraph Partition").
+    let probe = build()?;
+    let has_moe = probe
+        .ops()
+        .iter()
+        .any(|op| matches!(op.kind, whale_graph::OpKind::MoeFfn { .. }));
+    let total_params = probe.total_params().max(1);
+    let dominant_fc: Option<String> = probe
+        .ops()
+        .iter()
+        .filter(|op| {
+            matches!(op.kind, whale_graph::OpKind::MatMul { has_params: true, .. })
+                && op.param_count() * 2 > total_params
+        })
+        .map(|op| op.name.clone())
+        .next();
+    drop(probe);
+
+    type IrBuilder = Box<dyn Fn(Graph) -> Result<whale_ir::WhaleIr>>;
+    let mut specs: Vec<(String, IrBuilder)> = vec![(
+        "data-parallel".to_string(),
+        Box::new(move |g| strategies::data_parallel(g, global_batch)),
+    )];
+    if n_gpus > 1 {
+        for micro in [4usize, 8, 16] {
+            specs.push((
+                format!("pipeline(micro={micro})"),
+                Box::new(move |g| strategies::pipeline_only(g, global_batch, micro)),
+            ));
+        }
+    }
+    if n_nodes > 1 && n_gpus.is_multiple_of(n_nodes) && n_gpus / n_nodes > 1 {
+        for micro in [8usize, 16] {
+            specs.push((
+                format!("pipeline+dp(micro={micro})"),
+                Box::new(move |g| strategies::pipeline_with_dp(g, global_batch, micro)),
+            ));
+        }
+    }
+    if has_moe && n_gpus > 1 {
+        specs.push((
+            "moe(split experts + dp)".to_string(),
+            Box::new(move |g| strategies::moe_hybrid(g, global_batch)),
+        ));
+    }
+    if let Some(fc) = dominant_fc {
+        if n_gpus > 1 {
+            specs.push((
+                format!("dp+split({fc})"),
+                Box::new(move |g| {
+                    strategies::feature_dp_classifier_split(g, global_batch, &fc)
+                }),
+            ));
+        }
+    }
+
+    // Two-phase evaluation: plan everything, rank by the analytic estimator,
+    // and only simulate candidates within 4x of the best estimate (the
+    // estimator provably preserves ordering on these workloads; see
+    // tests/estimator_agreement.rs).
+    let mut planned: Vec<(String, std::result::Result<whale_planner::ExecutionPlan, String>)> =
+        Vec::new();
+    for (name, mk_ir) in specs {
+        let plan = build()
+            .and_then(mk_ir)
+            .and_then(|ir| session.plan(&ir))
+            .map_err(|e| e.to_string());
+        planned.push((name, plan));
+    }
+    let estimates: Vec<Option<f64>> = planned
+        .iter()
+        .map(|(_, p)| {
+            p.as_ref().ok().and_then(|plan| {
+                whale_planner::estimate_step(plan, session.cluster())
+                    .ok()
+                    .map(|e| e.step_time)
+            })
+        })
+        .collect();
+    let best_estimate = estimates
+        .iter()
+        .flatten()
+        .fold(f64::INFINITY, |a, &b| a.min(b));
+
+    for ((name, plan), estimate) in planned.into_iter().zip(estimates) {
+        let candidate = match plan {
+            Err(e) => Candidate {
+                name,
+                plan: None,
+                stats: None,
+                rejected: Some(format!("planning failed: {e}")),
+            },
+            Ok(plan) => match estimate {
+                Some(est) if est > 4.0 * best_estimate && best_estimate.is_finite() => {
+                    Candidate {
+                        name,
+                        plan: Some(plan),
+                        stats: None,
+                        rejected: Some(format!(
+                            "pruned by cost model (estimate {est:.3}s > 4x best {best_estimate:.3}s)"
+                        )),
+                    }
+                }
+                _ => evaluate_plan(session, &name, plan),
+            },
+        };
+        candidates.push(candidate);
+    }
+
+    let best = candidates
+        .iter()
+        .filter_map(|c| {
+            c.stats
+                .as_ref()
+                .map(|s| (c.name.clone(), c.plan.clone(), s.clone()))
+        })
+        .max_by(|a, b| a.2.throughput.total_cmp(&b.2.throughput));
+    match best {
+        Some((chosen, Some(plan), stats)) => Ok(AutoReport {
+            chosen,
+            plan,
+            stats,
+            candidates,
+        }),
+        _ => Err(WhaleError::NoFeasibleStrategy),
+    }
+}
+
+fn evaluate_plan(
+    session: &Session,
+    name: &str,
+    plan: whale_planner::ExecutionPlan,
+) -> Candidate {
+    let outcome = match session.step_plan(&plan) {
+        Ok(o) => o,
+        Err(e) => {
+            return Candidate {
+                name: name.into(),
+                plan: Some(plan),
+                stats: None,
+                rejected: Some(format!("simulation failed: {e}")),
+            }
+        }
+    };
+    if outcome.stats.has_oom() {
+        return Candidate {
+            name: name.into(),
+            plan: Some(plan),
+            stats: None,
+            rejected: Some(format!("out of memory on {:?}", outcome.stats.oom_gpus)),
+        };
+    }
+    Candidate {
+        name: name.into(),
+        plan: Some(plan),
+        stats: Some(outcome.stats),
+        rejected: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+
+    #[test]
+    fn auto_parallel_picks_dp_for_small_models() {
+        // ResNet-50 fits everywhere; DP avoids pipeline bubbles and wins.
+        let s = Session::on_cluster("1x(4xV100)").unwrap();
+        let report = auto_parallel(&s, 128, || Ok(models::resnet50(128).unwrap())).unwrap();
+        assert_eq!(report.chosen, "data-parallel");
+        assert!(report.candidates.len() >= 4);
+    }
+
+    #[test]
+    fn auto_parallel_proposes_moe_strategy_for_moe_models() {
+        let s = Session::on_cluster("1x(8xV100)").unwrap();
+        let report = auto_parallel(&s, 64, || {
+            Ok(models::m6_moe(models::MoeConfig::tiny(), 64).unwrap())
+        })
+        .unwrap();
+        assert!(
+            report.candidates.iter().any(|c| c.name.contains("moe")),
+            "candidates: {:?}",
+            report.candidates.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn auto_parallel_proposes_split_for_dominant_fc() {
+        let s = Session::on_cluster("1x(4xV100)").unwrap();
+        let report =
+            auto_parallel(&s, 64, || Ok(models::imagenet_100k(64).unwrap())).unwrap();
+        let split = report
+            .candidates
+            .iter()
+            .find(|c| c.name.starts_with("dp+split"))
+            .expect("100k-class FC dominates parameters → split candidate");
+        assert!(split.rejected.is_none() || split.stats.is_some() || split.plan.is_some());
+    }
+
+    #[test]
+    fn auto_parallel_rejects_oom_candidates_for_giant_models() {
+        // M6-10B replicas cannot fit on a single 32 GB V100: pure DP must be
+        // rejected and a pipeline chosen.
+        let s = Session::on_cluster("2x(4xV100)").unwrap();
+        let report = auto_parallel(&s, 32, || Ok(models::m6_10b(32).unwrap())).unwrap();
+        let dp = report
+            .candidates
+            .iter()
+            .find(|c| c.name == "data-parallel")
+            .unwrap();
+        assert!(dp.rejected.is_some(), "10B DP replica must OOM");
+        assert!(report.chosen.contains("pipeline"), "chose {}", report.chosen);
+    }
+}

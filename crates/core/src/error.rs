@@ -1,0 +1,71 @@
+//! Unified error type for the façade crate.
+
+use std::fmt;
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhaleError {
+    /// Hardware-model failure.
+    Hardware(String),
+    /// Graph construction failure.
+    Graph(String),
+    /// Annotation/IR failure.
+    Ir(String),
+    /// Planning failure.
+    Plan(String),
+    /// Simulation failure.
+    Sim(String),
+    /// The plan does not fit device memory on the listed GPUs.
+    OutOfMemory(Vec<usize>),
+    /// Auto-parallel found no feasible strategy.
+    NoFeasibleStrategy,
+}
+
+impl fmt::Display for WhaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhaleError::Hardware(s) => write!(f, "hardware: {s}"),
+            WhaleError::Graph(s) => write!(f, "graph: {s}"),
+            WhaleError::Ir(s) => write!(f, "ir: {s}"),
+            WhaleError::Plan(s) => write!(f, "plan: {s}"),
+            WhaleError::Sim(s) => write!(f, "simulation: {s}"),
+            WhaleError::OutOfMemory(gpus) => write!(f, "out of memory on GPUs {gpus:?}"),
+            WhaleError::NoFeasibleStrategy => write!(f, "auto-parallel found no feasible strategy"),
+        }
+    }
+}
+
+impl std::error::Error for WhaleError {}
+
+impl From<whale_hardware::HardwareError> for WhaleError {
+    fn from(e: whale_hardware::HardwareError) -> Self {
+        WhaleError::Hardware(e.to_string())
+    }
+}
+
+impl From<whale_graph::GraphError> for WhaleError {
+    fn from(e: whale_graph::GraphError) -> Self {
+        WhaleError::Graph(e.to_string())
+    }
+}
+
+impl From<whale_ir::IrError> for WhaleError {
+    fn from(e: whale_ir::IrError) -> Self {
+        WhaleError::Ir(e.to_string())
+    }
+}
+
+impl From<whale_planner::PlanError> for WhaleError {
+    fn from(e: whale_planner::PlanError) -> Self {
+        WhaleError::Plan(e.to_string())
+    }
+}
+
+impl From<whale_sim::SimError> for WhaleError {
+    fn from(e: whale_sim::SimError) -> Self {
+        WhaleError::Sim(e.to_string())
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, WhaleError>;

@@ -1,0 +1,191 @@
+//! The end-to-end driver: model + annotations + cluster → plan → simulation.
+//!
+//! [`Session`] is the reproduction's equivalent of Whale's outermost
+//! `wh.cluster()` scope plus the runtime: it owns the cluster, the planner
+//! configuration, and the simulator configuration, and drives the
+//! annotate → plan → transform → execute path of Fig. 5.
+
+use whale_graph::TrainingConfig;
+use whale_hardware::Cluster;
+use whale_ir::WhaleIr;
+use whale_planner::{plan, DeviceAssignment, ExecutionPlan, PlannerConfig, ScheduleKind};
+use whale_sim::{simulate_step, simulate_training, LossModel, SimConfig, StepOutcome, TrainingRun};
+
+use crate::error::{Result, WhaleError};
+
+/// A configured training session over one cluster.
+#[derive(Debug, Clone)]
+pub struct Session {
+    cluster: Cluster,
+    planner: PlannerConfig,
+    sim: SimConfig,
+}
+
+impl Session {
+    /// Start a session on an explicit cluster.
+    pub fn new(cluster: Cluster) -> Session {
+        Session {
+            cluster,
+            planner: PlannerConfig::default(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Start a session from a cluster-spec string
+    /// (`"2x(8xV100)+2x(8xP100)"`).
+    pub fn on_cluster(spec: &str) -> Result<Session> {
+        Ok(Session::new(Cluster::parse(spec)?))
+    }
+
+    /// The session's cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Toggle §3.5's hardware-aware load balancing (off = paper baselines).
+    pub fn hardware_aware(mut self, on: bool) -> Session {
+        self.planner.hardware_aware = on;
+        self
+    }
+
+    /// Set the training options (optimizer, AMP, recomputation).
+    pub fn training(mut self, cfg: TrainingConfig) -> Session {
+        self.planner.training = cfg;
+        self
+    }
+
+    /// Set the compute efficiency `α` of the cost model `t = MF/(GF·α)`.
+    pub fn efficiency(mut self, alpha: f64) -> Session {
+        self.planner.efficiency = alpha;
+        self
+    }
+
+    /// Select the pipeline schedule (backward-first is Whale's default, §4).
+    pub fn schedule(mut self, schedule: ScheduleKind) -> Session {
+        self.planner.schedule = schedule;
+        self.sim.schedule = schedule;
+        self
+    }
+
+    /// Set the plan-level DP degree used with `outer_replica` IRs.
+    pub fn outer_dp(mut self, degree: usize) -> Session {
+        self.planner.outer_dp = degree;
+        self
+    }
+
+    /// Provide explicit virtual devices, one per TaskGraph
+    /// (the paper's `cluster()` slicing).
+    pub fn devices(mut self, assignment: DeviceAssignment) -> Session {
+        self.planner.devices = assignment;
+        self
+    }
+
+    /// Set the fraction of backward compute available to hide gradient sync.
+    pub fn sync_overlap(mut self, fraction: f64) -> Session {
+        self.sim.sync_overlap = fraction;
+        self
+    }
+
+    /// The active planner configuration.
+    pub fn planner_config(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// Produce the distributed execution plan for `ir`.
+    pub fn plan(&self, ir: &WhaleIr) -> Result<ExecutionPlan> {
+        Ok(plan(ir, &self.cluster, &self.planner)?)
+    }
+
+    /// Plan and simulate one training step.
+    pub fn step(&self, ir: &WhaleIr) -> Result<StepOutcome> {
+        let p = self.plan(ir)?;
+        Ok(simulate_step(&p, &self.cluster, &self.sim)?)
+    }
+
+    /// Simulate one step of an existing plan.
+    pub fn step_plan(&self, p: &ExecutionPlan) -> Result<StepOutcome> {
+        Ok(simulate_step(p, &self.cluster, &self.sim)?)
+    }
+
+    /// Plan and simulate a training run to `total_samples`.
+    pub fn train(
+        &self,
+        ir: &WhaleIr,
+        loss: &LossModel,
+        total_samples: f64,
+        checkpoints: usize,
+        seed: u64,
+    ) -> Result<TrainingRun> {
+        let p = self.plan(ir)?;
+        Ok(simulate_training(
+            &p,
+            &self.cluster,
+            &self.sim,
+            loss,
+            total_samples,
+            checkpoints,
+            seed,
+        )?)
+    }
+
+    /// Fail unless the plan fits in device memory (useful in examples).
+    pub fn check_memory(&self, p: &ExecutionPlan) -> Result<()> {
+        if !p.memory_feasible(&self.cluster)? {
+            return Err(WhaleError::OutOfMemory(
+                p.memory_per_gpu()
+                    .into_iter()
+                    .filter(|&(gpu, bytes)| {
+                        self.cluster
+                            .gpu(gpu)
+                            .map(|g| bytes > g.memory_bytes())
+                            .unwrap_or(true)
+                    })
+                    .map(|(gpu, _)| gpu)
+                    .collect(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    #[test]
+    fn session_end_to_end_dp() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let s = Session::on_cluster("8xV100+8xP100").unwrap();
+        let out = s.step(&ir).unwrap();
+        assert!(out.stats.throughput > 0.0);
+        assert_eq!(out.stats.per_gpu.len(), 16);
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let s = Session::on_cluster("4xV100")
+            .unwrap()
+            .hardware_aware(false)
+            .efficiency(0.6)
+            .sync_overlap(0.5)
+            .outer_dp(2);
+        assert!(!s.planner_config().hardware_aware);
+        assert_eq!(s.planner_config().efficiency, 0.6);
+        assert_eq!(s.planner_config().outer_dp, 2);
+    }
+
+    #[test]
+    fn memory_check_reports_oom_gpus() {
+        let g = models::bert_large(1024, 128).unwrap();
+        let ir = Annotator::new(g, 1024).replicate_all().unwrap().finish().unwrap();
+        let s = Session::on_cluster("2xP100").unwrap().hardware_aware(false);
+        let p = s.plan(&ir).unwrap();
+        match s.check_memory(&p) {
+            Err(WhaleError::OutOfMemory(gpus)) => assert!(!gpus.is_empty()),
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+}

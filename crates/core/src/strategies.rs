@@ -1,0 +1,141 @@
+//! Canned parallel strategies mirroring the paper's Examples 1–8.
+//!
+//! Each function wraps a finished model graph in the annotations of one
+//! paper example, producing [`WhaleIr`] ready for [`crate::Session::plan`].
+
+use whale_graph::Graph;
+use whale_ir::{Annotator, Primitive, WhaleIr};
+
+use crate::error::Result;
+
+/// Example 1: pure data parallelism — replicate the whole model.
+pub fn data_parallel(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
+    Ok(Annotator::new(graph, global_batch)
+        .replicate_all()?
+        .finish()?)
+}
+
+/// Example 2: vanilla model parallelism — split the graph at `cut` (op
+/// index) into two stages executed sequentially on different devices.
+pub fn vanilla_model_parallel(graph: Graph, global_batch: usize, cut: usize) -> Result<WhaleIr> {
+    let n = graph.len();
+    Ok(Annotator::new(graph, global_batch)
+        .annotate_range(0, cut, vec![Primitive::Stage])?
+        .annotate_range(cut, n, vec![Primitive::Stage])?
+        .finish()?)
+}
+
+/// Example 4: hybrid of *auto* pipeline parallelism and data parallelism —
+/// the planner partitions stages with the hardware-aware balanced cut and
+/// replicates the whole pipeline.
+pub fn pipeline_with_dp(graph: Graph, global_batch: usize, num_micro: usize) -> Result<WhaleIr> {
+    Ok(Annotator::new(graph, global_batch)
+        .outer_replica()
+        .auto_pipeline(num_micro)?
+        .finish()?)
+}
+
+/// Auto pipeline without outer data parallelism.
+pub fn pipeline_only(graph: Graph, global_batch: usize, num_micro: usize) -> Result<WhaleIr> {
+    Ok(Annotator::new(graph, global_batch)
+        .auto_pipeline(num_micro)?
+        .finish()?)
+}
+
+/// Example 5 / Fig. 4: data parallelism on the feature extractor plus tensor
+/// model parallelism on a named classifier (`split_marker` selects the split
+/// ops by substring, e.g. `"fc_big"`).
+pub fn feature_dp_classifier_split(
+    graph: Graph,
+    global_batch: usize,
+    split_marker: &str,
+) -> Result<WhaleIr> {
+    Ok(Annotator::new(graph, global_batch)
+        .annotate_named(split_marker, vec![Primitive::Split])?
+        .set_default(Primitive::Replica)
+        .finish()?)
+}
+
+/// Example 8: MoE — expert layers split across devices, everything else
+/// data-parallel via the default scope (`wh.set_default_scope(wh.replica)`).
+pub fn moe_hybrid(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
+    // Each layer's expert computation (gating + MoE FFN) becomes its own
+    // split TaskGraph, keeping the split TaskGraphs disjoint per layer so
+    // the replica/split interleaving matches Fig. 15.
+    let markers: Vec<String> = graph
+        .ops()
+        .iter()
+        .filter(|op| op.name.ends_with("/moe_ffn"))
+        .map(|op| {
+            op.name
+                .trim_end_matches("moe_ffn")
+                .to_string()
+        })
+        .collect();
+    let mut annot = Annotator::new(graph, global_batch).set_default(Primitive::Replica);
+    for layer in &markers {
+        let marker = format!("{layer}moe_ffn");
+        annot = annot.annotate_named(&marker, vec![Primitive::Split])?;
+    }
+    Ok(annot.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+
+    #[test]
+    fn example1_ir_shape() {
+        let ir = data_parallel(models::resnet50(32).unwrap(), 32).unwrap();
+        assert_eq!(ir.num_task_graphs(), 1);
+        assert!(!ir.outer_replica);
+    }
+
+    #[test]
+    fn example2_ir_shape() {
+        let g = models::bert_base(8, 64).unwrap();
+        let n = g.len();
+        let ir = vanilla_model_parallel(g, 8, n / 2).unwrap();
+        assert_eq!(ir.num_task_graphs(), 2);
+    }
+
+    #[test]
+    fn example4_ir_shape() {
+        let ir = pipeline_with_dp(models::bert_base(32, 64).unwrap(), 32, 8).unwrap();
+        assert!(ir.outer_replica);
+        assert!(ir.auto_partition);
+        assert_eq!(ir.pipeline.unwrap().num_micro_batches, 8);
+    }
+
+    #[test]
+    fn example5_ir_shape() {
+        let ir = feature_dp_classifier_split(models::imagenet_100k(32).unwrap(), 32, "fc_big")
+            .unwrap();
+        assert!(ir
+            .task_graphs
+            .iter()
+            .any(|tg| tg.innermost() == Primitive::Split));
+    }
+}
+
+#[cfg(test)]
+mod moe_tests {
+    use super::*;
+    use whale_graph::models::{self, MoeConfig};
+
+    #[test]
+    fn example8_ir_shape() {
+        let g = models::m6_moe(MoeConfig::tiny(), 8).unwrap();
+        let ir = moe_hybrid(g, 8).unwrap();
+        let splits = ir
+            .task_graphs
+            .iter()
+            .filter(|tg| tg.innermost() == Primitive::Split)
+            .count();
+        assert_eq!(splits, 2, "one split TaskGraph per tiny-MoE layer");
+        // Replica and split TaskGraphs interleave (Fig. 15).
+        assert!(ir.num_task_graphs() >= 4);
+        assert_eq!(ir.default_strategy, Some(Primitive::Replica));
+    }
+}

@@ -1,0 +1,509 @@
+//! Convenience builder for assembling model graphs.
+//!
+//! Provides the layer-level vocabulary the model zoo is written in: dense
+//! layers, convolutions, transformer encoder/decoder blocks, LSTM layers, and
+//! MoE blocks. Every helper stamps the current layer index onto the ops it
+//! emits so stage partitioning and checkpointing can see layer boundaries.
+
+use crate::graph::{Graph, GraphError, OpId};
+use crate::op::{OpKind, Phase};
+use crate::tensor::TensorMeta;
+
+/// Stateful graph builder.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+    layer: usize,
+}
+
+impl GraphBuilder {
+    /// Start building a graph with the given name.
+    pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder {
+            graph: Graph::new(name),
+            layer: 0,
+        }
+    }
+
+    /// Set the layer index stamped on subsequently added ops.
+    pub fn set_layer(&mut self, layer: usize) {
+        self.layer = layer;
+    }
+
+    /// Advance to the next layer index and return it.
+    pub fn next_layer(&mut self) -> usize {
+        self.layer += 1;
+        self.layer
+    }
+
+    /// Current layer index.
+    pub fn layer(&self) -> usize {
+        self.layer
+    }
+
+    /// Number of ops created so far (used by scoped annotation to attribute
+    /// op ranges to scopes).
+    pub fn graph_len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Finish and return the graph.
+    pub fn finish(self) -> Graph {
+        self.graph
+    }
+
+    /// Raw op insertion at the current layer.
+    pub fn op(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        inputs: Vec<OpId>,
+        output: TensorMeta,
+    ) -> Result<OpId, GraphError> {
+        self.graph
+            .add_op(name, kind, inputs, output, Phase::Forward, Some(self.layer))
+    }
+
+    /// Graph input of the given shape.
+    pub fn input(&mut self, name: &str, dims: &[usize]) -> Result<OpId, GraphError> {
+        self.op(name, OpKind::Input, vec![], TensorMeta::f32(dims))
+    }
+
+    /// Dense (fully connected) layer: `[rows, in_dim] → [rows, out_dim]`.
+    pub fn dense(
+        &mut self,
+        name: &str,
+        input: OpId,
+        rows: usize,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Result<OpId, GraphError> {
+        self.op(
+            name,
+            OpKind::MatMul {
+                m: rows,
+                k: in_dim,
+                n: out_dim,
+                has_params: true,
+            },
+            vec![input],
+            TensorMeta::f32(&[rows, out_dim]),
+        )
+    }
+
+    /// Activation-by-activation matmul (no parameters), e.g. attention
+    /// scores.
+    #[allow(clippy::too_many_arguments)]
+    pub fn matmul(
+        &mut self,
+        name: &str,
+        a: OpId,
+        b: OpId,
+        m: usize,
+        k: usize,
+        n: usize,
+        out_dims: &[usize],
+    ) -> Result<OpId, GraphError> {
+        self.op(
+            name,
+            OpKind::MatMul {
+                m,
+                k,
+                n,
+                has_params: false,
+            },
+            vec![a, b],
+            TensorMeta::f32(out_dims),
+        )
+    }
+
+    /// Layer normalization preserving the input shape.
+    pub fn layer_norm(&mut self, name: &str, input: OpId, dim: usize) -> Result<OpId, GraphError> {
+        let meta = self.graph.op(input)?.output.clone();
+        let elems = meta.shape.num_elements();
+        self.op(name, OpKind::LayerNorm { elems, dim }, vec![input], meta)
+    }
+
+    /// Softmax preserving the input shape.
+    pub fn softmax(&mut self, name: &str, input: OpId) -> Result<OpId, GraphError> {
+        let meta = self.graph.op(input)?.output.clone();
+        let elems = meta.shape.num_elements();
+        self.op(name, OpKind::Softmax { elems }, vec![input], meta)
+    }
+
+    /// Elementwise op (GeLU ≈ 8 FLOPs/elem, add = 1) preserving shape of the
+    /// first input.
+    pub fn elementwise(
+        &mut self,
+        name: &str,
+        inputs: Vec<OpId>,
+        flops_per_elem: u32,
+    ) -> Result<OpId, GraphError> {
+        let meta = self.graph.op(inputs[0])?.output.clone();
+        let elems = meta.shape.num_elements();
+        self.op(
+            name,
+            OpKind::Elementwise {
+                elems,
+                flops_per_elem,
+            },
+            inputs,
+            meta,
+        )
+    }
+
+    /// 2-D convolution (+ folded batch-norm parameters via the bias term).
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        input: OpId,
+        batch: usize,
+        in_c: usize,
+        out_c: usize,
+        kernel: (usize, usize),
+        out_hw: (usize, usize),
+    ) -> Result<OpId, GraphError> {
+        self.op(
+            name,
+            OpKind::Conv2d {
+                batch,
+                in_c,
+                out_c,
+                kernel,
+                out_hw,
+            },
+            vec![input],
+            TensorMeta::f32(&[batch, out_c, out_hw.0, out_hw.1]),
+        )
+    }
+
+    /// Token embedding lookup: `[batch, seq] → [batch, seq, dim]`.
+    pub fn embedding(
+        &mut self,
+        name: &str,
+        input: OpId,
+        vocab: usize,
+        dim: usize,
+        batch: usize,
+        seq: usize,
+    ) -> Result<OpId, GraphError> {
+        self.op(
+            name,
+            OpKind::Embedding {
+                vocab,
+                dim,
+                tokens: batch * seq,
+            },
+            vec![input],
+            TensorMeta::f32(&[batch, seq, dim]),
+        )
+    }
+
+    /// Multi-head self-attention block (QKV projection, scores, context,
+    /// output projection) with a residual add and layer norm.
+    #[allow(clippy::too_many_arguments)]
+    pub fn self_attention(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        batch: usize,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+    ) -> Result<OpId, GraphError> {
+        let rows = batch * seq;
+        let head_dim = hidden / heads;
+        let qkv = self.dense(&format!("{prefix}/qkv"), input, rows, hidden, 3 * hidden)?;
+        // Scores: per head [seq, head_dim] × [head_dim, seq].
+        let scores = self.matmul(
+            &format!("{prefix}/scores"),
+            qkv,
+            qkv,
+            batch * heads * seq,
+            head_dim,
+            seq,
+            &[batch, heads, seq, seq],
+        )?;
+        let probs = self.softmax(&format!("{prefix}/probs"), scores)?;
+        let ctx = self.matmul(
+            &format!("{prefix}/context"),
+            probs,
+            qkv,
+            batch * heads * seq,
+            seq,
+            head_dim,
+            &[batch, seq, hidden],
+        )?;
+        let proj = self.dense(&format!("{prefix}/out_proj"), ctx, rows, hidden, hidden)?;
+        let residual = self.elementwise(&format!("{prefix}/residual"), vec![proj, input], 1)?;
+        self.layer_norm(&format!("{prefix}/ln"), residual, hidden)
+    }
+
+    /// Cross-attention block: queries from `input`, keys/values from
+    /// `memory` of length `mem_seq`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cross_attention(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        memory: OpId,
+        batch: usize,
+        seq: usize,
+        mem_seq: usize,
+        hidden: usize,
+        heads: usize,
+    ) -> Result<OpId, GraphError> {
+        let rows = batch * seq;
+        let head_dim = hidden / heads;
+        let q = self.dense(&format!("{prefix}/q"), input, rows, hidden, hidden)?;
+        let kv = self.dense(
+            &format!("{prefix}/kv"),
+            memory,
+            batch * mem_seq,
+            hidden,
+            2 * hidden,
+        )?;
+        let scores = self.matmul(
+            &format!("{prefix}/scores"),
+            q,
+            kv,
+            batch * heads * seq,
+            head_dim,
+            mem_seq,
+            &[batch, heads, seq, mem_seq],
+        )?;
+        let probs = self.softmax(&format!("{prefix}/probs"), scores)?;
+        let ctx = self.matmul(
+            &format!("{prefix}/context"),
+            probs,
+            kv,
+            batch * heads * seq,
+            mem_seq,
+            head_dim,
+            &[batch, seq, hidden],
+        )?;
+        let proj = self.dense(&format!("{prefix}/out_proj"), ctx, rows, hidden, hidden)?;
+        let residual = self.elementwise(&format!("{prefix}/residual"), vec![proj, input], 1)?;
+        self.layer_norm(&format!("{prefix}/ln"), residual, hidden)
+    }
+
+    /// Position-wise feed-forward block with GeLU, residual, and layer norm.
+    pub fn ffn(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        rows: usize,
+        hidden: usize,
+        intermediate: usize,
+    ) -> Result<OpId, GraphError> {
+        let up = self.dense(&format!("{prefix}/up"), input, rows, hidden, intermediate)?;
+        let act = self.elementwise(&format!("{prefix}/gelu"), vec![up], 8)?;
+        let down = self.dense(&format!("{prefix}/down"), act, rows, intermediate, hidden)?;
+        let residual = self.elementwise(&format!("{prefix}/residual"), vec![down, input], 1)?;
+        self.layer_norm(&format!("{prefix}/ln"), residual, hidden)
+    }
+
+    /// Full transformer encoder layer (self-attention + FFN) as one model
+    /// layer; bumps the layer counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encoder_layer(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        batch: usize,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        intermediate: usize,
+    ) -> Result<OpId, GraphError> {
+        let attn = self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+        let out = self.ffn(&format!("{prefix}/ffn"), attn, batch * seq, hidden, intermediate)?;
+        self.next_layer();
+        Ok(out)
+    }
+
+    /// Full transformer decoder layer (self-attention + cross-attention +
+    /// FFN); bumps the layer counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn decoder_layer(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        memory: OpId,
+        batch: usize,
+        seq: usize,
+        mem_seq: usize,
+        hidden: usize,
+        heads: usize,
+        intermediate: usize,
+    ) -> Result<OpId, GraphError> {
+        let self_attn =
+            self.self_attention(&format!("{prefix}/self_attn"), input, batch, seq, hidden, heads)?;
+        let cross = self.cross_attention(
+            &format!("{prefix}/cross_attn"),
+            self_attn,
+            memory,
+            batch,
+            seq,
+            mem_seq,
+            hidden,
+            heads,
+        )?;
+        let out = self.ffn(&format!("{prefix}/ffn"), cross, batch * seq, hidden, intermediate)?;
+        self.next_layer();
+        Ok(out)
+    }
+
+    /// MoE encoder layer: self-attention followed by gating + expert FFN
+    /// (paper Fig. 15 / Example 8); bumps the layer counter.
+    #[allow(clippy::too_many_arguments)]
+    pub fn moe_encoder_layer(
+        &mut self,
+        prefix: &str,
+        input: OpId,
+        batch: usize,
+        seq: usize,
+        hidden: usize,
+        heads: usize,
+        intermediate: usize,
+        experts: usize,
+        top_k: usize,
+    ) -> Result<OpId, GraphError> {
+        let attn = self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+        let tokens = batch * seq;
+        let gates = self.op(
+            format!("{prefix}/gating"),
+            OpKind::Gating {
+                tokens,
+                hidden,
+                experts,
+            },
+            vec![attn],
+            TensorMeta::f32(&[batch, seq, experts]),
+        )?;
+        let moe = self.op(
+            format!("{prefix}/moe_ffn"),
+            OpKind::MoeFfn {
+                tokens,
+                hidden,
+                intermediate,
+                experts,
+                top_k,
+            },
+            vec![attn, gates],
+            TensorMeta::f32(&[batch, seq, hidden]),
+        )?;
+        let residual = self.elementwise(&format!("{prefix}/residual"), vec![moe, attn], 1)?;
+        let out = self.layer_norm(&format!("{prefix}/ln"), residual, hidden)?;
+        self.next_layer();
+        Ok(out)
+    }
+
+    /// LSTM layer as a single composite op; bumps the layer counter.
+    pub fn lstm(
+        &mut self,
+        name: &str,
+        input: OpId,
+        seq: usize,
+        batch: usize,
+        input_dim: usize,
+        hidden: usize,
+    ) -> Result<OpId, GraphError> {
+        let id = self.op(
+            name,
+            OpKind::Lstm {
+                seq,
+                batch,
+                input_dim,
+                hidden,
+            },
+            vec![input],
+            TensorMeta::f32(&[batch, seq, hidden]),
+        )?;
+        self.next_layer();
+        Ok(id)
+    }
+
+    /// Softmax cross-entropy loss over `[batch, classes]`, producing a
+    /// scalar-per-batch loss tensor.
+    pub fn cross_entropy(
+        &mut self,
+        name: &str,
+        logits: OpId,
+        batch: usize,
+        classes: usize,
+    ) -> Result<OpId, GraphError> {
+        self.op(
+            name,
+            OpKind::CrossEntropy { batch, classes },
+            vec![logits],
+            TensorMeta::f32(&[batch]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CostProfile;
+
+    #[test]
+    fn encoder_layer_parameter_count() {
+        // One transformer layer at h=1024, ff=4096:
+        // attn: qkv 1024·3072 + out 1024·1024 (+biases) ≈ 4.20 M
+        // ffn: 2·1024·4096 (+biases) ≈ 8.39 M
+        // layer norms: 2·2·1024.
+        let mut b = GraphBuilder::new("one_layer");
+        let x = b.input("x", &[4, 128, 1024]).unwrap();
+        b.encoder_layer("enc0", x, 4, 128, 1024, 16, 4096).unwrap();
+        let g = b.finish();
+        let params = g.total_params() as f64;
+        assert!(
+            (12.5e6..13.0e6).contains(&params),
+            "per-layer params = {params}"
+        );
+    }
+
+    #[test]
+    fn decoder_layer_has_more_params_than_encoder() {
+        let mut b = GraphBuilder::new("enc");
+        let x = b.input("x", &[2, 64, 512]).unwrap();
+        b.encoder_layer("e", x, 2, 64, 512, 8, 2048).unwrap();
+        let enc = b.finish().total_params();
+
+        let mut b = GraphBuilder::new("dec");
+        let x = b.input("x", &[2, 64, 512]).unwrap();
+        let m = b.input("m", &[2, 64, 512]).unwrap();
+        b.decoder_layer("d", x, m, 2, 64, 64, 512, 8, 2048).unwrap();
+        let dec = b.finish().total_params();
+        assert!(dec > enc);
+    }
+
+    #[test]
+    fn layer_counter_advances() {
+        let mut b = GraphBuilder::new("layers");
+        let x = b.input("x", &[2, 16, 64]).unwrap();
+        assert_eq!(b.layer(), 0);
+        let h = b.encoder_layer("l0", x, 2, 16, 64, 4, 256).unwrap();
+        assert_eq!(b.layer(), 1);
+        b.encoder_layer("l1", h, 2, 16, 64, 4, 256).unwrap();
+        assert_eq!(b.layer(), 2);
+        let g = b.finish();
+        assert_eq!(g.per_layer_costs().len(), 2);
+    }
+
+    #[test]
+    fn moe_layer_profile() {
+        let mut b = GraphBuilder::new("moe");
+        let x = b.input("x", &[2, 64, 1024]).unwrap();
+        b.moe_encoder_layer("l0", x, 2, 64, 1024, 16, 4096, 512, 2)
+            .unwrap();
+        let g = b.finish();
+        let p = CostProfile::from_graph(&g, 2);
+        // Expert weights dominate: 512·2·1024·4096 ≈ 4.3 B params.
+        assert!(p.param_count > 4_000_000_000);
+        // But FLOPs stay modest (top-2 routing).
+        assert!(p.forward_flops(2) < 1e13);
+    }
+}

@@ -1,0 +1,371 @@
+//! The dataflow graph: nodes, edges, topological structure.
+//!
+//! This is the reproduction's stand-in for a TensorFlow computation graph.
+//! Construction is append-only: an op's inputs must already exist, so node
+//! ids are a valid topological order by construction and the graph is a DAG
+//! by construction.
+
+use crate::op::{OpKind, Phase};
+use crate::tensor::TensorMeta;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an operation within a [`Graph`]; dense in `0..graph.len()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// One node of the computation graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Dense id within the graph.
+    pub id: OpId,
+    /// Human-readable name (`"encoder.3/attn/qkv"`).
+    pub name: String,
+    /// Semantic kind with cost attributes.
+    pub kind: OpKind,
+    /// Data dependencies (producers of this op's inputs).
+    pub inputs: Vec<OpId>,
+    /// Metadata of the (single) output tensor.
+    pub output: TensorMeta,
+    /// Execution phase.
+    pub phase: Phase,
+    /// Model-level layer index, used for stage partitioning diagnostics.
+    pub layer: Option<usize>,
+}
+
+impl Op {
+    /// Forward FLOPs of this op.
+    pub fn forward_flops(&self) -> f64 {
+        self.kind.forward_flops()
+    }
+
+    /// Parameter count owned by this op.
+    pub fn param_count(&self) -> u64 {
+        self.kind.param_count()
+    }
+
+    /// Output activation size in bytes.
+    pub fn output_bytes(&self) -> u64 {
+        self.output.size_bytes()
+    }
+}
+
+/// Errors raised while building or slicing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An op referenced an input id that does not exist yet.
+    DanglingInput {
+        /// The op being added.
+        op: String,
+        /// The missing input id.
+        input: OpId,
+    },
+    /// A subgraph request referenced an unknown op.
+    UnknownOp(OpId),
+    /// An op-range request was empty or out of bounds.
+    BadRange(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingInput { op, input } => {
+                write!(f, "op '{op}' references missing input {input}")
+            }
+            GraphError::UnknownOp(id) => write!(f, "unknown op {id}"),
+            GraphError::BadRange(s) => write!(f, "bad op range: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An append-only dataflow DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    ops: Vec<Op>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>) -> Graph {
+        Graph {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Graph name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All ops, in id (= topological) order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Look up an op.
+    pub fn op(&self, id: OpId) -> Result<&Op, GraphError> {
+        self.ops.get(id.0).ok_or(GraphError::UnknownOp(id))
+    }
+
+    /// Append an op whose inputs must already exist.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        inputs: Vec<OpId>,
+        output: TensorMeta,
+        phase: Phase,
+        layer: Option<usize>,
+    ) -> Result<OpId, GraphError> {
+        let name = name.into();
+        let id = OpId(self.ops.len());
+        for &input in &inputs {
+            if input.0 >= id.0 {
+                return Err(GraphError::DanglingInput { op: name, input });
+            }
+        }
+        self.ops.push(Op {
+            id,
+            name,
+            kind,
+            inputs,
+            output,
+            phase,
+            layer,
+        });
+        Ok(id)
+    }
+
+    /// Ids of ops with no data dependencies (the graph inputs).
+    pub fn sources(&self) -> Vec<OpId> {
+        self.ops
+            .iter()
+            .filter(|op| op.inputs.is_empty())
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// Ids of ops nothing consumes (the graph outputs).
+    pub fn sinks(&self) -> Vec<OpId> {
+        let mut consumed = vec![false; self.ops.len()];
+        for op in &self.ops {
+            for &input in &op.inputs {
+                consumed[input.0] = true;
+            }
+        }
+        self.ops
+            .iter()
+            .filter(|op| !consumed[op.id.0])
+            .map(|op| op.id)
+            .collect()
+    }
+
+    /// Consumers of each op, indexed by producer id.
+    pub fn consumers(&self) -> Vec<Vec<OpId>> {
+        let mut out = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for &input in &op.inputs {
+                out[input.0].push(op.id);
+            }
+        }
+        out
+    }
+
+    /// Total forward FLOPs over all ops.
+    pub fn total_forward_flops(&self) -> f64 {
+        self.ops.iter().map(|op| op.forward_flops()).sum()
+    }
+
+    /// Total trainable parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.ops.iter().map(|op| op.param_count()).sum()
+    }
+
+    /// Per-layer aggregation: `(layer, flops, params)` for ops that carry a
+    /// layer index, ordered by layer.
+    pub fn per_layer_costs(&self) -> Vec<(usize, f64, u64)> {
+        let mut agg: BTreeMap<usize, (f64, u64)> = BTreeMap::new();
+        for op in &self.ops {
+            if let Some(layer) = op.layer {
+                let e = agg.entry(layer).or_insert((0.0, 0));
+                e.0 += op.forward_flops();
+                e.1 += op.param_count();
+            }
+        }
+        agg.into_iter().map(|(l, (f, p))| (l, f, p)).collect()
+    }
+
+    /// Cut the op-id range `[start, end)` out as a list of ids, validating
+    /// bounds. Because ids are topologically ordered, a contiguous range is a
+    /// convex subgraph — exactly what pipeline stages are.
+    pub fn op_range(&self, start: usize, end: usize) -> Result<Vec<OpId>, GraphError> {
+        if start >= end || end > self.ops.len() {
+            return Err(GraphError::BadRange(format!(
+                "[{start}, {end}) of {} ops",
+                self.ops.len()
+            )));
+        }
+        Ok((start..end).map(OpId).collect())
+    }
+
+    /// Tensors crossing from inside `ids` to outside (the *exit* tensors of a
+    /// TaskGraph, §4 "TaskGraph Schedule"), as `(producer, total bytes)`.
+    pub fn boundary_outputs(&self, ids: &[OpId]) -> Vec<(OpId, u64)> {
+        let inside: Vec<bool> = {
+            let mut v = vec![false; self.ops.len()];
+            for &id in ids {
+                if id.0 < v.len() {
+                    v[id.0] = true;
+                }
+            }
+            v
+        };
+        let mut out = Vec::new();
+        for op in &self.ops {
+            if inside[op.id.0] {
+                continue;
+            }
+            for &input in &op.inputs {
+                if inside[input.0] && !out.iter().any(|(p, _)| *p == input) {
+                    out.push((input, self.ops[input.0].output_bytes()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Export in Graphviz DOT format (for debugging and docs).
+    pub fn to_dot(&self) -> String {
+        let mut s = format!("digraph \"{}\" {{\n", self.name);
+        for op in &self.ops {
+            s.push_str(&format!(
+                "  n{} [label=\"{}\\n{:?}\"];\n",
+                op.id.0, op.name, op.phase
+            ));
+            for &input in &op.inputs {
+                s.push_str(&format!("  n{} -> n{};\n", input.0, op.id.0));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorMeta;
+
+    fn mk_chain(n: usize) -> Graph {
+        let mut g = Graph::new("chain");
+        let mut prev: Option<OpId> = None;
+        for i in 0..n {
+            let inputs = prev.map(|p| vec![p]).unwrap_or_default();
+            let kind = if i == 0 {
+                OpKind::Input
+            } else {
+                OpKind::MatMul {
+                    m: 8,
+                    k: 16,
+                    n: 16,
+                    has_params: true,
+                }
+            };
+            prev = Some(
+                g.add_op(format!("op{i}"), kind, inputs, TensorMeta::f32(&[8, 16]), Phase::Forward, Some(i))
+                    .unwrap(),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn append_only_topology() {
+        let g = mk_chain(5);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.sources(), vec![OpId(0)]);
+        assert_eq!(g.sinks(), vec![OpId(4)]);
+        // Consumers are the inverse of inputs.
+        let cons = g.consumers();
+        assert_eq!(cons[0], vec![OpId(1)]);
+        assert!(cons[4].is_empty());
+    }
+
+    #[test]
+    fn dangling_input_rejected() {
+        let mut g = Graph::new("bad");
+        let err = g
+            .add_op(
+                "op0",
+                OpKind::Input,
+                vec![OpId(7)],
+                TensorMeta::f32(&[1]),
+                Phase::Forward,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, GraphError::DanglingInput { .. }));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let g = mk_chain(3);
+        // Two parameterized matmuls: each 2·8·16·16 FLOPs, 16·16+16 params.
+        assert_eq!(g.total_forward_flops(), 2.0 * 2.0 * 8.0 * 16.0 * 16.0);
+        assert_eq!(g.total_params(), 2 * (16 * 16 + 16));
+        let layers = g.per_layer_costs();
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0].1, 0.0); // Input layer has no FLOPs.
+    }
+
+    #[test]
+    fn boundary_outputs_find_stage_cuts() {
+        let g = mk_chain(4);
+        // Ops 0-1 as one stage: its only exit tensor is op1's output.
+        let stage = g.op_range(0, 2).unwrap();
+        let exits = g.boundary_outputs(&stage);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].0, OpId(1));
+        assert_eq!(exits[0].1, 8 * 16 * 4);
+        // The whole graph has no exit tensors.
+        let all = g.op_range(0, 4).unwrap();
+        assert!(g.boundary_outputs(&all).is_empty());
+    }
+
+    #[test]
+    fn op_range_validation() {
+        let g = mk_chain(4);
+        assert!(g.op_range(2, 2).is_err());
+        assert!(g.op_range(0, 5).is_err());
+        assert_eq!(g.op_range(1, 3).unwrap(), vec![OpId(1), OpId(2)]);
+    }
+
+    #[test]
+    fn dot_export_contains_edges() {
+        let g = mk_chain(2);
+        let dot = g.to_dot();
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("digraph"));
+    }
+}

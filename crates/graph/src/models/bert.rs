@@ -1,0 +1,122 @@
+//! BERT (Devlin et al. \[10\]) — used in both heterogeneity experiments
+//! (Fig. 17 data parallelism, Fig. 18 pipeline parallelism).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, GraphError};
+
+/// Transformer-encoder configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BertConfig {
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate size.
+    pub intermediate: usize,
+    /// WordPiece vocabulary size.
+    pub vocab: usize,
+}
+
+impl BertConfig {
+    /// BERT-Large: 24 layers, hidden 1024, 16 heads (~340 M params).
+    pub fn large() -> BertConfig {
+        BertConfig {
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            intermediate: 4096,
+            vocab: 30522,
+        }
+    }
+
+    /// BERT-Base: 12 layers, hidden 768, 12 heads (~110 M params).
+    pub fn base() -> BertConfig {
+        BertConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            vocab: 30522,
+        }
+    }
+}
+
+/// Build a BERT masked-LM training graph.
+pub fn bert(config: BertConfig, batch: usize, seq: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("bert");
+    let tokens = b.input("tokens", &[batch, seq])?;
+    let mut h = b.embedding("embed", tokens, config.vocab, config.hidden, batch, seq)?;
+    b.next_layer();
+    for i in 0..config.layers {
+        h = b.encoder_layer(
+            &format!("encoder.{i}"),
+            h,
+            batch,
+            seq,
+            config.hidden,
+            config.heads,
+            config.intermediate,
+        )?;
+    }
+    let logits = b.dense("mlm_head", h, batch * seq, config.hidden, config.vocab)?;
+    b.cross_entropy("loss", logits, batch * seq, config.vocab)?;
+    Ok(b.finish())
+}
+
+/// BERT-Large at the given batch and sequence length.
+///
+/// # Examples
+///
+/// ```
+/// let g = whale_graph::models::bert_large(8, 128).unwrap();
+/// assert!((g.total_params() as f64) > 300e6);
+/// ```
+pub fn bert_large(batch: usize, seq: usize) -> Result<Graph, GraphError> {
+    bert(BertConfig::large(), batch, seq)
+}
+
+/// BERT-Base at the given batch and sequence length.
+pub fn bert_base(batch: usize, seq: usize) -> Result<Graph, GraphError> {
+    bert(BertConfig::base(), batch, seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_large_parameter_count() {
+        let g = bert_large(1, 128).unwrap();
+        let p = g.total_params() as f64;
+        // Published: ~340 M (335 M without pooler). Accept 300–370 M (the
+        // MLM head shares/adds the vocab projection depending on convention).
+        assert!((300e6..380e6).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn bert_base_is_about_a_third_of_large() {
+        let large = bert_large(1, 128).unwrap().total_params() as f64;
+        let base = bert_base(1, 128).unwrap().total_params() as f64;
+        let ratio = large / base;
+        assert!((2.0..4.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn layer_structure_matches_config() {
+        let g = bert(BertConfig::base(), 2, 64).unwrap();
+        // embedding layer + 12 encoder layers + head layer annotations.
+        assert!(g.per_layer_costs().len() >= 13);
+    }
+
+    #[test]
+    fn attention_flops_grow_quadratically_with_seq() {
+        let short = bert_base(1, 128).unwrap().total_forward_flops();
+        let long = bert_base(1, 512).unwrap().total_forward_flops();
+        // 4× sequence: linear terms grow 4×, score terms 16×; total in
+        // between.
+        let ratio = long / short;
+        assert!(ratio > 4.0 && ratio < 16.0, "ratio = {ratio}");
+    }
+}

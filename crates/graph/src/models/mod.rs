@@ -1,0 +1,32 @@
+//! Model zoo: every workload the paper's evaluation uses, built from the
+//! graph IR with analytically correct FLOP and parameter counts.
+//!
+//! | Model | Paper use | Builder |
+//! |---|---|---|
+//! | ResNet-50 | Fig. 17 (DP hetero) | [`resnet50`] |
+//! | ResNet-50 + 100k-class FC | §1 / Fig. 4 motivation | [`imagenet_100k`] |
+//! | BERT-Large | Figs. 17–18 | [`bert_large`] |
+//! | GNMT | Fig. 17 | [`fn@gnmt`] |
+//! | T5-Large | Fig. 18 | [`t5_large`] |
+//! | M6-10B | Fig. 14 (pipeline+DP scaling) | [`m6_10b`] |
+//! | M6-MoE-100B / 1T | Table 1, Figs. 15–16 | [`m6_moe_100b`], [`m6_moe_1t`] |
+//! | ViT-Base/Large | §1 vision-scaling motivation [12, 24] | [`vit_large`] |
+//! | GPT-2 XL / GPT-3-13B | §1 dense-LM scaling motivation [8, 28] | [`gpt2_xl`] |
+
+pub mod bert;
+pub mod gnmt;
+pub mod gpt;
+pub mod m6;
+pub mod moe;
+pub mod resnet;
+pub mod t5;
+pub mod vit;
+
+pub use bert::{bert, bert_base, bert_large, BertConfig};
+pub use gnmt::{gnmt, gnmt_with_config, GnmtConfig};
+pub use gpt::{gpt, gpt2_xl, GptConfig};
+pub use m6::{m6, m6_10b, M6Config};
+pub use moe::{m6_moe, m6_moe_100b, m6_moe_1t, MoeConfig};
+pub use resnet::{imagenet_100k, imagenet_big_fc, resnet50};
+pub use t5::{t5, t5_large, T5Config};
+pub use vit::{vit, vit_large, VitConfig};

@@ -1,0 +1,137 @@
+//! T5 (Raffel et al. \[30\] / Xue et al. \[44\]) — the encoder-decoder workload
+//! of the pipeline heterogeneity experiment (Fig. 18).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, GraphError};
+
+/// T5 configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct T5Config {
+    /// Encoder layers.
+    pub encoder_layers: usize,
+    /// Decoder layers.
+    pub decoder_layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// FFN intermediate size.
+    pub intermediate: usize,
+    /// SentencePiece vocabulary size.
+    pub vocab: usize,
+}
+
+impl T5Config {
+    /// T5-Large: 24+24 layers, hidden 1024 (~770 M params).
+    pub fn large() -> T5Config {
+        T5Config {
+            encoder_layers: 24,
+            decoder_layers: 24,
+            hidden: 1024,
+            heads: 16,
+            intermediate: 4096,
+            vocab: 32_128,
+        }
+    }
+
+    /// T5-Base: 12+12 layers, hidden 768 (~220 M params).
+    pub fn base() -> T5Config {
+        T5Config {
+            encoder_layers: 12,
+            decoder_layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            vocab: 32_128,
+        }
+    }
+}
+
+/// Build a T5 training graph.
+pub fn t5(config: T5Config, batch: usize, src_seq: usize, tgt_seq: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("t5");
+    let src = b.input("src_tokens", &[batch, src_seq])?;
+    let mut enc = b.embedding("embed", src, config.vocab, config.hidden, batch, src_seq)?;
+    b.next_layer();
+    for i in 0..config.encoder_layers {
+        enc = b.encoder_layer(
+            &format!("encoder.{i}"),
+            enc,
+            batch,
+            src_seq,
+            config.hidden,
+            config.heads,
+            config.intermediate,
+        )?;
+    }
+    let tgt = b.input("tgt_tokens", &[batch, tgt_seq])?;
+    let mut dec = b.embedding("tgt_embed", tgt, config.vocab, config.hidden, batch, tgt_seq)?;
+    b.next_layer();
+    for i in 0..config.decoder_layers {
+        dec = b.decoder_layer(
+            &format!("decoder.{i}"),
+            dec,
+            enc,
+            batch,
+            tgt_seq,
+            src_seq,
+            config.hidden,
+            config.heads,
+            config.intermediate,
+        )?;
+    }
+    let logits = b.dense("lm_head", dec, batch * tgt_seq, config.hidden, config.vocab)?;
+    b.cross_entropy("loss", logits, batch * tgt_seq, config.vocab)?;
+    Ok(b.finish())
+}
+
+/// T5-Large at the given batch and sequence lengths.
+///
+/// # Examples
+///
+/// ```
+/// let g = whale_graph::models::t5_large(4, 128, 128).unwrap();
+/// assert!((g.total_params() as f64) > 600e6);
+/// ```
+pub fn t5_large(batch: usize, src_seq: usize, tgt_seq: usize) -> Result<Graph, GraphError> {
+    t5(T5Config::large(), batch, src_seq, tgt_seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t5_large_parameter_count() {
+        let g = t5_large(1, 128, 128).unwrap();
+        let p = g.total_params() as f64;
+        // Published T5-Large: ~770 M. Accept 650–850 M.
+        assert!((650e6..850e6).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn encoder_and_decoder_layer_counts() {
+        let g = t5(T5Config::base(), 1, 64, 64).unwrap();
+        // embedding + 12 enc + embedding + 12 dec + head.
+        assert!(g.per_layer_costs().len() >= 25);
+    }
+
+    #[test]
+    fn decoder_heavier_than_encoder_per_layer() {
+        // Cross-attention adds parameters to decoder layers.
+        let g = t5(T5Config::base(), 1, 64, 64).unwrap();
+        let enc0: u64 = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.starts_with("encoder.0/"))
+            .map(|o| o.param_count())
+            .sum();
+        let dec0: u64 = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.starts_with("decoder.0/"))
+            .map(|o| o.param_count())
+            .sum();
+        assert!(dec0 > enc0);
+    }
+}

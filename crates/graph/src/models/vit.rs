@@ -1,0 +1,123 @@
+//! Vision Transformer (Dosovitskiy et al. \[12\], Swin \[24\]) — the vision
+//! side of the scaling trend the paper's introduction motivates.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, GraphError};
+
+/// ViT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VitConfig {
+    /// Encoder layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// MLP intermediate size.
+    pub intermediate: usize,
+    /// Square patch edge, pixels.
+    pub patch: usize,
+    /// Square input image edge, pixels.
+    pub image: usize,
+    /// Classification classes.
+    pub classes: usize,
+}
+
+impl VitConfig {
+    /// ViT-Base/16: 12 layers, hidden 768 (~86 M params).
+    pub fn base16() -> VitConfig {
+        VitConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            patch: 16,
+            image: 224,
+            classes: 1000,
+        }
+    }
+
+    /// ViT-Large/16: 24 layers, hidden 1024 (~304 M params).
+    pub fn large16() -> VitConfig {
+        VitConfig {
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            intermediate: 4096,
+            patch: 16,
+            image: 224,
+            classes: 1000,
+        }
+    }
+
+    /// Patch tokens per image (plus one class token).
+    pub fn seq_len(&self) -> usize {
+        let per_side = self.image / self.patch;
+        per_side * per_side + 1
+    }
+}
+
+/// Build a ViT classification training graph.
+pub fn vit(config: VitConfig, batch: usize) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new("vit");
+    let seq = config.seq_len();
+    let patch_dim = config.patch * config.patch * 3;
+    let x = b.input("image_patches", &[batch, seq, patch_dim])?;
+    let mut h = b.dense("patch_proj", x, batch * seq, patch_dim, config.hidden)?;
+    b.next_layer();
+    for i in 0..config.layers {
+        h = b.encoder_layer(
+            &format!("encoder.{i}"),
+            h,
+            batch,
+            seq,
+            config.hidden,
+            config.heads,
+            config.intermediate,
+        )?;
+    }
+    let logits = b.dense("head", h, batch, config.hidden, config.classes)?;
+    b.cross_entropy("loss", logits, batch, config.classes)?;
+    Ok(b.finish())
+}
+
+/// ViT-Large/16 at the given batch size.
+///
+/// # Examples
+///
+/// ```
+/// let g = whale_graph::models::vit_large(8).unwrap();
+/// assert!((g.total_params() as f64) > 250e6);
+/// ```
+pub fn vit_large(batch: usize) -> Result<Graph, GraphError> {
+    vit(VitConfig::large16(), batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vit_large_parameter_count() {
+        let p = vit_large(1).unwrap().total_params() as f64;
+        // Published ViT-L/16: ~304 M.
+        assert!((270e6..330e6).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn vit_base_parameter_count() {
+        let p = vit(VitConfig::base16(), 1).unwrap().total_params() as f64;
+        // Published ViT-B/16: ~86 M.
+        assert!((75e6..95e6).contains(&p), "params = {p}");
+    }
+
+    #[test]
+    fn sequence_length_from_patches() {
+        assert_eq!(VitConfig::base16().seq_len(), 197);
+        let big = VitConfig {
+            image: 384,
+            ..VitConfig::base16()
+        };
+        assert_eq!(big.seq_len(), 577);
+    }
+}

@@ -1,0 +1,109 @@
+//! Graph statistics: the at-a-glance summary of a model's shape and cost.
+
+use crate::graph::Graph;
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregated description of a model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Model name.
+    pub name: String,
+    /// Total operation count.
+    pub num_ops: usize,
+    /// Count of ops per kind name.
+    pub ops_by_kind: BTreeMap<String, usize>,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Forward FLOPs at the graph's build batch.
+    pub forward_flops: f64,
+    /// Annotated layer count.
+    pub num_layers: usize,
+    /// The five heaviest ops by FLOPs: `(name, flops)`.
+    pub heaviest_ops: Vec<(String, f64)>,
+    /// The five largest ops by parameters: `(name, params)`.
+    pub largest_params: Vec<(String, u64)>,
+}
+
+fn kind_name(kind: &OpKind) -> &'static str {
+    match kind {
+        OpKind::Input => "Input",
+        OpKind::MatMul { .. } => "MatMul",
+        OpKind::Conv2d { .. } => "Conv2d",
+        OpKind::Embedding { .. } => "Embedding",
+        OpKind::LayerNorm { .. } => "LayerNorm",
+        OpKind::Softmax { .. } => "Softmax",
+        OpKind::Elementwise { .. } => "Elementwise",
+        OpKind::Pool { .. } => "Pool",
+        OpKind::Lstm { .. } => "Lstm",
+        OpKind::CrossEntropy { .. } => "CrossEntropy",
+        OpKind::MoeFfn { .. } => "MoeFfn",
+        OpKind::Gating { .. } => "Gating",
+        OpKind::Synthetic { .. } => "Synthetic",
+    }
+}
+
+/// Compute statistics for `graph`.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let mut ops_by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_flops: Vec<(String, f64)> = Vec::new();
+    let mut by_params: Vec<(String, u64)> = Vec::new();
+    for op in graph.ops() {
+        *ops_by_kind.entry(kind_name(&op.kind).to_string()).or_insert(0) += 1;
+        by_flops.push((op.name.clone(), op.forward_flops()));
+        if op.param_count() > 0 {
+            by_params.push((op.name.clone(), op.param_count()));
+        }
+    }
+    by_flops.sort_by(|a, b| b.1.total_cmp(&a.1));
+    by_flops.truncate(5);
+    by_params.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+    by_params.truncate(5);
+    GraphStats {
+        name: graph.name().to_string(),
+        num_ops: graph.len(),
+        ops_by_kind,
+        params: graph.total_params(),
+        forward_flops: graph.total_forward_flops(),
+        num_layers: graph.per_layer_costs().len(),
+        heaviest_ops: by_flops,
+        largest_params: by_params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn stats_describe_bert() {
+        let g = models::bert_base(4, 64).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.name, "bert");
+        assert_eq!(s.num_ops, g.len());
+        assert!(s.ops_by_kind["MatMul"] > 24, "many matmuls per layer");
+        assert_eq!(s.ops_by_kind["Embedding"], 1);
+        assert!(s.params > 100_000_000);
+        assert_eq!(s.heaviest_ops.len(), 5);
+        // MLM head dominates both lists.
+        assert!(s.largest_params[0].0.contains("mlm_head"));
+    }
+
+    #[test]
+    fn stats_find_the_dominant_fc() {
+        let g = models::imagenet_100k(8).unwrap();
+        let s = graph_stats(&g);
+        assert!(s.largest_params[0].0.contains("fc_big"));
+        assert!(s.largest_params[0].1 > 200_000_000);
+    }
+
+    #[test]
+    fn moe_stats_count_expert_layers() {
+        let g = models::m6_moe(models::MoeConfig::tiny(), 2).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.ops_by_kind["MoeFfn"], 2);
+        assert_eq!(s.ops_by_kind["Gating"], 2);
+    }
+}

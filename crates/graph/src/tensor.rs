@@ -1,0 +1,202 @@
+//! Tensor metadata: shapes and element types.
+//!
+//! The Whale planner never touches tensor *values*; it needs shapes and byte
+//! sizes to reason about bridge layers, communication volume, and activation
+//! memory. This module provides exactly that metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element types understood by the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (the paper's cost model is stated in fp32 FLOP).
+    F32,
+    /// 16-bit IEEE float (AMP training).
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 32-bit signed integer (token ids, masks).
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean mask.
+    Bool,
+}
+
+impl DType {
+    /// Bytes per element.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 | DType::BF16 => 2,
+            DType::I64 => 8,
+            DType::Bool => 1,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dense tensor shape. Dimension 0 is the batch dimension by convention,
+/// which is what bridge layers partition and gather along (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Scalar shape.
+    pub fn scalar() -> Shape {
+        Shape(vec![])
+    }
+
+    /// Build from a slice of dimensions.
+    pub fn of(dims: &[usize]) -> Shape {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total element count (1 for scalars).
+    pub fn num_elements(&self) -> u64 {
+        self.0.iter().map(|&d| d as u64).product()
+    }
+
+    /// The batch (leading) dimension, if any.
+    pub fn batch(&self) -> Option<usize> {
+        self.0.first().copied()
+    }
+
+    /// Replace the batch dimension, returning a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is a scalar (no batch dimension to replace).
+    pub fn with_batch(&self, batch: usize) -> Shape {
+        assert!(
+            !self.0.is_empty(),
+            "cannot set batch dimension on a scalar shape"
+        );
+        let mut dims = self.0.clone();
+        dims[0] = batch;
+        Shape(dims)
+    }
+
+    /// Split the batch dimension into `n` near-equal parts (first `batch % n`
+    /// parts get one extra element), mirroring the `Partition(n)` bridge.
+    ///
+    /// Returns `None` if the shape is scalar or `n == 0`.
+    pub fn split_batch(&self, n: usize) -> Option<Vec<Shape>> {
+        let batch = self.batch()?;
+        if n == 0 {
+            return None;
+        }
+        let base = batch / n;
+        let extra = batch % n;
+        Some(
+            (0..n)
+                .map(|i| self.with_batch(base + usize::from(i < extra)))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Metadata for a tensor flowing along a graph edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Shape of the tensor.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorMeta {
+    /// Build an fp32 tensor description.
+    pub fn f32(dims: &[usize]) -> TensorMeta {
+        TensorMeta {
+            shape: Shape::of(dims),
+            dtype: DType::F32,
+        }
+    }
+
+    /// Total byte size.
+    pub fn size_bytes(&self) -> u64 {
+        self.shape.num_elements() * self.dtype.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_counts_and_bytes() {
+        let t = TensorMeta::f32(&[32, 512, 1024]);
+        assert_eq!(t.shape.num_elements(), 32 * 512 * 1024);
+        assert_eq!(t.size_bytes(), 32 * 512 * 1024 * 4);
+        assert_eq!(Shape::scalar().num_elements(), 1);
+    }
+
+    #[test]
+    fn split_batch_even_and_uneven() {
+        let s = Shape::of(&[32, 128]);
+        let parts = s.split_batch(4).unwrap();
+        assert!(parts.iter().all(|p| p.batch() == Some(8)));
+
+        // Paper §3.5: a global batch of 32 split by FLOPS 9.3:12 gives 14/18;
+        // the generic splitter splits 32 into 3 as 11/11/10.
+        let parts = s.split_batch(3).unwrap();
+        let batches: Vec<usize> = parts.iter().map(|p| p.batch().unwrap()).collect();
+        assert_eq!(batches, vec![11, 11, 10]);
+        assert_eq!(batches.iter().sum::<usize>(), 32);
+    }
+
+    #[test]
+    fn split_batch_degenerate() {
+        assert!(Shape::scalar().split_batch(2).is_none());
+        assert!(Shape::of(&[4]).split_batch(0).is_none());
+        let one = Shape::of(&[4]).split_batch(1).unwrap();
+        assert_eq!(one, vec![Shape::of(&[4])]);
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::of(&[2, 3]).to_string(), "[2, 3]");
+        assert_eq!(DType::BF16.to_string(), "bf16");
+    }
+}

@@ -1,0 +1,374 @@
+//! Analytic cost models for collective communication.
+//!
+//! The paper synchronizes gradients with ring AllReduce (Horovod-style,
+//! ref \[35\]) executed hierarchically: a local AllReduce inside each worker
+//! node followed by a global AllReduce across workers (§4, "Gradient
+//! Aggregation"). This module provides the standard α–β cost models for the
+//! collectives Whale inserts: AllReduce, AllGather, ReduceScatter, Broadcast,
+//! and AllToAll (used by MoE expert dispatch).
+//!
+//! All times are in seconds, sizes in bytes. Group members are global GPU ids
+//! within a [`Cluster`].
+
+use crate::cluster::Cluster;
+use crate::error::{HardwareError, Result};
+use crate::interconnect::LinkKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Collective operations the planner can insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Sum-reduce then replicate: each rank ends with the full reduced tensor.
+    AllReduce,
+    /// Concatenate per-rank shards: each rank ends with the full tensor.
+    AllGather,
+    /// Reduce then shard: each rank ends with `1/n` of the reduced tensor.
+    ReduceScatter,
+    /// One rank sends the full tensor to all others.
+    Broadcast,
+    /// Every rank exchanges a distinct shard with every other rank.
+    AllToAll,
+}
+
+/// Communication cost model over a concrete cluster.
+///
+/// The model picks the *bottleneck link class* of the group (network if the
+/// group spans nodes, otherwise NVLink/PCIe) and applies the textbook ring
+/// formulas. This first-order treatment is the same one the paper's planner
+/// uses to reason about communication (it never simulates packets).
+#[derive(Debug, Clone)]
+pub struct CommModel<'c> {
+    cluster: &'c Cluster,
+}
+
+impl<'c> CommModel<'c> {
+    /// Build a cost model over `cluster`.
+    pub fn new(cluster: &'c Cluster) -> Self {
+        Self { cluster }
+    }
+
+    /// The slowest link class used by a ring over `group`.
+    pub fn bottleneck_link(&self, group: &[usize]) -> Result<LinkKind> {
+        if group.len() < 2 {
+            return Ok(LinkKind::Local);
+        }
+        let mut nodes = BTreeSet::new();
+        let mut all_nvlink = true;
+        for &id in group {
+            let g = self.cluster.gpu(id)?;
+            nodes.insert(g.node);
+            all_nvlink &= g.model.has_nvlink();
+        }
+        Ok(if nodes.len() > 1 {
+            LinkKind::Network
+        } else if all_nvlink {
+            LinkKind::NvLink
+        } else {
+            LinkKind::Pcie
+        })
+    }
+
+    fn ring_params(&self, group: &[usize]) -> Result<(f64, f64)> {
+        let kind = self.bottleneck_link(group)?;
+        let ic = &self.cluster.interconnect;
+        Ok((ic.bandwidth(kind), ic.latency(kind)))
+    }
+
+    /// Ring AllReduce over `group` of a `bytes`-sized tensor.
+    ///
+    /// Cost: `2·(n−1)/n · bytes / bw + 2·(n−1)·lat` — a reduce-scatter pass
+    /// followed by an all-gather pass.
+    pub fn allreduce(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        let nf = n as f64;
+        Ok(2.0 * (nf - 1.0) / nf * bytes as f64 / bw + 2.0 * (nf - 1.0) * lat)
+    }
+
+    /// Ring AllGather: each rank contributes `bytes_per_rank`, ends with
+    /// `n·bytes_per_rank`.
+    pub fn allgather(&self, group: &[usize], bytes_per_rank: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        let nf = n as f64;
+        Ok((nf - 1.0) * bytes_per_rank as f64 / bw + (nf - 1.0) * lat)
+    }
+
+    /// Ring ReduceScatter of a `bytes`-sized tensor.
+    pub fn reduce_scatter(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        let nf = n as f64;
+        Ok((nf - 1.0) / nf * bytes as f64 / bw + (nf - 1.0) * lat)
+    }
+
+    /// Pipelined broadcast of a `bytes`-sized tensor from one rank.
+    pub fn broadcast(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        Ok(bytes as f64 / bw + (n as f64 - 1.0) * lat)
+    }
+
+    /// AllToAll where each rank holds `bytes` total and sends `(n−1)/n` of it.
+    ///
+    /// MoE expert dispatch (`einsum("GSEC,GSM->EGCM")` in paper Example 8)
+    /// lowers to this collective.
+    pub fn alltoall(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        let nf = n as f64;
+        Ok((nf - 1.0) / nf * bytes as f64 / bw + (nf - 1.0) * lat)
+    }
+
+    /// Binary-tree AllReduce: reduce up and broadcast down.
+    ///
+    /// Cost `2·log2(n)·(lat + bytes/bw)` — latency-optimal for small
+    /// tensors where the ring's `2(n−1)` latency hops dominate.
+    pub fn tree_allreduce(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        let (bw, lat) = self.ring_params(group)?;
+        let depth = (n as f64).log2().ceil();
+        Ok(2.0 * depth * (lat + bytes as f64 / bw))
+    }
+
+    /// Hierarchical AllReduce as implemented by Whale (§4): ReduceScatter +
+    /// AllReduce-across-node-leaders + AllGather, with intra-node phases on
+    /// the fast local links.
+    ///
+    /// Falls back to a flat ring when the group sits on a single node.
+    pub fn hierarchical_allreduce(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(0.0);
+        }
+        // Group members per node, preserving order.
+        let mut per_node: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &id in group {
+            let node = self.cluster.gpu(id)?.node;
+            match per_node.iter_mut().find(|(nd, _)| *nd == node) {
+                Some((_, v)) => v.push(id),
+                None => per_node.push((node, vec![id])),
+            }
+        }
+        if per_node.len() == 1 {
+            return self.allreduce(group, bytes);
+        }
+        // Phase 1: local reduce-scatter inside each node (slowest node bounds).
+        let mut local_rs: f64 = 0.0;
+        let mut local_ag: f64 = 0.0;
+        for (_, members) in &per_node {
+            if members.len() > 1 {
+                local_rs = local_rs.max(self.reduce_scatter(members, bytes)?);
+                local_ag = local_ag.max(self.allgather(members, bytes / members.len() as u64)?);
+            }
+        }
+        // Phase 2: global ring AllReduce among one leader per node. Each
+        // leader carries the locally reduced shard; with symmetric nodes the
+        // shard is bytes/local_size, but with asymmetric membership we bound
+        // by the largest shard.
+        let leaders: Vec<usize> = per_node.iter().map(|(_, m)| m[0]).collect();
+        let max_shard = per_node
+            .iter()
+            .map(|(_, m)| bytes / m.len() as u64)
+            .max()
+            .unwrap_or(bytes);
+        let global = self.allreduce(&leaders, max_shard)?;
+        Ok(local_rs + global + local_ag)
+    }
+
+    /// Cost of the cheapest AllReduce algorithm — flat ring, hierarchical
+    /// two-level ring, or binary tree — which is what an NCCL-style runtime
+    /// selects per tensor size and topology.
+    pub fn best_allreduce(&self, group: &[usize], bytes: u64) -> Result<f64> {
+        let flat = self.allreduce(group, bytes)?;
+        let hier = self.hierarchical_allreduce(group, bytes)?;
+        let tree = self.tree_allreduce(group, bytes)?;
+        Ok(flat.min(hier).min(tree))
+    }
+
+    /// Dispatch on a [`Collective`] kind.
+    pub fn collective(&self, kind: Collective, group: &[usize], bytes: u64) -> Result<f64> {
+        match kind {
+            Collective::AllReduce => self.best_allreduce(group, bytes),
+            Collective::AllGather => self.allgather(group, bytes),
+            Collective::ReduceScatter => self.reduce_scatter(group, bytes),
+            Collective::Broadcast => self.broadcast(group, bytes),
+            Collective::AllToAll => self.alltoall(group, bytes),
+        }
+    }
+}
+
+fn check_group(group: &[usize]) -> Result<usize> {
+    if group.is_empty() {
+        return Err(HardwareError::InvalidGroup("empty group".into()));
+    }
+    let mut sorted: Vec<usize> = group.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != group.len() {
+        return Err(HardwareError::InvalidGroup(
+            "duplicate rank in group".into(),
+        ));
+    }
+    Ok(group.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::gpu::GpuModel;
+
+    const MB100: u64 = 100 << 20;
+
+    #[test]
+    fn single_rank_collectives_are_free() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        let m = CommModel::new(&c);
+        assert_eq!(m.allreduce(&[0], MB100).unwrap(), 0.0);
+        assert_eq!(m.allgather(&[3], MB100).unwrap(), 0.0);
+        assert_eq!(m.alltoall(&[5], MB100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_or_duplicate_group_rejected() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        let m = CommModel::new(&c);
+        assert!(m.allreduce(&[], MB100).is_err());
+        assert!(m.allreduce(&[0, 0], MB100).is_err());
+    }
+
+    #[test]
+    fn intra_node_nvlink_beats_cross_node() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 2, 8);
+        let m = CommModel::new(&c);
+        let intra = m.allreduce(&[0, 1, 2, 3], MB100).unwrap();
+        let cross = m.allreduce(&[0, 1, 8, 9], MB100).unwrap();
+        assert!(cross > intra * 5.0, "cross={cross} intra={intra}");
+    }
+
+    #[test]
+    fn p100_nodes_use_pcie() {
+        let c = Cluster::homogeneous(GpuModel::P100_16GB, 1, 8);
+        let m = CommModel::new(&c);
+        assert_eq!(
+            m.bottleneck_link(&[0, 1, 2, 3]).unwrap(),
+            LinkKind::Pcie
+        );
+    }
+
+    #[test]
+    fn ring_allreduce_formula() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 4);
+        let m = CommModel::new(&c);
+        let ic = &c.interconnect;
+        let t = m.allreduce(&[0, 1, 2, 3], MB100).unwrap();
+        let expect = 2.0 * 3.0 / 4.0 * MB100 as f64 / ic.nvlink_bw + 6.0 * ic.nvlink_lat;
+        assert!((t - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_beats_flat_on_multi_node() {
+        // 4 nodes × 8 GPUs: flat 32-way ring is bounded by the network for the
+        // whole tensor; hierarchical only moves 1/8 of it across nodes.
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 4, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..32).collect();
+        let flat = m.allreduce(&group, MB100).unwrap();
+        let hier = m.hierarchical_allreduce(&group, MB100).unwrap();
+        assert!(
+            hier < flat,
+            "hierarchical {hier} should beat flat {flat} across nodes"
+        );
+        assert_eq!(m.best_allreduce(&group, MB100).unwrap(), hier.min(flat));
+    }
+
+    #[test]
+    fn hierarchical_on_single_node_equals_flat() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..8).collect();
+        assert_eq!(
+            m.hierarchical_allreduce(&group, MB100).unwrap(),
+            m.allreduce(&group, MB100).unwrap()
+        );
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes_not_much_with_ranks() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        let m = CommModel::new(&c);
+        let t4 = m.allreduce(&[0, 1, 2, 3], MB100).unwrap();
+        let t8 = m.allreduce(&(0..8).collect::<Vec<_>>(), MB100).unwrap();
+        // Ring AllReduce bandwidth term approaches 2·S/BW; 8 ranks within 17%
+        // of 4 ranks.
+        assert!(t8 < t4 * 1.2);
+        let t_double = m.allreduce(&[0, 1, 2, 3], 2 * MB100).unwrap();
+        assert!(t_double > 1.8 * t4);
+    }
+
+    #[test]
+    fn tree_wins_for_tiny_tensors_ring_for_big() {
+        // 64-rank single... use 4 nodes x 8 GPUs over the network where ring
+        // latency (2·63 hops) dominates small payloads.
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 8, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..64).collect();
+        let tiny = 4 << 10; // 4 KiB
+        assert!(
+            m.tree_allreduce(&group, tiny).unwrap() < m.allreduce(&group, tiny).unwrap(),
+            "tree should win at 4 KiB"
+        );
+        let big = 256 << 20;
+        assert!(
+            m.allreduce(&group, big).unwrap() < m.tree_allreduce(&group, big).unwrap(),
+            "ring should win at 256 MiB"
+        );
+        // best_allreduce picks the min of all three.
+        let best = m.best_allreduce(&group, tiny).unwrap();
+        assert!(best <= m.tree_allreduce(&group, tiny).unwrap());
+        assert!(best <= m.hierarchical_allreduce(&group, tiny).unwrap());
+    }
+
+    #[test]
+    fn collective_dispatch_matches_direct_calls() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 4);
+        let m = CommModel::new(&c);
+        let g = [0usize, 1, 2, 3];
+        assert_eq!(
+            m.collective(Collective::AllGather, &g, MB100).unwrap(),
+            m.allgather(&g, MB100).unwrap()
+        );
+        assert_eq!(
+            m.collective(Collective::AllToAll, &g, MB100).unwrap(),
+            m.alltoall(&g, MB100).unwrap()
+        );
+        assert_eq!(
+            m.collective(Collective::Broadcast, &g, MB100).unwrap(),
+            m.broadcast(&g, MB100).unwrap()
+        );
+        assert_eq!(
+            m.collective(Collective::ReduceScatter, &g, MB100).unwrap(),
+            m.reduce_scatter(&g, MB100).unwrap()
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for hardware-model operations.
+
+use std::fmt;
+
+/// Errors produced while building or querying hardware models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HardwareError {
+    /// A cluster-spec string could not be parsed.
+    ParseError(String),
+    /// A device id referenced a GPU that does not exist in the cluster.
+    UnknownDevice(usize),
+    /// A virtual device was built over an empty GPU set.
+    EmptyVirtualDevice,
+    /// A virtual-device partition did not cover the cluster exactly.
+    InvalidPartition(String),
+    /// A communication group was invalid (e.g., fewer than one rank).
+    InvalidGroup(String),
+}
+
+impl fmt::Display for HardwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ParseError(s) => write!(f, "cluster spec parse error: {s}"),
+            Self::UnknownDevice(id) => write!(f, "unknown device id {id}"),
+            Self::EmptyVirtualDevice => write!(f, "virtual device must contain at least one GPU"),
+            Self::InvalidPartition(s) => write!(f, "invalid virtual-device partition: {s}"),
+            Self::InvalidGroup(s) => write!(f, "invalid communication group: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HardwareError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, HardwareError>;

@@ -1,0 +1,187 @@
+//! Interconnect model: link classes and point-to-point transfer costs.
+//!
+//! The paper's cluster (§5) connects nodes with 50 Gb/s Ethernet; inside a
+//! node GPUs talk over NVLink (V100/A100) or PCIe (P100 and older). The
+//! simulator only needs an α–β cost model: `time = latency + bytes /
+//! bandwidth`, selected by whether the endpoints share a node and whether the
+//! devices have NVLink.
+
+use crate::gpu::Gpu;
+use serde::{Deserialize, Serialize};
+
+/// Classes of links between two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Same-node NVLink mesh.
+    NvLink,
+    /// Same-node PCIe 3.0 x16.
+    Pcie,
+    /// Cross-node network fabric (Ethernet/RoCE in the paper's cluster).
+    Network,
+    /// Loopback (same device); zero-cost.
+    Local,
+}
+
+/// Bandwidth/latency description of the fabric connecting a cluster.
+///
+/// Defaults model the paper's testbed: 50 Gb/s inter-node bandwidth, NVLink at
+/// 150 GB/s effective per direction, PCIe 3.0 x16 at ~12 GB/s effective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// NVLink per-pair bandwidth, bytes/s.
+    pub nvlink_bw: f64,
+    /// PCIe per-pair bandwidth, bytes/s.
+    pub pcie_bw: f64,
+    /// Cross-node network bandwidth per node, bytes/s.
+    pub network_bw: f64,
+    /// NVLink latency, seconds.
+    pub nvlink_lat: f64,
+    /// PCIe latency, seconds.
+    pub pcie_lat: f64,
+    /// Network latency, seconds.
+    pub network_lat: f64,
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Self {
+            nvlink_bw: 150e9,
+            pcie_bw: 12e9,
+            // 50 Gb/s = 6.25 GB/s.
+            network_bw: 6.25e9,
+            nvlink_lat: 3e-6,
+            pcie_lat: 5e-6,
+            network_lat: 20e-6,
+        }
+    }
+}
+
+impl Interconnect {
+    /// The paper's testbed fabric: 50 Gb/s inter-node Ethernet.
+    pub fn ethernet_50g() -> Interconnect {
+        Interconnect::default()
+    }
+
+    /// A 100 Gb/s InfiniBand-class fabric (lower latency, 2× bandwidth).
+    pub fn infiniband_100g() -> Interconnect {
+        Interconnect {
+            network_bw: 12.5e9,
+            network_lat: 5e-6,
+            ..Interconnect::default()
+        }
+    }
+
+    /// A constrained 10 Gb/s fabric (older shared clusters).
+    pub fn ethernet_10g() -> Interconnect {
+        Interconnect {
+            network_bw: 1.25e9,
+            network_lat: 40e-6,
+            ..Interconnect::default()
+        }
+    }
+
+    /// Classify the link between two GPU instances.
+    pub fn link_kind(&self, a: &Gpu, b: &Gpu) -> LinkKind {
+        if a.id == b.id {
+            LinkKind::Local
+        } else if a.node == b.node {
+            if a.model.has_nvlink() && b.model.has_nvlink() {
+                LinkKind::NvLink
+            } else {
+                LinkKind::Pcie
+            }
+        } else {
+            LinkKind::Network
+        }
+    }
+
+    /// Bandwidth in bytes/s of a link class.
+    pub fn bandwidth(&self, kind: LinkKind) -> f64 {
+        match kind {
+            LinkKind::NvLink => self.nvlink_bw,
+            LinkKind::Pcie => self.pcie_bw,
+            LinkKind::Network => self.network_bw,
+            LinkKind::Local => f64::INFINITY,
+        }
+    }
+
+    /// Latency in seconds of a link class.
+    pub fn latency(&self, kind: LinkKind) -> f64 {
+        match kind {
+            LinkKind::NvLink => self.nvlink_lat,
+            LinkKind::Pcie => self.pcie_lat,
+            LinkKind::Network => self.network_lat,
+            LinkKind::Local => 0.0,
+        }
+    }
+
+    /// Point-to-point transfer time for `bytes` between two GPUs, seconds.
+    pub fn p2p_time(&self, a: &Gpu, b: &Gpu, bytes: u64) -> f64 {
+        let kind = self.link_kind(a, b);
+        if kind == LinkKind::Local {
+            return 0.0;
+        }
+        self.latency(kind) + bytes as f64 / self.bandwidth(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+
+    fn gpu(id: usize, node: usize, model: GpuModel) -> Gpu {
+        Gpu {
+            id,
+            node,
+            local_rank: id % 8,
+            model,
+            throughput_scale: 1.0,
+        }
+    }
+
+    #[test]
+    fn same_device_is_free() {
+        let ic = Interconnect::default();
+        let a = gpu(0, 0, GpuModel::V100_32GB);
+        assert_eq!(ic.p2p_time(&a, &a, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn link_classification() {
+        let ic = Interconnect::default();
+        let v0 = gpu(0, 0, GpuModel::V100_32GB);
+        let v1 = gpu(1, 0, GpuModel::V100_32GB);
+        let p2 = gpu(2, 0, GpuModel::P100_16GB);
+        let v3 = gpu(3, 1, GpuModel::V100_32GB);
+        assert_eq!(ic.link_kind(&v0, &v1), LinkKind::NvLink);
+        // Mixed NVLink/non-NVLink pair falls back to PCIe.
+        assert_eq!(ic.link_kind(&v0, &p2), LinkKind::Pcie);
+        assert_eq!(ic.link_kind(&v0, &v3), LinkKind::Network);
+    }
+
+    #[test]
+    fn cross_node_is_slowest() {
+        let ic = Interconnect::default();
+        let a = gpu(0, 0, GpuModel::V100_32GB);
+        let b = gpu(1, 0, GpuModel::V100_32GB);
+        let c = gpu(8, 1, GpuModel::V100_32GB);
+        let bytes = 100 << 20;
+        assert!(ic.p2p_time(&a, &c, bytes) > ic.p2p_time(&a, &b, bytes));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let ic = Interconnect::default();
+        let a = gpu(0, 0, GpuModel::V100_32GB);
+        let b = gpu(8, 1, GpuModel::V100_32GB);
+        let t1 = ic.p2p_time(&a, &b, 1 << 20);
+        let t2 = ic.p2p_time(&a, &b, 2 << 20);
+        assert!(t2 > t1);
+        // Latency subtracted, bandwidth term should be exactly linear.
+        let lat = ic.network_lat;
+        let b1 = t1 - lat;
+        let b2 = t2 - lat;
+        assert!((b2 / b1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! Virtual devices: the resource abstraction assigned to TaskGraphs (§3.2).
+//!
+//! A [`VirtualDevice`] is an ordered set of physical GPU ids. The paper's
+//! `cluster()` primitive slices the physical cluster into virtual devices and
+//! assigns the *i*-th virtual device to the *i*-th TaskGraph; the number of
+//! GPUs in the virtual device then determines the parallelism degree of that
+//! TaskGraph's strategy (§3.4).
+
+use crate::cluster::Cluster;
+use crate::error::{HardwareError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An ordered, non-empty set of physical GPUs assigned to one TaskGraph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualDevice {
+    gpu_ids: Vec<usize>,
+}
+
+impl VirtualDevice {
+    /// Build from an explicit GPU-id list.
+    ///
+    /// Fails with [`HardwareError::EmptyVirtualDevice`] on an empty list.
+    pub fn new(gpu_ids: Vec<usize>) -> Result<VirtualDevice> {
+        if gpu_ids.is_empty() {
+            return Err(HardwareError::EmptyVirtualDevice);
+        }
+        Ok(VirtualDevice { gpu_ids })
+    }
+
+    /// GPU ids in this virtual device.
+    pub fn gpu_ids(&self) -> &[usize] {
+        &self.gpu_ids
+    }
+
+    /// Number of physical GPUs — the parallelism degree it implies.
+    pub fn num_gpus(&self) -> usize {
+        self.gpu_ids.len()
+    }
+
+    /// Sum of peak FLOPS of member GPUs.
+    pub fn total_flops(&self, cluster: &Cluster) -> Result<f64> {
+        let mut total = 0.0;
+        for &id in &self.gpu_ids {
+            total += cluster.gpu(id)?.flops();
+        }
+        Ok(total)
+    }
+
+    /// Minimum member-GPU memory, bytes — the binding constraint for
+    /// replicated layouts.
+    pub fn min_memory_bytes(&self, cluster: &Cluster) -> Result<u64> {
+        let mut min = u64::MAX;
+        for &id in &self.gpu_ids {
+            min = min.min(cluster.gpu(id)?.memory_bytes());
+        }
+        Ok(min)
+    }
+
+    /// Whether all member GPUs share one node.
+    pub fn is_single_node(&self, cluster: &Cluster) -> Result<bool> {
+        let mut nodes = self.gpu_ids.iter().map(|&id| cluster.gpu(id).map(|g| g.node));
+        let first = match nodes.next() {
+            Some(n) => n?,
+            None => return Ok(true),
+        };
+        for n in nodes {
+            if n? != first {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Strategies for slicing a cluster into virtual devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SliceStrategy {
+    /// Equal-sized contiguous chunks in global-id order.
+    EvenContiguous,
+    /// One virtual device per node.
+    PerNode,
+    /// One virtual device per GPU.
+    PerGpu,
+}
+
+/// Slice `cluster` into `parts` virtual devices using `strategy`.
+///
+/// `parts` is ignored for [`SliceStrategy::PerNode`] / [`SliceStrategy::PerGpu`].
+///
+/// # Examples
+///
+/// ```
+/// use whale_hardware::{Cluster, GpuModel, slice_cluster, SliceStrategy};
+/// let c = Cluster::homogeneous(GpuModel::V100_32GB, 2, 8);
+/// let vds = slice_cluster(&c, 4, SliceStrategy::EvenContiguous).unwrap();
+/// assert_eq!(vds.len(), 4);
+/// assert!(vds.iter().all(|vd| vd.num_gpus() == 4));
+/// ```
+pub fn slice_cluster(
+    cluster: &Cluster,
+    parts: usize,
+    strategy: SliceStrategy,
+) -> Result<Vec<VirtualDevice>> {
+    match strategy {
+        SliceStrategy::EvenContiguous => {
+            let n = cluster.num_gpus();
+            if parts == 0 || !n.is_multiple_of(parts) {
+                return Err(HardwareError::InvalidPartition(format!(
+                    "{n} GPUs cannot be evenly sliced into {parts} virtual devices"
+                )));
+            }
+            let chunk = n / parts;
+            (0..parts)
+                .map(|i| VirtualDevice::new((i * chunk..(i + 1) * chunk).collect()))
+                .collect()
+        }
+        SliceStrategy::PerNode => cluster
+            .nodes()
+            .iter()
+            .map(|node| VirtualDevice::new(node.gpu_ids.clone()))
+            .collect(),
+        SliceStrategy::PerGpu => (0..cluster.num_gpus())
+            .map(|i| VirtualDevice::new(vec![i]))
+            .collect(),
+    }
+}
+
+/// Validate that `vds` form an exact partition of `cluster` (every GPU in
+/// exactly one virtual device).
+pub fn validate_partition(cluster: &Cluster, vds: &[VirtualDevice]) -> Result<()> {
+    let mut seen = vec![false; cluster.num_gpus()];
+    for vd in vds {
+        for &id in vd.gpu_ids() {
+            if id >= seen.len() {
+                return Err(HardwareError::UnknownDevice(id));
+            }
+            if seen[id] {
+                return Err(HardwareError::InvalidPartition(format!(
+                    "GPU {id} appears in more than one virtual device"
+                )));
+            }
+            seen[id] = true;
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(HardwareError::InvalidPartition(format!(
+            "GPU {missing} is not covered by any virtual device"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuModel;
+
+    #[test]
+    fn empty_vd_rejected() {
+        assert_eq!(
+            VirtualDevice::new(vec![]).unwrap_err(),
+            HardwareError::EmptyVirtualDevice
+        );
+    }
+
+    #[test]
+    fn slice_per_node_matches_fig6() {
+        // Fig. 6(b): four nodes of four GPUs → four virtual devices.
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 4, 4);
+        let vds = slice_cluster(&c, 0, SliceStrategy::PerNode).unwrap();
+        assert_eq!(vds.len(), 4);
+        validate_partition(&c, &vds).unwrap();
+    }
+
+    #[test]
+    fn uneven_slice_rejected() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        assert!(slice_cluster(&c, 3, SliceStrategy::EvenContiguous).is_err());
+        assert!(slice_cluster(&c, 0, SliceStrategy::EvenContiguous).is_err());
+    }
+
+    #[test]
+    fn validate_detects_overlap_and_gap() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 4);
+        let overlap = vec![
+            VirtualDevice::new(vec![0, 1]).unwrap(),
+            VirtualDevice::new(vec![1, 2, 3]).unwrap(),
+        ];
+        assert!(validate_partition(&c, &overlap).is_err());
+        let gap = vec![VirtualDevice::new(vec![0, 1, 2]).unwrap()];
+        assert!(validate_partition(&c, &gap).is_err());
+    }
+
+    #[test]
+    fn flops_and_memory_aggregates() {
+        let c = Cluster::parse("1xV100,1xP100").unwrap();
+        let vd = VirtualDevice::new(vec![0, 1]).unwrap();
+        let f = vd.total_flops(&c).unwrap();
+        assert!((f - (GpuModel::V100_32GB.flops() + GpuModel::P100_16GB.flops())).abs() < 1.0);
+        assert_eq!(
+            vd.min_memory_bytes(&c).unwrap(),
+            GpuModel::P100_16GB.memory_bytes()
+        );
+        assert!(vd.is_single_node(&c).unwrap());
+    }
+
+    #[test]
+    fn multi_node_detection() {
+        let c = Cluster::parse("1x(2xV100)+1x(2xV100)").unwrap();
+        let vd = VirtualDevice::new(vec![0, 2]).unwrap();
+        assert!(!vd.is_single_node(&c).unwrap());
+    }
+}

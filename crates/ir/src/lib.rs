@@ -1,0 +1,48 @@
+//! Whale IR: parallel primitives, TaskGraphs, and annotation APIs (§3.2-3.3).
+//!
+//! This crate turns a local model ([`whale_graph::Graph`]) into the paper's
+//! intermediate representation: a set of disjoint [`TaskGraph`]s, each
+//! annotated with one or more of the four primitives (`replica`, `split`,
+//! `stage`, `pipeline`), plus plan-level modifiers (outer data parallelism,
+//! default scope, auto-partitioned pipelines).
+//!
+//! Two annotation styles are provided:
+//!
+//! * [`ScopedBuilder`] — closure scopes that mirror the paper's Python
+//!   context managers one-to-one (Examples 1-8);
+//! * [`Annotator`] — post-hoc selection over a finished graph by op range,
+//!   layer range, or name predicate, which is the practical style for the
+//!   model zoo.
+//!
+//! # Examples
+//!
+//! ```
+//! use whale_graph::models;
+//! use whale_ir::{Annotator, Primitive};
+//!
+//! // Example 5 on the real motivating model: DP features + split classifier.
+//! let g = models::imagenet_100k(32).unwrap();
+//! let ir = Annotator::new(g, 32)
+//!     .annotate_named("fc_big", vec![Primitive::Split])
+//!     .unwrap()
+//!     .set_default(Primitive::Replica)
+//!     .finish()
+//!     .unwrap();
+//! assert!(ir.task_graphs.iter().any(|tg| tg.innermost() == Primitive::Split));
+//! ```
+
+pub mod annotate;
+pub mod error;
+pub mod primitive;
+pub mod scope;
+pub mod taskgraph;
+pub mod viz;
+pub mod whale_ir;
+
+pub use annotate::Annotator;
+pub use error::{IrError, Result};
+pub use primitive::{PipelineSpec, Primitive};
+pub use scope::ScopedBuilder;
+pub use taskgraph::TaskGraph;
+pub use viz::to_dot;
+pub use whale_ir::WhaleIr;

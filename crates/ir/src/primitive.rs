@@ -1,0 +1,73 @@
+//! The four parallel primitives of §3.3.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parallel primitive annotating a TaskGraph.
+///
+/// * [`Primitive::Replica`] — data parallelism: the TaskGraph is replicated
+///   once per GPU of its virtual device.
+/// * [`Primitive::Split`] — tensor model parallelism: the TaskGraph is
+///   sharded across the GPUs of its virtual device.
+/// * [`Primitive::Stage`] — manual grouping: the TaskGraph is kept whole on
+///   its virtual device (vanilla model parallelism / pipeline stages).
+///
+/// `pipeline` is not a per-TaskGraph strategy but a schedule over a sequence
+/// of TaskGraphs; it is carried separately as [`PipelineSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Primitive {
+    /// Replicate the TaskGraph (data parallelism).
+    Replica,
+    /// Shard the TaskGraph (tensor model parallelism).
+    Split,
+    /// Group operations without replication or sharding.
+    Stage,
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Primitive::Replica => "replica",
+            Primitive::Split => "split",
+            Primitive::Stage => "stage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The `pipeline` primitive: schedule the annotated TaskGraphs as an
+/// interleaved pipeline over micro batches (§2.1, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Number of micro batches each mini batch is split into (M6-10B uses
+    /// 35, §5.1).
+    pub num_micro_batches: usize,
+}
+
+impl PipelineSpec {
+    /// Build a spec, validating the micro-batch count.
+    pub fn new(num_micro_batches: usize) -> crate::error::Result<PipelineSpec> {
+        if num_micro_batches == 0 {
+            return Err(crate::error::IrError::BadMicroBatches(0));
+        }
+        Ok(PipelineSpec { num_micro_batches })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_spec_validation() {
+        assert!(PipelineSpec::new(0).is_err());
+        assert_eq!(PipelineSpec::new(35).unwrap().num_micro_batches, 35);
+    }
+
+    #[test]
+    fn primitive_display() {
+        assert_eq!(Primitive::Replica.to_string(), "replica");
+        assert_eq!(Primitive::Split.to_string(), "split");
+        assert_eq!(Primitive::Stage.to_string(), "stage");
+    }
+}

@@ -1,0 +1,388 @@
+//! Scoped model building: the paper's context-manager API in Rust closures.
+//!
+//! Whale's primitives are Python `with` scopes wrapped around model code
+//! (§3.3 Examples 1–8). The closure-based [`ScopedBuilder`] mirrors them:
+//!
+//! ```
+//! use whale_ir::ScopedBuilder;
+//!
+//! // Example 3: hybrid of pipeline parallelism and data parallelism.
+//! let mut sb = ScopedBuilder::new("model", 8);
+//! sb.replica(|sb| {
+//!     sb.pipeline(4, |sb| {
+//!         sb.stage(|sb| {
+//!             sb.ops(|b| {
+//!                 let x = b.input("x", &[8, 16])?;
+//!                 b.dense("part1", x, 8, 16, 16)
+//!             })
+//!         })?;
+//!         sb.stage(|sb| {
+//!             sb.ops(|b| {
+//!                 let prev = whale_graph::OpId(1);
+//!                 b.dense("part2", prev, 8, 16, 16)
+//!             })
+//!         })
+//!     })
+//! }).unwrap();
+//! let ir = sb.finish().unwrap();
+//! assert!(ir.outer_replica);
+//! assert_eq!(ir.pipeline.unwrap().num_micro_batches, 4);
+//! assert_eq!(ir.num_task_graphs(), 2);
+//! ```
+
+use crate::error::{IrError, Result};
+use crate::primitive::{PipelineSpec, Primitive};
+use crate::taskgraph::TaskGraph;
+use crate::whale_ir::WhaleIr;
+use whale_graph::{GraphBuilder, OpId};
+
+#[derive(Debug)]
+enum FrameKind {
+    Primitive(Primitive),
+    Pipeline,
+}
+
+#[derive(Debug)]
+struct Frame {
+    kind: FrameKind,
+    /// Ops created directly in this scope (not in child scopes).
+    direct_ops: Vec<OpId>,
+    /// Indices into `task_graphs` spawned by closed child scopes.
+    child_tgs: Vec<usize>,
+}
+
+/// Closure-scoped builder producing [`WhaleIr`] directly.
+#[derive(Debug)]
+pub struct ScopedBuilder {
+    builder: GraphBuilder,
+    global_batch: usize,
+    stack: Vec<Frame>,
+    task_graphs: Vec<TaskGraph>,
+    pipeline: Option<PipelineSpec>,
+    outer_replica: bool,
+    default_strategy: Option<Primitive>,
+    auto_partition: bool,
+}
+
+impl ScopedBuilder {
+    /// Start building a model named `name` at `global_batch` samples.
+    pub fn new(name: impl Into<String>, global_batch: usize) -> ScopedBuilder {
+        ScopedBuilder {
+            builder: GraphBuilder::new(name),
+            global_batch,
+            stack: Vec::new(),
+            task_graphs: Vec::new(),
+            pipeline: None,
+            outer_replica: false,
+            default_strategy: None,
+            auto_partition: false,
+        }
+    }
+
+    /// `wh.set_default_scope(...)` (Example 8).
+    pub fn set_default(&mut self, strategy: Primitive) {
+        self.default_strategy = Some(strategy);
+    }
+
+    /// Create ops inside the current scope; new ops are attributed to it.
+    pub fn ops<R>(
+        &mut self,
+        f: impl FnOnce(&mut GraphBuilder) -> std::result::Result<R, whale_graph::GraphError>,
+    ) -> Result<R> {
+        let before = self.builder_len();
+        let r = f(&mut self.builder).map_err(IrError::from)?;
+        let after = self.builder_len();
+        if let Some(frame) = self.stack.last_mut() {
+            frame.direct_ops.extend((before..after).map(OpId));
+        }
+        Ok(r)
+    }
+
+    fn builder_len(&self) -> usize {
+        self.builder.graph_len()
+    }
+
+    fn enter(&mut self, kind: FrameKind) {
+        self.stack.push(Frame {
+            kind,
+            direct_ops: Vec::new(),
+            child_tgs: Vec::new(),
+        });
+    }
+
+    fn exit(&mut self) -> Result<()> {
+        let frame = self
+            .stack
+            .pop()
+            .ok_or_else(|| IrError::ScopeMismatch("exit without enter".into()))?;
+        match frame.kind {
+            FrameKind::Pipeline => {
+                // Direct ops under `pipeline` with no `stage` scopes request
+                // automatic partitioning (Example 4).
+                if !frame.direct_ops.is_empty() && frame.child_tgs.is_empty() {
+                    self.auto_partition = true;
+                } else if !frame.direct_ops.is_empty() {
+                    return Err(IrError::ScopeMismatch(
+                        "pipeline scope mixes direct ops with stage scopes".into(),
+                    ));
+                }
+                // Child TGs are already recorded in order as the stages.
+            }
+            FrameKind::Primitive(p) => {
+                let spawned = if frame.direct_ops.is_empty() {
+                    None
+                } else {
+                    let idx = self.task_graphs.len();
+                    self.task_graphs
+                        .push(TaskGraph::new(idx, frame.direct_ops, vec![p]));
+                    Some(idx)
+                };
+                match (spawned, frame.child_tgs.len()) {
+                    // Pure leaf scope.
+                    (Some(idx), 0) => self.bubble_tg(idx),
+                    // Scope wrapping exactly one child TG and no direct ops:
+                    // nesting — append this primitive (Fig. 6 TG4).
+                    (None, 1) => {
+                        let child = frame.child_tgs[0];
+                        self.task_graphs[child].strategies.push(p);
+                        self.bubble_tg(child);
+                    }
+                    // Scope wrapping several children (or a pipeline): the
+                    // combination pattern. An outermost replica becomes
+                    // plan-level data parallelism (Examples 3–5).
+                    (None, _) => {
+                        if p == Primitive::Replica && self.stack.is_empty() {
+                            self.outer_replica = true;
+                        } else if p == Primitive::Replica {
+                            for &child in &frame.child_tgs {
+                                self.task_graphs[child].strategies.push(p);
+                            }
+                        } else if frame.child_tgs.is_empty() {
+                            // Scope with neither ops nor children: ignore
+                            // unless it wrapped the pipeline (handled above).
+                            if self.pipeline.is_none() {
+                                return Err(IrError::EmptyTaskGraph);
+                            }
+                            if p == Primitive::Replica {
+                                self.outer_replica = true;
+                            }
+                        } else {
+                            return Err(IrError::ScopeMismatch(format!(
+                                "{p} scope cannot wrap multiple TaskGraphs"
+                            )));
+                        }
+                        for &child in &frame.child_tgs {
+                            self.bubble_tg(child);
+                        }
+                    }
+                    // Scope with both direct ops and children: direct ops are
+                    // their own TG alongside the children.
+                    (Some(idx), _) => {
+                        self.bubble_tg(idx);
+                        for &child in &frame.child_tgs {
+                            self.bubble_tg(child);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn bubble_tg(&mut self, idx: usize) {
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_tgs.push(idx);
+        }
+    }
+
+    /// `with wh.replica():`.
+    pub fn replica<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R>) -> Result<R> {
+        self.enter(FrameKind::Primitive(Primitive::Replica));
+        let r = f(self)?;
+        self.exit()?;
+        Ok(r)
+    }
+
+    /// `with wh.split():`.
+    pub fn split<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R>) -> Result<R> {
+        self.enter(FrameKind::Primitive(Primitive::Split));
+        let r = f(self)?;
+        self.exit()?;
+        Ok(r)
+    }
+
+    /// `with wh.stage():`.
+    pub fn stage<R>(&mut self, f: impl FnOnce(&mut Self) -> Result<R>) -> Result<R> {
+        self.enter(FrameKind::Primitive(Primitive::Stage));
+        let r = f(self)?;
+        self.exit()?;
+        Ok(r)
+    }
+
+    /// `with wh.pipeline(num_micro_batch=n):`.
+    pub fn pipeline<R>(
+        &mut self,
+        num_micro_batches: usize,
+        f: impl FnOnce(&mut Self) -> Result<R>,
+    ) -> Result<R> {
+        if self.pipeline.is_some() {
+            return Err(IrError::NestedPipeline);
+        }
+        self.pipeline = Some(PipelineSpec::new(num_micro_batches)?);
+        self.enter(FrameKind::Pipeline);
+        let r = f(self)?;
+        self.exit()?;
+        Ok(r)
+    }
+
+    /// Finish: fill defaults, validate, return IR.
+    pub fn finish(self) -> Result<WhaleIr> {
+        if !self.stack.is_empty() {
+            return Err(IrError::ScopeMismatch(format!(
+                "{} scopes left open",
+                self.stack.len()
+            )));
+        }
+        let mut ir = WhaleIr {
+            graph: self.builder.finish(),
+            task_graphs: self.task_graphs,
+            pipeline: self.pipeline,
+            outer_replica: self.outer_replica,
+            default_strategy: self.default_strategy,
+            global_batch: self.global_batch,
+            auto_partition: self.auto_partition,
+        };
+        if !(ir.auto_partition && ir.task_graphs.is_empty()) {
+            ir.fill_default();
+        }
+        ir.validate()?;
+        Ok(ir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 2: vanilla model parallelism with two stages.
+    #[test]
+    fn example2_vanilla_mp() {
+        let mut sb = ScopedBuilder::new("mp", 8);
+        sb.stage(|sb| {
+            sb.ops(|b| {
+                let x = b.input("x", &[8, 16])?;
+                b.dense("part1", x, 8, 16, 16)
+            })
+        })
+        .unwrap();
+        sb.stage(|sb| sb.ops(|b| b.dense("part2", OpId(1), 8, 16, 16)))
+            .unwrap();
+        let ir = sb.finish().unwrap();
+        assert_eq!(ir.num_task_graphs(), 2);
+        assert!(ir
+            .task_graphs
+            .iter()
+            .all(|tg| tg.innermost() == Primitive::Stage));
+        assert!(ir.pipeline.is_none());
+    }
+
+    /// Example 4: auto pipeline — ops directly under `pipeline`.
+    #[test]
+    fn example4_auto_pipeline() {
+        let mut sb = ScopedBuilder::new("auto", 8);
+        sb.replica(|sb| {
+            sb.pipeline(4, |sb| {
+                sb.ops(|b| {
+                    let x = b.input("x", &[8, 16])?;
+                    b.dense("model", x, 8, 16, 16)
+                })
+            })
+        })
+        .unwrap();
+        let ir = sb.finish().unwrap();
+        assert!(ir.auto_partition);
+        assert!(ir.outer_replica);
+        assert!(ir.task_graphs.is_empty());
+    }
+
+    /// Fig. 6 TG4: split nested inside replica gives [Split, Replica].
+    #[test]
+    fn nested_replica_of_split() {
+        let mut sb = ScopedBuilder::new("nest", 8);
+        sb.replica(|sb| {
+            sb.split(|sb| {
+                sb.ops(|b| {
+                    let x = b.input("x", &[8, 16])?;
+                    b.dense("fc", x, 8, 16, 16)
+                })
+            })
+        })
+        .unwrap();
+        let ir = sb.finish().unwrap();
+        assert_eq!(ir.num_task_graphs(), 1);
+        assert_eq!(
+            ir.task_graphs[0].strategies,
+            vec![Primitive::Split, Primitive::Replica]
+        );
+        assert!(!ir.outer_replica);
+    }
+
+    /// Example 5: outer replica over a replica+split combination.
+    #[test]
+    fn example5_outer_replica_combination() {
+        let mut sb = ScopedBuilder::new("hybrid", 8);
+        sb.replica(|sb| {
+            sb.replica(|sb| {
+                sb.ops(|b| {
+                    let x = b.input("in", &[8, 16])?;
+                    b.dense("features", x, 8, 16, 32)
+                })
+            })?;
+            sb.split(|sb| sb.ops(|b| b.dense("classifier", OpId(1), 8, 32, 100)))
+        })
+        .unwrap();
+        let ir = sb.finish().unwrap();
+        assert!(ir.outer_replica);
+        assert_eq!(ir.num_task_graphs(), 2);
+        assert_eq!(ir.task_graphs[0].innermost(), Primitive::Replica);
+        assert_eq!(ir.task_graphs[1].innermost(), Primitive::Split);
+    }
+
+    #[test]
+    fn mixed_ops_and_stages_in_pipeline_rejected() {
+        let mut sb = ScopedBuilder::new("bad", 8);
+        let err = sb
+            .pipeline(4, |sb| {
+                sb.ops(|b| b.input("x", &[8, 16]))?;
+                sb.stage(|sb| sb.ops(|b| b.dense("p", OpId(0), 8, 16, 16)))
+            })
+            .unwrap_err();
+        assert!(matches!(err, IrError::ScopeMismatch(_)));
+    }
+
+    #[test]
+    fn nested_pipeline_rejected() {
+        let mut sb = ScopedBuilder::new("bad", 8);
+        let err = sb
+            .pipeline(4, |sb| sb.pipeline(2, |sb| sb.ops(|b| b.input("x", &[1]))))
+            .unwrap_err();
+        assert_eq!(err, IrError::NestedPipeline);
+    }
+
+    #[test]
+    fn default_scope_fills_unclaimed_ops() {
+        let mut sb = ScopedBuilder::new("moe_like", 8);
+        sb.set_default(Primitive::Replica);
+        sb.ops(|b| {
+            let x = b.input("x", &[8, 16])?;
+            b.dense("attn", x, 8, 16, 16)
+        })
+        .unwrap();
+        sb.split(|sb| sb.ops(|b| b.dense("moe", OpId(1), 8, 16, 16)))
+            .unwrap();
+        let ir = sb.finish().unwrap();
+        assert_eq!(ir.num_task_graphs(), 2);
+        assert_eq!(ir.task_graphs[0].innermost(), Primitive::Replica);
+        assert_eq!(ir.task_graphs[1].innermost(), Primitive::Split);
+    }
+}

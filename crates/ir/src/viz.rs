@@ -1,0 +1,109 @@
+//! Visualization of annotated IR: Graphviz DOT with TaskGraph clusters.
+//!
+//! Reproduces the style of the paper's Fig. 6(a): the computation graph
+//! partitioned into colored TaskGraphs, one subgraph cluster per TaskGraph,
+//! labeled with its strategies.
+
+use crate::primitive::Primitive;
+use crate::whale_ir::WhaleIr;
+
+fn color(p: Primitive) -> &'static str {
+    match p {
+        Primitive::Replica => "lightblue",
+        Primitive::Split => "lightsalmon",
+        Primitive::Stage => "lightgray",
+    }
+}
+
+/// Render the IR as Graphviz DOT: TaskGraphs become colored clusters;
+/// unclaimed ops (default scope) stay uncolored.
+pub fn to_dot(ir: &WhaleIr) -> String {
+    let mut claimed = vec![None::<usize>; ir.graph.len()];
+    for tg in &ir.task_graphs {
+        for &id in &tg.ops {
+            if id.0 < claimed.len() {
+                claimed[id.0] = Some(tg.index);
+            }
+        }
+    }
+    let mut s = format!("digraph \"{}\" {{\n  rankdir=TB;\n", ir.graph.name());
+    if let Some(p) = ir.pipeline {
+        s.push_str(&format!(
+            "  label=\"pipeline({} micro batches){}\";\n",
+            p.num_micro_batches,
+            if ir.outer_replica { " inside outer replica" } else { "" },
+        ));
+    }
+    for tg in &ir.task_graphs {
+        let strategies: Vec<String> = tg.strategies.iter().map(|p| p.to_string()).collect();
+        s.push_str(&format!(
+            "  subgraph cluster_tg{} {{\n    label=\"TG{} [{}]\";\n    style=filled;\n    color={};\n",
+            tg.index,
+            tg.index,
+            strategies.join("∘"),
+            color(tg.innermost()),
+        ));
+        for &id in &tg.ops {
+            if let Ok(op) = ir.graph.op(id) {
+                s.push_str(&format!("    n{} [label=\"{}\"];\n", id.0, op.name));
+            }
+        }
+        s.push_str("  }\n");
+    }
+    // Unclaimed ops and all edges.
+    for op in ir.graph.ops() {
+        if claimed[op.id.0].is_none() {
+            s.push_str(&format!("  n{} [label=\"{}\"];\n", op.id.0, op.name));
+        }
+        for &input in &op.inputs {
+            s.push_str(&format!("  n{} -> n{};\n", input.0, op.id.0));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::Annotator;
+    use whale_graph::GraphBuilder;
+
+    fn ir() -> WhaleIr {
+        let mut b = GraphBuilder::new("viz");
+        let x = b.input("x", &[4, 8]).unwrap();
+        let f = b.dense("features", x, 4, 8, 8).unwrap();
+        b.dense("classifier", f, 4, 8, 100).unwrap();
+        Annotator::new(b.finish(), 4)
+            .annotate_named("classifier", vec![Primitive::Split])
+            .unwrap()
+            .set_default(Primitive::Replica)
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_clusters_and_edges() {
+        let dot = to_dot(&ir());
+        assert!(dot.contains("subgraph cluster_tg0"));
+        assert!(dot.contains("subgraph cluster_tg1"));
+        assert!(dot.contains("lightsalmon"), "split cluster colored");
+        assert!(dot.contains("lightblue"), "replica cluster colored");
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains("[replica]") || dot.contains("[split]"));
+    }
+
+    #[test]
+    fn nested_strategies_join_labels() {
+        let mut b = GraphBuilder::new("nested");
+        let x = b.input("x", &[4, 8]).unwrap();
+        b.dense("fc", x, 4, 8, 8).unwrap();
+        let ir = Annotator::new(b.finish(), 4)
+            .annotate_range(0, 2, vec![Primitive::Split, Primitive::Replica])
+            .unwrap()
+            .finish()
+            .unwrap();
+        let dot = to_dot(&ir);
+        assert!(dot.contains("split∘replica"), "{dot}");
+    }
+}

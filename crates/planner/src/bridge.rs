@@ -1,0 +1,202 @@
+//! Bridge layers: connecting TaskGraphs with different parallelism (§3.4).
+//!
+//! Whale inserts `Partition(n)`, `Gather(n)`, and `Identity` bridges around
+//! every TaskGraph according to its primitive's *bridge pattern* (Fig. 7),
+//! then fuses opposite bridges — `Gather(n)` immediately followed by
+//! `Partition(n)` collapses to `Identity` (Fig. 8) — to remove unnecessary
+//! communication.
+
+use serde::{Deserialize, Serialize};
+use whale_ir::Primitive;
+
+/// A bridge operation on the tensor flowing between TaskGraphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bridge {
+    /// Split the batch dimension into `n` parts.
+    Partition(usize),
+    /// Concatenate `n` parts into one tensor.
+    Gather(usize),
+    /// Pass the tensor through unchanged.
+    Identity,
+}
+
+impl Bridge {
+    /// Whether this bridge moves data (Identity does not; degree-1
+    /// partitions and gathers are trivial too).
+    pub fn is_communication(&self) -> bool {
+        match *self {
+            Bridge::Partition(n) | Bridge::Gather(n) => n > 1,
+            Bridge::Identity => false,
+        }
+    }
+}
+
+/// Input and output bridges a primitive imposes (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BridgePattern {
+    /// Bridge applied to the TaskGraph's input tensor.
+    pub input: Bridge,
+    /// Bridge applied to the TaskGraph's output tensors.
+    pub output: Bridge,
+}
+
+/// The bridge pattern of a primitive at parallelism degree `n`.
+///
+/// * `replica`: input `Partition(n)` (each replica consumes one slice),
+///   output `Gather(n)`;
+/// * `split`: input `Identity` (used as is), output `Gather(n)`;
+/// * `stage`: `Identity` on both sides.
+pub fn bridge_pattern(primitive: Primitive, n: usize) -> BridgePattern {
+    match primitive {
+        Primitive::Replica => BridgePattern {
+            input: Bridge::Partition(n),
+            output: Bridge::Gather(n),
+        },
+        Primitive::Split => BridgePattern {
+            input: Bridge::Identity,
+            output: Bridge::Gather(n),
+        },
+        Primitive::Stage => BridgePattern {
+            input: Bridge::Identity,
+            output: Bridge::Identity,
+        },
+    }
+}
+
+/// Fuse a chain of bridges (Fig. 8): drop identities and collapse
+/// `Gather(n) → Partition(n)` pairs into nothing (their composition is the
+/// identity).
+///
+/// # Examples
+///
+/// ```
+/// use whale_planner::bridge::{fuse, Bridge};
+/// let fused = fuse(&[Bridge::Gather(4), Bridge::Partition(4)]);
+/// assert!(fused.is_empty());
+/// let kept = fuse(&[Bridge::Gather(3), Bridge::Partition(2)]);
+/// assert_eq!(kept.len(), 2);
+/// ```
+pub fn fuse(chain: &[Bridge]) -> Vec<Bridge> {
+    let mut out: Vec<Bridge> = Vec::with_capacity(chain.len());
+    for &b in chain {
+        if b == Bridge::Identity || matches!(b, Bridge::Partition(1) | Bridge::Gather(1)) {
+            continue;
+        }
+        match (out.last(), b) {
+            (Some(&Bridge::Gather(n)), Bridge::Partition(m)) if n == m => {
+                out.pop();
+            }
+            _ => out.push(b),
+        }
+    }
+    out
+}
+
+/// The fused bridge chain between two consecutive TaskGraphs: the producer's
+/// output bridge followed by the consumer's input bridge.
+pub fn connect(
+    producer: Primitive,
+    producer_degree: usize,
+    consumer: Primitive,
+    consumer_degree: usize,
+) -> Vec<Bridge> {
+    let out = bridge_pattern(producer, producer_degree).output;
+    let inp = bridge_pattern(consumer, consumer_degree).input;
+    fuse(&[out, inp])
+}
+
+/// Bytes moved by a fused bridge chain for a boundary tensor of
+/// `tensor_bytes` (the full, gathered tensor size).
+///
+/// `Gather(n)` collects `(n−1)/n` of the tensor to one place; `Partition(n)`
+/// scatters `(n−1)/n` of it. The paper's fusion saves exactly these bytes
+/// when the pair collapses.
+pub fn chain_bytes(chain: &[Bridge], tensor_bytes: u64) -> u64 {
+    chain
+        .iter()
+        .map(|b| match *b {
+            Bridge::Partition(n) | Bridge::Gather(n) if n > 1 => {
+                (tensor_bytes as f64 * (n as f64 - 1.0) / n as f64) as u64
+            }
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_match_fig7() {
+        let r = bridge_pattern(Primitive::Replica, 4);
+        assert_eq!(r.input, Bridge::Partition(4));
+        assert_eq!(r.output, Bridge::Gather(4));
+        let s = bridge_pattern(Primitive::Split, 2);
+        assert_eq!(s.input, Bridge::Identity);
+        assert_eq!(s.output, Bridge::Gather(2));
+        let st = bridge_pattern(Primitive::Stage, 1);
+        assert_eq!(st.input, Bridge::Identity);
+        assert_eq!(st.output, Bridge::Identity);
+    }
+
+    #[test]
+    fn fig8_fusion_gather_partition_same_degree() {
+        // replica(n) → replica(n): Gather(n)·Partition(n) fuses away entirely.
+        let chain = connect(Primitive::Replica, 4, Primitive::Replica, 4);
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn fig9_mismatched_degrees_keep_bridges() {
+        // DP(3) → DP(2): gather three parts then partition into two.
+        let chain = connect(Primitive::Replica, 3, Primitive::Replica, 2);
+        assert_eq!(chain, vec![Bridge::Gather(3), Bridge::Partition(2)]);
+        assert!(chain.iter().all(|b| b.is_communication()));
+    }
+
+    #[test]
+    fn split_to_replica_needs_gather_then_partition() {
+        let chain = connect(Primitive::Split, 2, Primitive::Replica, 4);
+        assert_eq!(chain, vec![Bridge::Gather(2), Bridge::Partition(4)]);
+    }
+
+    #[test]
+    fn split_to_split_gathers_once() {
+        // Consumer split uses the input as-is, so only the producer's gather
+        // remains.
+        let chain = connect(Primitive::Split, 2, Primitive::Split, 2);
+        assert_eq!(chain, vec![Bridge::Gather(2)]);
+    }
+
+    #[test]
+    fn stage_chain_is_free() {
+        let chain = connect(Primitive::Stage, 1, Primitive::Stage, 1);
+        assert!(chain.is_empty());
+        assert_eq!(chain_bytes(&chain, 1 << 20), 0);
+    }
+
+    #[test]
+    fn degree_one_bridges_are_trivial() {
+        let chain = connect(Primitive::Replica, 1, Primitive::Replica, 1);
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn fusion_saves_bytes() {
+        let tensor = 64 << 20;
+        let unfused = vec![Bridge::Gather(4), Bridge::Partition(4)];
+        let fused = fuse(&unfused);
+        assert!(chain_bytes(&unfused, tensor) > 0);
+        assert_eq!(chain_bytes(&fused, tensor), 0);
+    }
+
+    #[test]
+    fn chain_bytes_scale_with_degree() {
+        let tensor = 100u64 << 20;
+        let g2 = chain_bytes(&[Bridge::Gather(2)], tensor);
+        let g4 = chain_bytes(&[Bridge::Gather(4)], tensor);
+        assert!(g4 > g2);
+        assert!(g4 < tensor);
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type for planning.
+
+use std::fmt;
+
+/// Errors raised while producing an execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No feasible assignment satisfies the memory constraints, even after
+    /// peak shaving and valley filling.
+    Infeasible(String),
+    /// Device assignment did not match the TaskGraph structure.
+    BadDeviceAssignment(String),
+    /// The IR was structurally invalid for the requested plan.
+    BadIr(String),
+    /// Hardware-model error.
+    Hardware(String),
+    /// A parameter was out of range (degrees, batch sizes, ...).
+    BadConfig(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Infeasible(s) => write!(f, "no feasible plan: {s}"),
+            PlanError::BadDeviceAssignment(s) => write!(f, "bad device assignment: {s}"),
+            PlanError::BadIr(s) => write!(f, "invalid IR: {s}"),
+            PlanError::Hardware(s) => write!(f, "hardware error: {s}"),
+            PlanError::BadConfig(s) => write!(f, "bad planner config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<whale_hardware::HardwareError> for PlanError {
+    fn from(e: whale_hardware::HardwareError) -> Self {
+        PlanError::Hardware(e.to_string())
+    }
+}
+
+impl From<whale_ir::IrError> for PlanError {
+    fn from(e: whale_ir::IrError) -> Self {
+        PlanError::BadIr(e.to_string())
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, PlanError>;

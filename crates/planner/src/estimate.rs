@@ -1,0 +1,156 @@
+//! Analytic step-time estimation — the planner's internal cost model.
+//!
+//! Whale's planner reasons about candidate plans without executing them; this
+//! module provides the same ability: a closed-form step-time estimate from
+//! the plan's own cost metadata. It is intentionally simpler than the
+//! discrete-event simulator (no task interleaving) but tracks it closely
+//! enough to rank strategies, which lets `auto_parallel` prune candidates
+//! before paying for a full simulation.
+
+use serde::{Deserialize, Serialize};
+use whale_hardware::{Cluster, CommModel};
+
+use crate::error::Result;
+use crate::plan::ExecutionPlan;
+
+/// Closed-form estimate of one training step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepEstimate {
+    /// Estimated pipeline/compute span, seconds.
+    pub compute: f64,
+    /// Estimated pipeline bubble fraction (0 for single-stage plans).
+    pub bubble: f64,
+    /// Serialized gradient-sync time, seconds.
+    pub sync: f64,
+    /// Estimated step time (compute stretched by bubble; sync assumed
+    /// overlapped like the simulator's default).
+    pub step_time: f64,
+}
+
+/// Estimate `plan`'s step time on `cluster`.
+///
+/// Model: per-stage task time `tᵢ = max_device(flops/(GF·α·amp) +
+/// traffic/BW) + collectives`; steady-state span `M·max(tᵢ)·3` (fw+bw)
+/// stretched by the 1F1B bubble factor `(S−1)/(S−1+M)`; sync fully
+/// overlapped (matching the simulator's default), except latency floors.
+pub fn estimate_step(plan: &ExecutionPlan, cluster: &Cluster) -> Result<StepEstimate> {
+    let comm = CommModel::new(cluster);
+    let s = plan.stages.len().max(1);
+    let m = plan.num_micro_batches.max(1);
+    let amp = plan.training.amp;
+    let bw_factor = if plan.training.recompute { 3.0 } else { 2.0 };
+
+    let mut bottleneck: f64 = 0.0;
+    let mut total_stage_time = 0.0;
+    for stage in &plan.stages {
+        let mut t: f64 = 0.0;
+        for d in &stage.devices {
+            let gpu = cluster.gpu(d.gpu)?;
+            let boost = if amp { gpu.model.amp_speedup() } else { 1.0 };
+            let flops_t = d.fw_flops_per_micro / (gpu.flops() * boost * plan.efficiency);
+            let traffic = d.mem_traffic_per_micro * if amp { 0.5 } else { 1.0 };
+            t = t.max(flops_t + traffic / gpu.model.memory_bandwidth());
+        }
+        let mut comm_t = 0.0;
+        for c in &stage.collectives_per_micro {
+            let n = c.group.len().max(1) as u64;
+            let per_rank = match c.kind {
+                whale_hardware::Collective::AllGather | whale_hardware::Collective::AllToAll => {
+                    (c.bytes / n).max(1)
+                }
+                _ => c.bytes,
+            };
+            comm_t += comm.collective(c.kind, &c.group, per_rank)?;
+        }
+        let fw_bw = t * (1.0 + bw_factor) + comm_t * 2.0;
+        bottleneck = bottleneck.max(fw_bw);
+        total_stage_time += fw_bw;
+    }
+
+    // Pipelined stages overlap; co-located sequential TaskGraphs (same
+    // device sets) serialize instead.
+    let pipelined = s > 1 && plan.num_micro_batches > 1 && {
+        let first = plan.stages[0].gpu_ids();
+        plan.stages.iter().skip(1).any(|st| st.gpu_ids() != first)
+    };
+    let (compute, bubble) = if pipelined {
+        let bubble = (s as f64 - 1.0) / (s as f64 - 1.0 + m as f64);
+        let steady = m as f64 * bottleneck;
+        (steady / (1.0 - bubble), bubble)
+    } else {
+        (m as f64 * total_stage_time, 0.0)
+    };
+
+    let mut sync = 0.0;
+    for c in &plan.grad_syncs {
+        sync += comm.collective(c.kind, &c.group, c.bytes)?;
+    }
+    // Default overlap hides sync behind backward; expose only what exceeds
+    // the backward window (≈ compute·bw/(1+bw)).
+    let bw_window = compute * bw_factor / (1.0 + bw_factor);
+    let exposed = (sync - bw_window).max(0.0);
+    Ok(StepEstimate {
+        compute,
+        bubble,
+        sync,
+        step_time: compute + exposed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan, PlannerConfig};
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    // The estimator lives below whale-sim in the dependency order, so the
+    // agreement tests against the real simulator live in the workspace-level
+    // `tests/estimator_agreement.rs`; here we check internal consistency.
+
+    fn dp_plan(cluster: &Cluster, batch: usize) -> ExecutionPlan {
+        let g = models::resnet50(batch).unwrap();
+        let ir = Annotator::new(g, batch).replicate_all().unwrap().finish().unwrap();
+        plan(&ir, cluster, &PlannerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn estimate_scales_with_batch() {
+        let cluster = Cluster::parse("1x(4xV100)").unwrap();
+        let small = estimate_step(&dp_plan(&cluster, 64), &cluster).unwrap();
+        let big = estimate_step(&dp_plan(&cluster, 256), &cluster).unwrap();
+        let ratio = big.step_time / small.step_time;
+        assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hetero_baseline_estimates_slower() {
+        let cluster = Cluster::parse("4xV100,4xP100").unwrap();
+        let g = models::resnet50(256).unwrap();
+        let ir = Annotator::new(g, 256).replicate_all().unwrap().finish().unwrap();
+        let aware = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let base = plan(
+            &ir,
+            &cluster,
+            &PlannerConfig {
+                hardware_aware: false,
+                ..PlannerConfig::default()
+            },
+        )
+        .unwrap();
+        let ea = estimate_step(&aware, &cluster).unwrap();
+        let eb = estimate_step(&base, &cluster).unwrap();
+        assert!(eb.step_time > ea.step_time * 1.2);
+    }
+
+    #[test]
+    fn pipeline_bubble_matches_closed_form() {
+        let cluster = Cluster::parse("1x(4xV100)").unwrap();
+        let g = models::bert_base(64, 64).unwrap();
+        let ir = Annotator::new(g, 64).auto_pipeline(12).unwrap().finish().unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let e = estimate_step(&p, &cluster).unwrap();
+        assert!((e.bubble - 3.0 / 15.0).abs() < 1e-12);
+        assert!(e.compute > 0.0);
+    }
+}

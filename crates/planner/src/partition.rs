@@ -1,0 +1,204 @@
+//! Computation-balanced contiguous partitioning (§3.5).
+//!
+//! The paper's cost model `t = α · MF / GF` implies each device's FLOP share
+//! `MF` should be proportional to its FLOPS `GF`. This module cuts a
+//! topologically ordered op sequence into contiguous groups whose FLOP sums
+//! track per-device weights — used for automatic pipeline-stage partitioning
+//! (Example 4) and as the starting point of Algorithm 3.
+
+use crate::error::{PlanError, Result};
+
+/// Split `total` integer units proportionally to `weights`, preserving the
+/// exact sum via largest-remainder rounding. Used by Algorithm 2 to split the
+/// global batch by GPU FLOPS.
+///
+/// # Examples
+///
+/// ```
+/// // §3.5's example: batch 32 over 9.3 and 12 TFLOPS gives 14 and 18.
+/// let split = whale_planner::partition::proportional_split(32, &[9.3, 12.0]).unwrap();
+/// assert_eq!(split, vec![14, 18]);
+/// ```
+pub fn proportional_split(total: usize, weights: &[f64]) -> Result<Vec<usize>> {
+    if weights.is_empty() {
+        return Err(PlanError::BadConfig("no weights".into()));
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+        return Err(PlanError::BadConfig("weights must be non-negative and finite".into()));
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut out: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();
+    let mut leftover = total - out.iter().sum::<usize>();
+    // Hand out the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.total_cmp(&fa)
+    });
+    for &i in order.iter().cycle() {
+        if leftover == 0 {
+            break;
+        }
+        out[i] += 1;
+        leftover -= 1;
+    }
+    Ok(out)
+}
+
+/// Cut `costs` (per-op FLOPs in topological order) into `weights.len()`
+/// contiguous, non-empty groups whose cost sums approximate the weight
+/// proportions. Returns the cut points: group `k` is `[cuts[k], cuts[k+1])`,
+/// with `cuts[0] = 0` and `cuts.last() = costs.len()`.
+pub fn balanced_cuts(costs: &[f64], weights: &[f64]) -> Result<Vec<usize>> {
+    let n_groups = weights.len();
+    if n_groups == 0 {
+        return Err(PlanError::BadConfig("no groups".into()));
+    }
+    if costs.len() < n_groups {
+        return Err(PlanError::BadConfig(format!(
+            "{} ops cannot fill {} groups",
+            costs.len(),
+            n_groups
+        )));
+    }
+    let total_cost: f64 = costs.iter().sum();
+    let total_weight: f64 = weights.iter().sum();
+    if total_weight <= 0.0 {
+        return Err(PlanError::BadConfig("weights sum to zero".into()));
+    }
+
+    let mut cuts = Vec::with_capacity(n_groups + 1);
+    cuts.push(0usize);
+    let mut prefix = 0.0;
+    let mut target_acc = 0.0;
+    let mut op = 0usize;
+    for (g, &w) in weights.iter().enumerate() {
+        target_acc += total_cost * w / total_weight;
+        let remaining_groups = n_groups - g - 1;
+        // Greedily extend until crossing the cumulative target, choosing the
+        // nearer side of the boundary op, while leaving at least one op per
+        // remaining group.
+        while op < costs.len() - remaining_groups {
+            let next = prefix + costs[op];
+            if next >= target_acc {
+                // Keep the boundary op in this group only if that lands
+                // closer to the target (and the group is non-empty either
+                // way).
+                let take = (next - target_acc) <= (target_acc - prefix) || op == cuts[g];
+                if take {
+                    prefix = next;
+                    op += 1;
+                }
+                break;
+            }
+            prefix = next;
+            op += 1;
+        }
+        // Guarantee progress: every group owns at least one op.
+        if op == cuts[g] {
+            prefix += costs[op];
+            op += 1;
+        }
+        cuts.push(op);
+    }
+    *cuts.last_mut().expect("cuts is non-empty") = costs.len();
+    // Re-validate monotonicity after forcing the final cut.
+    if cuts.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(PlanError::BadConfig(
+            "could not form non-empty contiguous groups".into(),
+        ));
+    }
+    Ok(cuts)
+}
+
+/// Sum of `costs[cuts[k]..cuts[k+1]]` per group — the per-stage FLOPs of a
+/// cut, for balance diagnostics.
+pub fn group_costs(costs: &[f64], cuts: &[usize]) -> Vec<f64> {
+    cuts.windows(2)
+        .map(|w| costs[w[0]..w[1]].iter().sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_split_preserves_total() {
+        let s = proportional_split(100, &[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(s.iter().sum::<usize>(), 100);
+        assert_eq!(s, vec![34, 33, 33]);
+    }
+
+    #[test]
+    fn paper_batch_split_example() {
+        // §3.5: 9.3/(9.3+12)·32 ≈ 14, so P100 gets 14 and P40 gets 18.
+        let s = proportional_split(32, &[9.3, 12.0]).unwrap();
+        assert_eq!(s, vec![14, 18]);
+    }
+
+    #[test]
+    fn hetero_16gpu_split() {
+        // Fig. 17's cluster: 8 V100 (15.7) + 8 P100 (9.3), global batch 512.
+        let weights: Vec<f64> = [15.7; 8].iter().chain([9.3; 8].iter()).copied().collect();
+        let s = proportional_split(512, &weights).unwrap();
+        assert_eq!(s.iter().sum::<usize>(), 512);
+        assert!(s[0] > s[8], "V100 gets more than P100: {s:?}");
+        let ratio = s[0] as f64 / s[8] as f64;
+        assert!((ratio - 15.7 / 9.3).abs() < 0.15, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn degenerate_weights_rejected() {
+        assert!(proportional_split(10, &[]).is_err());
+        assert!(proportional_split(10, &[0.0, 0.0]).is_err());
+        assert!(proportional_split(10, &[-1.0, 2.0]).is_err());
+        assert!(proportional_split(10, &[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn balanced_cuts_even_weights() {
+        let costs = vec![1.0; 12];
+        let cuts = balanced_cuts(&costs, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(cuts, vec![0, 3, 6, 9, 12]);
+        assert_eq!(group_costs(&costs, &cuts), vec![3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn balanced_cuts_follow_weights() {
+        // Two devices at 1:3 FLOPS: the second stage should get ~3× the work.
+        let costs = vec![1.0; 16];
+        let cuts = balanced_cuts(&costs, &[1.0, 3.0]).unwrap();
+        let g = group_costs(&costs, &cuts);
+        assert_eq!(g[0], 4.0);
+        assert_eq!(g[1], 12.0);
+    }
+
+    #[test]
+    fn uneven_costs_still_balance() {
+        // A heavy op in the middle; groups should straddle it sensibly.
+        let costs = vec![1.0, 1.0, 1.0, 10.0, 1.0, 1.0, 1.0];
+        let cuts = balanced_cuts(&costs, &[1.0, 1.0]).unwrap();
+        let g = group_costs(&costs, &cuts);
+        // Best contiguous split is 13/3 or 3/13; both sides non-empty.
+        assert_eq!(g.iter().sum::<f64>(), 16.0);
+        assert!(g[0] > 0.0 && g[1] > 0.0);
+    }
+
+    #[test]
+    fn every_group_gets_at_least_one_op() {
+        let costs = vec![100.0, 1.0, 1.0, 1.0];
+        let cuts = balanced_cuts(&costs, &[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(cuts.len(), 5);
+        for w in cuts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn too_few_ops_rejected() {
+        assert!(balanced_cuts(&[1.0, 1.0], &[1.0, 1.0, 1.0]).is_err());
+    }
+}

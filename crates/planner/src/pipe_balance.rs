@@ -1,0 +1,356 @@
+//! Hardware-aware pipeline partitioning — Algorithm 3 of the paper.
+//!
+//! The forward ops are cut into contiguous stages whose FLOPs are
+//! proportional to the stage GPUs' FLOPS; if a stage overflows its GPU's
+//! memory, PSVF repairs the cut with `shift_op` — moving one boundary
+//! operation at a time from the peak stage toward the valley stage through
+//! the intermediate stages (Fig. 11), which preserves topological order.
+
+use crate::error::{PlanError, Result};
+use crate::partition::{balanced_cuts, group_costs};
+use crate::psvf::{psvf, PsvfReport, Workload};
+use serde::{Deserialize, Serialize};
+use whale_graph::{CostProfile, Graph, OpId, TrainingConfig};
+use whale_hardware::Gpu;
+
+/// Outcome of Algorithm 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipePartition {
+    /// Cut points over the op sequence: stage `k` owns ops
+    /// `[cuts[k], cuts[k+1])`.
+    pub cuts: Vec<usize>,
+    /// PSVF trace when the FLOP-proportional cut overflowed memory.
+    pub psvf: Option<PsvfReport>,
+}
+
+impl PipePartition {
+    /// Op ids of stage `k`.
+    pub fn stage_ops(&self, k: usize) -> Vec<OpId> {
+        (self.cuts[k]..self.cuts[k + 1]).map(OpId).collect()
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.cuts.len() - 1
+    }
+}
+
+/// In-flight micro-batch count per stage under a backward-first (1F1B)
+/// schedule: stage `i` of `s` holds at most `min(s − i, m)` activations
+/// (ref \[13\]); under GPipe every stage holds all `m`.
+pub fn in_flight_micro_batches(stage: usize, num_stages: usize, num_micro: usize, gpipe: bool) -> usize {
+    if gpipe {
+        num_micro
+    } else {
+        (num_stages - stage).min(num_micro)
+    }
+}
+
+/// The `shift_op` workload over stage cut points.
+struct PipeWorkload<'a> {
+    graph: &'a Graph,
+    cuts: Vec<usize>,
+    cfg: &'a TrainingConfig,
+    gpus: &'a [Gpu],
+    micro_batch: usize,
+    num_micro: usize,
+    gpipe: bool,
+    ref_batch: usize,
+}
+
+impl PipeWorkload<'_> {
+    fn stage_profile(&self, i: usize) -> CostProfile {
+        let ops: Vec<OpId> = (self.cuts[i]..self.cuts[i + 1]).map(OpId).collect();
+        CostProfile::from_ops(self.graph, &ops, self.ref_batch)
+    }
+}
+
+impl Workload for PipeWorkload<'_> {
+    fn len(&self) -> usize {
+        self.gpus.len()
+    }
+    fn mem_bytes(&self, i: usize) -> u64 {
+        let p = self.stage_profile(i);
+        let act_mult = in_flight_micro_batches(i, self.len(), self.num_micro, self.gpipe) as f64;
+        self.cfg.memory_bytes(&p, self.micro_batch, act_mult)
+    }
+    fn mem_capacity(&self, i: usize) -> u64 {
+        self.gpus[i].memory_bytes()
+    }
+    fn flops(&self, i: usize) -> f64 {
+        self.cfg.step_flops(&self.stage_profile(i), self.micro_batch)
+    }
+    fn flops_capacity(&self, i: usize) -> f64 {
+        self.gpus[i].flops()
+    }
+    fn shift(&mut self, from: usize, to: usize) -> bool {
+        // Fig. 11: a shift from stage `from` to stage `to` ripples one op
+        // across each intervening boundary, keeping topological order.
+        if from < to {
+            // Boundaries from+1 ..= to move left by one.
+            for k in from + 1..=to {
+                if self.cuts[k] - 1 <= self.cuts[k - 1] {
+                    // Some intermediate stage would become empty: revert.
+                    for j in (from + 1..k).rev() {
+                        self.cuts[j] += 1;
+                    }
+                    return false;
+                }
+                self.cuts[k] -= 1;
+            }
+            true
+        } else if from > to {
+            for k in (to + 1..=from).rev() {
+                if self.cuts[k] + 1 >= self.cuts[k + 1] {
+                    for j in k + 1..=from {
+                        self.cuts[j] -= 1;
+                    }
+                    return false;
+                }
+                self.cuts[k] += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Algorithm 3: hardware-aware pipeline partition of `graph` onto one GPU
+/// per stage.
+///
+/// `micro_batch` is the per-micro-batch sample count; `num_micro` the number
+/// of in-flight micro batches (for activation memory); `gpipe` selects the
+/// flush schedule's memory model. With `hardware_aware = false` the cut is
+/// FLOP-even regardless of GPU type — the Fig. 18 baseline.
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_partition(
+    graph: &Graph,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    micro_batch: usize,
+    num_micro: usize,
+    gpipe: bool,
+    ref_batch: usize,
+    hardware_aware: bool,
+) -> Result<PipePartition> {
+    if gpus.is_empty() {
+        return Err(PlanError::BadConfig("pipeline needs at least one stage GPU".into()));
+    }
+    let costs: Vec<f64> = graph.ops().iter().map(|op| op.forward_flops()).collect();
+    let weights: Vec<f64> = if hardware_aware {
+        gpus.iter().map(|g| g.flops()).collect()
+    } else {
+        vec![1.0; gpus.len()]
+    };
+    let cuts = balanced_cuts(&costs, &weights)?;
+    let mut w = PipeWorkload {
+        graph,
+        cuts,
+        cfg,
+        gpus,
+        micro_batch,
+        num_micro,
+        gpipe,
+        ref_batch,
+    };
+    let report = if hardware_aware {
+        let overflow = (0..w.len()).any(|i| w.mem_bytes(i) > w.mem_capacity(i));
+        if overflow {
+            Some(psvf(&mut w)?)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+    Ok(PipePartition {
+        cuts: w.cuts,
+        psvf: report,
+    })
+}
+
+/// Per-stage forward FLOPs of a partition (diagnostics).
+pub fn stage_flops(graph: &Graph, part: &PipePartition) -> Vec<f64> {
+    let costs: Vec<f64> = graph.ops().iter().map(|op| op.forward_flops()).collect();
+    group_costs(&costs, &part.cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+    use whale_hardware::Cluster;
+
+    fn cfg() -> TrainingConfig {
+        TrainingConfig::default()
+    }
+
+    #[test]
+    fn in_flight_counts() {
+        // 4 stages, 8 micro batches, backward-first: 4,3,2,1.
+        assert_eq!(in_flight_micro_batches(0, 4, 8, false), 4);
+        assert_eq!(in_flight_micro_batches(3, 4, 8, false), 1);
+        // GPipe keeps all 8 everywhere.
+        assert_eq!(in_flight_micro_batches(0, 4, 8, true), 8);
+        // Fewer micro batches than stages caps at m.
+        assert_eq!(in_flight_micro_batches(0, 8, 2, false), 2);
+    }
+
+    #[test]
+    fn even_cut_on_homogeneous_gpus() {
+        let g = models::bert_base(4, 64).unwrap();
+        let c = Cluster::parse("4xV100").unwrap();
+        let part =
+            pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 4, true).unwrap();
+        assert_eq!(part.num_stages(), 4);
+        let f = stage_flops(&g, &part);
+        let mean = f.iter().sum::<f64>() / 4.0;
+        for (i, &s) in f.iter().enumerate() {
+            assert!(
+                (s - mean).abs() / mean < 0.35,
+                "stage {i} flops {s} vs mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn hardware_aware_gives_v100_more_flops() {
+        let g = models::bert_large(4, 128).unwrap();
+        // Stage GPUs: P100, P100, V100, V100 (the paper's baseline order).
+        let c = Cluster::parse("2xP100,2xV100").unwrap();
+        let aware = pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 4, true).unwrap();
+        let f = stage_flops(&g, &aware);
+        let p100_mean = (f[0] + f[1]) / 2.0;
+        let v100_mean = (f[2] + f[3]) / 2.0;
+        assert!(
+            v100_mean > p100_mean * 1.3,
+            "V100 stages should carry more: {f:?}"
+        );
+
+        let baseline = pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 4, false).unwrap();
+        let fb = stage_flops(&g, &baseline);
+        let spread = (fb.iter().cloned().fold(f64::MIN, f64::max)
+            - fb.iter().cloned().fold(f64::MAX, f64::min))
+            / fb.iter().sum::<f64>();
+        assert!(spread < 0.3, "baseline should be near-even: {fb:?}");
+    }
+
+    #[test]
+    fn stages_cover_all_ops_without_overlap() {
+        let g = models::t5_large(2, 64, 64).unwrap();
+        let c = Cluster::parse("2xP100,2xV100").unwrap();
+        let part = pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 2, true).unwrap();
+        assert_eq!(part.cuts[0], 0);
+        assert_eq!(*part.cuts.last().unwrap(), g.len());
+        let total: usize = (0..part.num_stages())
+            .map(|k| part.stage_ops(k).len())
+            .sum();
+        assert_eq!(total, g.len());
+    }
+
+    #[test]
+    fn shift_op_preserves_coverage() {
+        let g = models::bert_base(2, 64).unwrap();
+        let c = Cluster::parse("4xV100").unwrap();
+        let mut w = PipeWorkload {
+            graph: &g,
+            cuts: balanced_cuts(
+                &g.ops().iter().map(|o| o.forward_flops()).collect::<Vec<_>>(),
+                &[1.0; 4],
+            )
+            .unwrap(),
+            cfg: &cfg(),
+            gpus: c.gpus(),
+            micro_batch: 1,
+            num_micro: 4,
+            gpipe: false,
+            ref_batch: 2,
+        };
+        let before = w.cuts.clone();
+        // Fig. 11: shift one op from stage 0 to stage 2.
+        assert!(w.shift(0, 2));
+        assert_eq!(w.cuts[0], before[0]);
+        assert_eq!(w.cuts[1], before[1] - 1);
+        assert_eq!(w.cuts[2], before[2] - 1);
+        assert_eq!(w.cuts[3], before[3]);
+        // And back.
+        assert!(w.shift(2, 0));
+        assert_eq!(w.cuts, before);
+    }
+
+    #[test]
+    fn shift_refuses_to_empty_a_stage() {
+        let g = models::bert_base(2, 64).unwrap();
+        let c = Cluster::parse("3xV100").unwrap();
+        let n = g.len();
+        let mut w = PipeWorkload {
+            graph: &g,
+            // Stage 1 has exactly one op.
+            cuts: vec![0, 1, 2, n],
+            cfg: &cfg(),
+            gpus: c.gpus(),
+            micro_batch: 1,
+            num_micro: 4,
+            gpipe: false,
+            ref_batch: 2,
+        };
+        // Moving from stage 0 through stage 1 would empty stage 0 (one op).
+        assert!(!w.shift(0, 2));
+        assert_eq!(w.cuts, vec![0, 1, 2, n], "failed shift must not corrupt cuts");
+    }
+}
+
+#[cfg(test)]
+mod pipe_property_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use whale_graph::models;
+    use whale_hardware::Cluster;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Any mix of stage GPUs and micro-batch counts yields a partition
+        /// that covers all ops exactly once with non-empty stages.
+        #[test]
+        fn partition_always_covers(
+            v100s in 0usize..4,
+            p100s in 0usize..4,
+            micro in 1usize..16,
+            aware in any::<bool>(),
+        ) {
+            prop_assume!(v100s + p100s >= 1);
+            let spec = match (v100s, p100s) {
+                (0, p) => format!("{p}xP100"),
+                (v, 0) => format!("{v}xV100"),
+                (v, p) => format!("{v}xV100,{p}xP100"),
+            };
+            let cluster = Cluster::parse(&spec).unwrap();
+            let g = models::bert_base(8, 64).unwrap();
+            let cfg = TrainingConfig::default();
+            let part = pipeline_partition(
+                &g, &cfg, cluster.gpus(), 1, micro, false, 8, aware,
+            ).unwrap();
+            prop_assert_eq!(part.num_stages(), cluster.num_gpus());
+            prop_assert_eq!(part.cuts[0], 0);
+            prop_assert_eq!(*part.cuts.last().unwrap(), g.len());
+            for w in part.cuts.windows(2) {
+                prop_assert!(w[1] > w[0]);
+            }
+            // Hardware awareness must never hand a P100 stage more FLOPs
+            // than the heaviest V100 stage (when both kinds exist).
+            if aware && v100s > 0 && p100s > 0 {
+                let f = stage_flops(&g, &part);
+                let max_p100 = cluster.gpus().iter().zip(&f)
+                    .filter(|(g, _)| g.model == whale_hardware::GpuModel::P100_16GB)
+                    .map(|(_, &x)| x).fold(0.0f64, f64::max);
+                let max_v100 = cluster.gpus().iter().zip(&f)
+                    .filter(|(g, _)| g.model == whale_hardware::GpuModel::V100_32GB)
+                    .map(|(_, &x)| x).fold(0.0f64, f64::max);
+                prop_assert!(max_v100 * 1.2 >= max_p100,
+                    "V100 stages should carry at least comparable work: v={max_v100} p={max_p100}");
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The execution plan: the distributed computation the simulator runs.
+//!
+//! A plan is the output of the parallel planner (§3.4): an ordered list of
+//! [`PlannedStage`]s (one per TaskGraph; several when a pipeline is
+//! requested), per-device work assignments with batch sizes and memory
+//! estimates, the collectives each stage launches per micro batch, and the
+//! gradient-synchronization collectives run at the end of every step (§4).
+
+use serde::{Deserialize, Serialize};
+use whale_graph::TrainingConfig;
+use whale_hardware::{Cluster, Collective};
+
+use crate::error::{PlanError, Result};
+
+/// Work assigned to one GPU within a stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceWork {
+    /// Global GPU id.
+    pub gpu: usize,
+    /// Forward FLOPs this GPU executes per micro batch.
+    pub fw_flops_per_micro: f64,
+    /// Bytes moved through device memory per micro batch by
+    /// bandwidth-bound ops (roofline term).
+    pub mem_traffic_per_micro: f64,
+    /// Estimated device memory, bytes.
+    pub mem_bytes: u64,
+    /// Samples this GPU contributes per training step (diagnostics; equals
+    /// its DP batch share, or the full micro-batch trail for stages/shards).
+    pub samples_per_step: usize,
+}
+
+/// A collective launched by the plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveTask {
+    /// Which collective.
+    pub kind: Collective,
+    /// Participating GPU ids.
+    pub group: Vec<usize>,
+    /// Payload bytes (full logical tensor).
+    pub bytes: u64,
+    /// Human-readable origin (`"moe alltoall"`, `"bridge tg0→tg1"`, ...).
+    pub label: String,
+    /// Stage whose parameters/tensors this collective serves; gradient
+    /// syncs use it to start as soon as that stage's backward drains.
+    pub stage: Option<usize>,
+}
+
+/// One planned TaskGraph (a pipeline stage when a pipeline is scheduled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlannedStage {
+    /// Stage index in execution order.
+    pub index: usize,
+    /// Per-GPU work. Replicated TaskGraphs list every replica; split
+    /// TaskGraphs list every shard.
+    pub devices: Vec<DeviceWork>,
+    /// Activation bytes sent to the next stage per micro batch (0 for the
+    /// last stage).
+    pub send_bytes_per_micro: u64,
+    /// Collectives executed once per micro batch inside this stage
+    /// (split-pattern communication and unfused bridges).
+    pub collectives_per_micro: Vec<CollectiveTask>,
+    /// Trainable-parameter bytes held by this stage (one logical copy).
+    pub param_bytes: u64,
+    /// GPUs holding a full copy of this stage's parameters (the gradient
+    /// sync fan-in); ZeRO shards states across this many ranks.
+    pub dp_degree: usize,
+}
+
+impl PlannedStage {
+    /// GPU ids participating in this stage.
+    pub fn gpu_ids(&self) -> Vec<usize> {
+        self.devices.iter().map(|d| d.gpu).collect()
+    }
+}
+
+/// The distributed execution plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Model name this plan was derived from.
+    pub name: String,
+    /// Global batch size per training step.
+    pub global_batch: usize,
+    /// Micro batches per step (1 = no pipelining).
+    pub num_micro_batches: usize,
+    /// Stages in execution order.
+    pub stages: Vec<PlannedStage>,
+    /// Gradient synchronization collectives at the end of each step.
+    pub grad_syncs: Vec<CollectiveTask>,
+    /// Training options the memory estimates assumed.
+    pub training: TrainingConfig,
+    /// Compute efficiency `α` used to convert FLOPs to time
+    /// (`t = MF / (GF · α)`).
+    pub efficiency: f64,
+}
+
+impl ExecutionPlan {
+    /// All distinct GPU ids the plan touches, sorted.
+    pub fn all_gpus(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .stages
+            .iter()
+            .flat_map(|s| s.devices.iter().map(|d| d.gpu))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Estimated peak memory per GPU, bytes. Co-located stages sum their
+    /// model memory, but the fixed runtime overhead (CUDA context +
+    /// workspace) is charged once per GPU, not once per stage.
+    pub fn memory_per_gpu(&self) -> std::collections::BTreeMap<usize, u64> {
+        let overhead = whale_graph::profile::RUNTIME_OVERHEAD_BYTES;
+        let mut mem = std::collections::BTreeMap::new();
+        for stage in &self.stages {
+            for d in &stage.devices {
+                *mem.entry(d.gpu).or_insert(0) += d.mem_bytes.saturating_sub(overhead);
+            }
+        }
+        for v in mem.values_mut() {
+            *v += overhead;
+        }
+        mem
+    }
+
+    /// Validate the plan against a cluster: GPU ids exist, stage and
+    /// collective groups are sane, micro-batch count is positive.
+    pub fn validate(&self, cluster: &Cluster) -> Result<()> {
+        if self.num_micro_batches == 0 {
+            return Err(PlanError::BadConfig("0 micro batches".into()));
+        }
+        if self.stages.is_empty() {
+            return Err(PlanError::BadIr("plan has no stages".into()));
+        }
+        for stage in &self.stages {
+            if stage.devices.is_empty() {
+                return Err(PlanError::BadDeviceAssignment(format!(
+                    "stage {} has no devices",
+                    stage.index
+                )));
+            }
+            for d in &stage.devices {
+                cluster.gpu(d.gpu)?;
+            }
+            for c in &stage.collectives_per_micro {
+                for &g in &c.group {
+                    cluster.gpu(g)?;
+                }
+            }
+        }
+        for c in &self.grad_syncs {
+            if c.group.is_empty() {
+                return Err(PlanError::BadConfig(format!(
+                    "empty gradient-sync group '{}'",
+                    c.label
+                )));
+            }
+            for &g in &c.group {
+                cluster.gpu(g)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any GPU exceeds its memory capacity under this plan.
+    pub fn memory_feasible(&self, cluster: &Cluster) -> Result<bool> {
+        for (gpu, bytes) in self.memory_per_gpu() {
+            if bytes > cluster.gpu(gpu)?.memory_bytes() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Total gradient bytes synchronized per step.
+    pub fn grad_sync_bytes(&self) -> u64 {
+        self.grad_syncs.iter().map(|c| c.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_hardware::GpuModel;
+
+    fn plan_with(stage_gpus: Vec<Vec<usize>>) -> ExecutionPlan {
+        ExecutionPlan {
+            name: "test".into(),
+            global_batch: 32,
+            num_micro_batches: 4,
+            stages: stage_gpus
+                .into_iter()
+                .enumerate()
+                .map(|(i, gpus)| PlannedStage {
+                    index: i,
+                    devices: gpus
+                        .into_iter()
+                        .map(|gpu| DeviceWork {
+                            gpu,
+                            fw_flops_per_micro: 1e9,
+                            mem_traffic_per_micro: 0.0,
+                            mem_bytes: 1 << 30,
+                            samples_per_step: 8,
+                        })
+                        .collect(),
+                    send_bytes_per_micro: 1 << 20,
+                    collectives_per_micro: vec![],
+                    param_bytes: 1 << 20,
+                    dp_degree: 1,
+                })
+                .collect(),
+            grad_syncs: vec![],
+            training: TrainingConfig::default(),
+            efficiency: 0.45,
+        }
+    }
+
+    #[test]
+    fn all_gpus_dedup_sorted() {
+        let p = plan_with(vec![vec![2, 0], vec![1, 2]]);
+        assert_eq!(p.all_gpus(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validate_against_cluster() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 4);
+        assert!(plan_with(vec![vec![0, 1], vec![2, 3]]).validate(&c).is_ok());
+        assert!(plan_with(vec![vec![0, 9]]).validate(&c).is_err());
+        let mut empty = plan_with(vec![vec![0]]);
+        empty.num_micro_batches = 0;
+        assert!(empty.validate(&c).is_err());
+    }
+
+    #[test]
+    fn memory_feasibility() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 2);
+        let mut p = plan_with(vec![vec![0], vec![1]]);
+        assert!(p.memory_feasible(&c).unwrap());
+        p.stages[0].devices[0].mem_bytes = 33 << 30;
+        assert!(!p.memory_feasible(&c).unwrap());
+    }
+
+    #[test]
+    fn colocated_stages_sum_memory_with_single_overhead() {
+        // Two co-located 1-GiB stages: model memory (1 GiB − overhead = 0)
+        // sums, but the fixed runtime overhead is charged once.
+        let p = plan_with(vec![vec![0], vec![0]]);
+        let overhead = whale_graph::profile::RUNTIME_OVERHEAD_BYTES;
+        assert_eq!(p.memory_per_gpu()[&0], overhead);
+
+        let mut big = plan_with(vec![vec![0], vec![0]]);
+        for s in &mut big.stages {
+            s.devices[0].mem_bytes = 3 << 30;
+        }
+        // (3 − 1) + (3 − 1) + 1 = 5 GiB.
+        assert_eq!(big.memory_per_gpu()[&0], 5 << 30);
+    }
+}

@@ -1,0 +1,826 @@
+//! The parallel planner (§3.4): Whale IR + cluster → execution plan.
+//!
+//! Responsibilities, mirroring the paper:
+//!
+//! 1. **TaskGraph partition** — auto-partition pipeline stages with the
+//!    hardware-aware balanced cut (Algorithm 3) when no `stage` was given;
+//! 2. **Device mapping** — one virtual device per TaskGraph; the virtual
+//!    device size fixes the parallelism degree;
+//! 3. **Strategy resolution** — replica → hardware-aware DP partition
+//!    (Algorithm 2), split → pattern-matched sharding, nesting → shard
+//!    groups replicated inside the virtual device;
+//! 4. **Bridges** — insert and fuse Partition/Gather/Identity chains between
+//!    TaskGraphs with different parallelism;
+//! 5. **Gradient synchronization** — AllReduce groups across replicas
+//!    (including plan-level outer data parallelism).
+
+use whale_graph::{CostProfile, TrainingConfig};
+use whale_hardware::{Cluster, Collective, VirtualDevice};
+use whale_ir::{Primitive, TaskGraph, WhaleIr};
+
+use crate::bridge::{chain_bytes, connect};
+use crate::dp_balance::dp_partition;
+use crate::error::{PlanError, Result};
+use crate::pipe_balance::{in_flight_micro_batches, pipeline_partition};
+use crate::plan::{CollectiveTask, DeviceWork, ExecutionPlan, PlannedStage};
+use crate::shard::match_split_pattern;
+
+/// Pipeline schedule flavor (affects activation memory and the simulator's
+/// task ordering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// Backward-first / 1F1B (DAPPLE, ref \[13\]) — Whale's default (§4).
+    BackwardFirst,
+    /// GPipe-style flush (ref \[17\]).
+    GPipe,
+    /// Asynchronous pipeline without a flush (PipeMare, ref \[46\]) — the
+    /// paper's §6 future work. Removes the warm-up/drain bubble entirely at
+    /// the cost of stale gradients (no convergence guarantee); the trainer
+    /// models that as reduced sample efficiency.
+    AsyncNoFlush,
+}
+
+/// How TaskGraphs map to virtual devices.
+#[derive(Debug, Clone)]
+pub enum DeviceAssignment {
+    /// Slice each plan replica's GPUs evenly across TaskGraphs (one GPU per
+    /// stage for auto-partitioned pipelines).
+    Auto,
+    /// Explicit virtual devices for plan replica 0, one per TaskGraph; other
+    /// plan replicas use the same layout shifted by the replica's GPU
+    /// offset (the paper's `cluster()` slicing).
+    PerTaskGraph(Vec<VirtualDevice>),
+}
+
+/// Planner options.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Memory-relevant training options.
+    pub training: TrainingConfig,
+    /// Compute efficiency `α` in `t = MF/(GF·α)`.
+    pub efficiency: f64,
+    /// Enable the hardware-aware load balancing of §3.5. Off = the paper's
+    /// baselines (uniform batch, FLOP-even stages).
+    pub hardware_aware: bool,
+    /// Plan-level DP degree when the IR has `outer_replica`. 0 = infer one
+    /// replica per node.
+    pub outer_dp: usize,
+    /// Pipeline schedule flavor.
+    pub schedule: ScheduleKind,
+    /// TaskGraph → virtual device mapping.
+    pub devices: DeviceAssignment,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            training: TrainingConfig::default(),
+            efficiency: 0.45,
+            hardware_aware: true,
+            outer_dp: 0,
+            schedule: ScheduleKind::BackwardFirst,
+            devices: DeviceAssignment::Auto,
+        }
+    }
+}
+
+/// Plan `ir` onto `cluster`.
+pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<ExecutionPlan> {
+    ir.validate()?;
+    let num_gpus = cluster.num_gpus();
+    if num_gpus == 0 {
+        return Err(PlanError::BadConfig("empty cluster".into()));
+    }
+
+    // 1. Plan-level data parallelism: split the cluster into `outer_dp`
+    // contiguous groups.
+    let outer_dp = if ir.outer_replica {
+        let r = if config.outer_dp == 0 {
+            cluster.num_nodes()
+        } else {
+            config.outer_dp
+        };
+        if r == 0 || !num_gpus.is_multiple_of(r) {
+            return Err(PlanError::BadConfig(format!(
+                "{num_gpus} GPUs not divisible into {r} plan replicas"
+            )));
+        }
+        r
+    } else {
+        1
+    };
+    let group_size = num_gpus / outer_dp;
+    let groups: Vec<Vec<usize>> = (0..outer_dp)
+        .map(|g| (g * group_size..(g + 1) * group_size).collect())
+        .collect();
+
+    // 2. Split the global batch across plan replicas.
+    let group_weights: Vec<f64> = if config.hardware_aware {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|&id| cluster.gpus()[id].flops()).sum())
+            .collect()
+    } else {
+        vec![1.0; outer_dp]
+    };
+    let group_batches = crate::partition::proportional_split(ir.global_batch, &group_weights)?;
+
+    let num_micro = ir.pipeline.map(|p| p.num_micro_batches).unwrap_or(1);
+    let gpipe = config.schedule == ScheduleKind::GPipe;
+
+    // 3. Resolve TaskGraphs (auto-partition pipelines first).
+    let task_graphs: Vec<TaskGraph> = if ir.auto_partition && ir.task_graphs.is_empty() {
+        auto_stages(ir, cluster, config, &groups[0], group_batches[0], num_micro, gpipe)?
+    } else {
+        ir.task_graphs.clone()
+    };
+    if task_graphs.is_empty() {
+        return Err(PlanError::BadIr("no TaskGraphs to plan".into()));
+    }
+    let num_stages = task_graphs.len();
+
+    // 4. Virtual devices per TaskGraph within plan replica 0.
+    let vds0 = resolve_devices(config, &groups[0], &task_graphs, ir.pipeline.is_some())?;
+
+    // 5. Plan each TaskGraph once per plan replica and merge the per-replica
+    // device work into shared stages.
+    let mut stages: Vec<PlannedStage> = Vec::with_capacity(num_stages);
+    let mut grad_groups: Vec<(String, Vec<usize>, u64, usize)> = Vec::new();
+
+    for (tg_idx, tg) in task_graphs.iter().enumerate() {
+        let profile = tg.profile(&ir.graph, ir.global_batch.max(1));
+        let mut devices = Vec::new();
+        let mut collectives = Vec::new();
+
+        for (g, group) in groups.iter().enumerate() {
+            let offset = group[0];
+            let vd_gpus: Vec<usize> = vds0[tg_idx]
+                .gpu_ids()
+                .iter()
+                .map(|&id| id - groups[0][0] + offset)
+                .collect();
+            for &id in &vd_gpus {
+                if !group.contains(&id) {
+                    return Err(PlanError::BadDeviceAssignment(format!(
+                        "virtual device GPU {id} outside plan replica {g}"
+                    )));
+                }
+            }
+            plan_taskgraph(
+                PlanTgArgs {
+                    ir,
+                    cluster,
+                    config,
+                    tg,
+                    profile: &profile,
+                    vd_gpus: &vd_gpus,
+                    group_batch: group_batches[g],
+                    num_micro,
+                    stage_index: tg_idx,
+                    num_stages,
+                    gpipe,
+                    outer_dp,
+                },
+                &mut devices,
+                &mut collectives,
+            )?;
+        }
+
+        // Gradient-sync groups: GPUs at the same (replica/shard) position
+        // across plan replicas, or across DP replicas within a group.
+        build_grad_groups(
+            tg,
+            &profile,
+            &vds0[tg_idx],
+            &groups,
+            config,
+            &mut grad_groups,
+        );
+
+        // Inter-stage boundary bytes per micro batch (at the first group's
+        // batch; groups are symmetric by construction).
+        let boundary: u64 = tg
+            .exit_tensors(&ir.graph)
+            .iter()
+            .map(|(_, bytes)| bytes)
+            .sum();
+        let micro_scale = if ir.global_batch > 0 {
+            group_batches[0] as f64 / (num_micro as f64 * ir.global_batch as f64)
+        } else {
+            0.0
+        };
+        let send_bytes = if tg_idx + 1 < num_stages {
+            (boundary as f64 * micro_scale) as u64
+        } else {
+            0
+        };
+
+        let dp_degree = match tg.strategies.as_slice() {
+            [] | [Primitive::Replica] => vds0[tg_idx].num_gpus() * outer_dp,
+            [Primitive::Split] => outer_dp,
+            _ => outer_dp,
+        }
+        .max(1);
+        stages.push(PlannedStage {
+            index: tg_idx,
+            devices,
+            send_bytes_per_micro: send_bytes,
+            collectives_per_micro: collectives,
+            param_bytes: profile.param_bytes,
+            dp_degree,
+        });
+    }
+
+    // 6. Bridges between consecutive TaskGraphs (only meaningful outside
+    // strict stage→stage pipelines, where the pattern is Identity anyway).
+    for i in 0..num_stages.saturating_sub(1) {
+        let (a, b) = (&task_graphs[i], &task_graphs[i + 1]);
+        let deg_a = vds0[i].num_gpus();
+        let deg_b = vds0[i + 1].num_gpus();
+        // Same virtual device at equal degree: the tensor is already
+        // distributed exactly as the consumer expects (the MoE layout —
+        // replica output feeds the co-located shard directly; the split
+        // pattern's own AllToAll performs any redistribution), so the
+        // Gather/Partition pair fuses away entirely (Fig. 8).
+        if deg_a == deg_b && vds0[i] == vds0[i + 1] {
+            continue;
+        }
+        let chain = connect(a.innermost(), deg_a, b.innermost(), deg_b);
+        if chain.is_empty() {
+            continue;
+        }
+        let boundary: u64 = a.exit_tensors(&ir.graph).iter().map(|(_, b)| b).sum();
+        let micro_scale =
+            group_batches[0] as f64 / (num_micro as f64 * ir.global_batch.max(1) as f64);
+        let moved = (chain_bytes(&chain, boundary) as f64 * micro_scale) as u64;
+        if moved == 0 {
+            continue;
+        }
+        for (g, group) in groups.iter().enumerate() {
+            let offset = group[0] - groups[0][0];
+            let mut union: Vec<usize> = vds0[i]
+                .gpu_ids()
+                .iter()
+                .chain(vds0[i + 1].gpu_ids())
+                .map(|&id| id + offset)
+                .collect();
+            union.sort_unstable();
+            union.dedup();
+            stages[i + 1].collectives_per_micro.push(CollectiveTask {
+                kind: Collective::Broadcast,
+                group: union,
+                bytes: moved,
+                label: format!("bridge tg{i}→tg{} (replica {g})", i + 1),
+                stage: Some(i + 1),
+            });
+        }
+    }
+
+    let grad_syncs = grad_groups
+        .into_iter()
+        .filter(|(_, group, _, _)| group.len() > 1)
+        .map(|(label, group, bytes, stage)| CollectiveTask {
+            kind: Collective::AllReduce,
+            group,
+            bytes,
+            label,
+            stage: Some(stage),
+        })
+        .collect();
+
+    let plan = ExecutionPlan {
+        name: ir.graph.name().to_string(),
+        global_batch: ir.global_batch,
+        num_micro_batches: num_micro,
+        stages,
+        grad_syncs,
+        training: config.training,
+        efficiency: config.efficiency,
+    };
+    plan.validate(cluster)?;
+    Ok(plan)
+}
+
+/// Auto-partition a pipeline into one stage per GPU of a plan replica
+/// (Example 4: "the stage number is set to the number of virtual devices").
+fn auto_stages(
+    ir: &WhaleIr,
+    cluster: &Cluster,
+    config: &PlannerConfig,
+    group: &[usize],
+    group_batch: usize,
+    num_micro: usize,
+    gpipe: bool,
+) -> Result<Vec<TaskGraph>> {
+    let gpus: Vec<whale_hardware::Gpu> = group
+        .iter()
+        .map(|&id| Ok(*cluster.gpu(id)?))
+        .collect::<Result<_>>()?;
+    let micro_batch = (group_batch / num_micro).max(1);
+    let part = pipeline_partition(
+        &ir.graph,
+        &config.training,
+        &gpus,
+        micro_batch,
+        num_micro,
+        gpipe,
+        ir.global_batch.max(1),
+        config.hardware_aware,
+    )?;
+    Ok((0..part.num_stages())
+        .map(|k| TaskGraph::new(k, part.stage_ops(k), vec![Primitive::Stage]))
+        .collect())
+}
+
+/// Resolve per-TaskGraph virtual devices inside plan replica 0.
+fn resolve_devices(
+    config: &PlannerConfig,
+    group: &[usize],
+    task_graphs: &[TaskGraph],
+    pipelined: bool,
+) -> Result<Vec<VirtualDevice>> {
+    let num_stages = task_graphs.len();
+    match &config.devices {
+        DeviceAssignment::PerTaskGraph(vds) => {
+            if vds.len() != num_stages {
+                return Err(PlanError::BadDeviceAssignment(format!(
+                    "{} virtual devices for {} TaskGraphs",
+                    vds.len(),
+                    num_stages
+                )));
+            }
+            Ok(vds.clone())
+        }
+        DeviceAssignment::Auto => {
+            // Without a pipeline, replica/split TaskGraphs execute
+            // sequentially and share the whole virtual device — the MoE
+            // layout of Example 8, where attention is replicated on all
+            // GPUs and experts are split across the same GPUs. All-`stage`
+            // TaskGraphs are vanilla model parallelism instead (Example 2)
+            // and need disjoint placements, handled by the slicing below.
+            let vanilla_mp = task_graphs
+                .iter()
+                .all(|tg| tg.innermost() == Primitive::Stage);
+            if !pipelined && !vanilla_mp {
+                let vd = VirtualDevice::new(group.to_vec())?;
+                return Ok(vec![vd; num_stages]);
+            }
+            if !group.len().is_multiple_of(num_stages) {
+                return Err(PlanError::BadDeviceAssignment(format!(
+                    "{} GPUs not divisible across {} TaskGraphs",
+                    group.len(),
+                    num_stages
+                )));
+            }
+            let per = group.len() / num_stages;
+            (0..num_stages)
+                .map(|i| {
+                    VirtualDevice::new(group[i * per..(i + 1) * per].to_vec())
+                        .map_err(PlanError::from)
+                })
+                .collect()
+        }
+    }
+}
+
+struct PlanTgArgs<'a> {
+    ir: &'a WhaleIr,
+    cluster: &'a Cluster,
+    config: &'a PlannerConfig,
+    tg: &'a TaskGraph,
+    profile: &'a CostProfile,
+    vd_gpus: &'a [usize],
+    group_batch: usize,
+    num_micro: usize,
+    stage_index: usize,
+    num_stages: usize,
+    gpipe: bool,
+    /// Plan-level DP degree (number of plan replicas) — combined with the
+    /// in-group replica count it gives ZeRO its shard count.
+    outer_dp: usize,
+}
+
+/// Plan one TaskGraph on one plan replica's virtual device.
+fn plan_taskgraph(
+    a: PlanTgArgs<'_>,
+    devices: &mut Vec<DeviceWork>,
+    collectives: &mut Vec<CollectiveTask>,
+) -> Result<()> {
+    let in_flight = in_flight_micro_batches(a.stage_index, a.num_stages, a.num_micro, a.gpipe);
+    let act_mult = in_flight as f64 / a.num_micro as f64;
+    let k = a.vd_gpus.len();
+    let fw_per_sample = a.profile.forward_flops_per_sample;
+
+    match a.tg.strategies.as_slice() {
+        // Pure data parallelism (possibly via default scope).
+        [] | [Primitive::Replica] => {
+            let gpus: Vec<whale_hardware::Gpu> = a
+                .vd_gpus
+                .iter()
+                .map(|&id| Ok(*a.cluster.gpu(id)?))
+                .collect::<Result<_>>()?;
+            // ZeRO shards across every replica of this TaskGraph: in-group
+            // replicas times plan-level copies.
+            let mut tcfg = a.config.training;
+            tcfg.dp_shards = (k * a.outer_dp).max(1);
+            let dp = dp_partition(
+                a.profile,
+                &tcfg,
+                &gpus,
+                a.group_batch,
+                act_mult,
+                a.config.hardware_aware,
+            )?;
+            for (i, &gpu) in a.vd_gpus.iter().enumerate() {
+                let bs = dp.batch_sizes[i];
+                devices.push(DeviceWork {
+                    gpu,
+                    fw_flops_per_micro: fw_per_sample * bs as f64 / a.num_micro as f64,
+                    mem_traffic_per_micro: a.profile.memory_traffic_bytes_per_sample * bs as f64
+                        / a.num_micro as f64,
+                    mem_bytes: tcfg.memory_bytes(a.profile, bs, act_mult),
+                    samples_per_step: bs,
+                });
+            }
+        }
+        // Tensor model parallelism.
+        [Primitive::Split] => {
+            shard_onto(&a, a.vd_gpus, a.group_batch, act_mult, devices, collectives)?;
+        }
+        // Manual grouping: the TaskGraph runs whole on one GPU per replica.
+        [Primitive::Stage] => {
+            if k != 1 {
+                return Err(PlanError::BadDeviceAssignment(format!(
+                    "stage TaskGraph {} needs a 1-GPU virtual device, got {k}",
+                    a.tg.index
+                )));
+            }
+            let mut tcfg = a.config.training;
+            tcfg.dp_shards = a.outer_dp.max(1);
+            devices.push(DeviceWork {
+                gpu: a.vd_gpus[0],
+                fw_flops_per_micro: fw_per_sample * a.group_batch as f64 / a.num_micro as f64,
+                mem_traffic_per_micro: a.profile.memory_traffic_bytes_per_sample
+                    * a.group_batch as f64
+                    / a.num_micro as f64,
+                mem_bytes: tcfg.memory_bytes(a.profile, a.group_batch, act_mult),
+                samples_per_step: a.group_batch,
+            });
+        }
+        // Fig. 6 TG4: split nested inside replica — shard groups replicated.
+        [Primitive::Split, Primitive::Replica] => {
+            let (s, r) = nested_degrees(k);
+            let sub_batches =
+                crate::partition::proportional_split(a.group_batch, &vec![1.0; r])?;
+            for (rep, chunk) in a.vd_gpus.chunks(s).enumerate() {
+                shard_onto(&a, chunk, sub_batches[rep], act_mult, devices, collectives)?;
+            }
+        }
+        // Replica nested inside split: replica groups each own a shard.
+        [Primitive::Replica, Primitive::Split] => {
+            let (s, r) = nested_degrees(k);
+            for shard_gpus in a.vd_gpus.chunks(r) {
+                let gpus: Vec<whale_hardware::Gpu> = shard_gpus
+                    .iter()
+                    .map(|&id| Ok(*a.cluster.gpu(id)?))
+                    .collect::<Result<_>>()?;
+                let dp = dp_partition(
+                    a.profile,
+                    &a.config.training,
+                    &gpus,
+                    a.group_batch,
+                    act_mult / s as f64,
+                    a.config.hardware_aware,
+                )?;
+                for (i, &gpu) in shard_gpus.iter().enumerate() {
+                    let bs = dp.batch_sizes[i];
+                    devices.push(DeviceWork {
+                        gpu,
+                        fw_flops_per_micro: fw_per_sample * bs as f64
+                            / (a.num_micro as f64 * s as f64),
+                        mem_traffic_per_micro: a.profile.memory_traffic_bytes_per_sample
+                            * bs as f64
+                            / (a.num_micro as f64 * s as f64),
+                        mem_bytes: a
+                            .config
+                            .training
+                            .memory_bytes(a.profile, bs, act_mult / s as f64),
+                        samples_per_step: bs,
+                    });
+                }
+            }
+        }
+        other => {
+            return Err(PlanError::BadIr(format!(
+                "unsupported strategy nesting {other:?} on TaskGraph {}",
+                a.tg.index
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Shard one TaskGraph over `shard_gpus` processing `batch` samples.
+fn shard_onto(
+    a: &PlanTgArgs<'_>,
+    shard_gpus: &[usize],
+    batch: usize,
+    act_mult: f64,
+    devices: &mut Vec<DeviceWork>,
+    collectives: &mut Vec<CollectiveTask>,
+) -> Result<()> {
+    let k = shard_gpus.len();
+    let split = match_split_pattern(&a.ir.graph, &a.tg.ops, k)?;
+    let fw_per_sample = a.profile.forward_flops_per_sample;
+    // Shard-local profile: parameters and activations divided across shards.
+    let shard_profile = CostProfile {
+        param_count: (a.profile.param_count as f64 * split.param_fraction) as u64,
+        param_bytes: (a.profile.param_bytes as f64 * split.param_fraction) as u64,
+        forward_flops_per_sample: fw_per_sample * split.flops_fraction,
+        activation_bytes_per_sample: a.profile.activation_bytes_per_sample
+            * split.flops_fraction,
+        checkpoint_bytes_per_sample: a.profile.checkpoint_bytes_per_sample
+            * split.flops_fraction,
+        memory_traffic_bytes_per_sample: a.profile.memory_traffic_bytes_per_sample
+            * split.flops_fraction,
+        ref_batch: a.profile.ref_batch,
+    };
+    for &gpu in shard_gpus {
+        devices.push(DeviceWork {
+            gpu,
+            fw_flops_per_micro: fw_per_sample * split.flops_fraction * batch as f64
+                / a.num_micro as f64,
+            mem_traffic_per_micro: shard_profile.memory_traffic_bytes_per_sample * batch as f64
+                / a.num_micro as f64,
+            mem_bytes: a
+                .config
+                .training
+                .memory_bytes(&shard_profile, batch, act_mult),
+            samples_per_step: batch,
+        });
+    }
+    let micro_scale = batch as f64 / (a.num_micro as f64 * a.ir.global_batch.max(1) as f64);
+    for (kind, bytes) in &split.collectives {
+        let scaled = (*bytes as f64 * micro_scale) as u64;
+        if scaled == 0 || k < 2 {
+            continue;
+        }
+        collectives.push(CollectiveTask {
+            kind: *kind,
+            group: shard_gpus.to_vec(),
+            bytes: scaled,
+            label: format!("{:?} split tg{}", split.pattern, a.tg.index),
+            stage: Some(a.stage_index),
+        });
+    }
+    Ok(())
+}
+
+/// Pick nesting degrees `(split, replica)` with `split·replica = k`,
+/// preferring the most balanced divisor pair.
+fn nested_degrees(k: usize) -> (usize, usize) {
+    let mut best = (k, 1);
+    let mut best_gap = k;
+    for s in 1..=k {
+        if k.is_multiple_of(s) {
+            let r = k / s;
+            let gap = s.abs_diff(r);
+            if gap < best_gap || (gap == best_gap && s > best.0) {
+                best = (s, r);
+                best_gap = gap;
+            }
+        }
+    }
+    best
+}
+
+/// Assemble gradient-sync groups for one TaskGraph.
+fn build_grad_groups(
+    tg: &TaskGraph,
+    profile: &CostProfile,
+    vd0: &VirtualDevice,
+    groups: &[Vec<usize>],
+    config: &PlannerConfig,
+    out: &mut Vec<(String, Vec<usize>, u64, usize)>,
+) {
+    let grad_bytes_full = if config.training.amp {
+        profile.param_count * 2
+    } else {
+        profile.param_bytes
+    };
+    let k = vd0.num_gpus();
+    let positions: Vec<Vec<usize>> = vd0
+        .gpu_ids()
+        .iter()
+        .map(|&id0| {
+            groups
+                .iter()
+                .map(|g| id0 - groups[0][0] + g[0])
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+    match tg.strategies.as_slice() {
+        // Replicas hold full copies: one big group over every replica of
+        // every plan copy.
+        [] | [Primitive::Replica] => {
+            let mut group: Vec<usize> = positions.into_iter().flatten().collect();
+            group.sort_unstable();
+            out.push((format!("dp sync tg{}", tg.index), group, grad_bytes_full, tg.index));
+        }
+        // Shards are unique; only plan-level copies need syncing.
+        [Primitive::Split] => {
+            let per_shard = grad_bytes_full / k.max(1) as u64;
+            for (i, pos) in positions.into_iter().enumerate() {
+                out.push((format!("split sync tg{} shard{i}", tg.index), pos, per_shard, tg.index));
+            }
+        }
+        [Primitive::Stage] => {
+            let pos = positions.into_iter().flatten().collect();
+            out.push((format!("stage sync tg{}", tg.index), pos, grad_bytes_full, tg.index));
+        }
+        [Primitive::Split, Primitive::Replica] => {
+            let (s, _r) = nested_degrees(k);
+            // Shard j is replicated in every chunk and every plan copy.
+            for j in 0..s {
+                let mut group = Vec::new();
+                for (idx, pos) in positions.iter().enumerate() {
+                    if idx % s == j {
+                        group.extend_from_slice(pos);
+                    }
+                }
+                group.sort_unstable();
+                out.push((
+                    format!("nested sync tg{} shard{j}", tg.index),
+                    group,
+                    grad_bytes_full / s as u64,
+                    tg.index,
+                ));
+            }
+        }
+        [Primitive::Replica, Primitive::Split] => {
+            let (s, r) = nested_degrees(k);
+            for shard in 0..s {
+                let mut group = Vec::new();
+                for (idx, pos) in positions.iter().enumerate() {
+                    if idx / r == shard {
+                        group.extend_from_slice(pos);
+                    }
+                }
+                group.sort_unstable();
+                out.push((
+                    format!("nested sync tg{} shard{shard}", tg.index),
+                    group,
+                    grad_bytes_full / s as u64,
+                    tg.index,
+                ));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    #[test]
+    fn nested_degree_selection() {
+        assert_eq!(nested_degrees(4), (2, 2));
+        assert_eq!(nested_degrees(8), (4, 2));
+        assert_eq!(nested_degrees(1), (1, 1));
+        assert_eq!(nested_degrees(6), (3, 2));
+        assert_eq!(nested_degrees(7), (7, 1));
+    }
+
+    #[test]
+    fn pure_dp_plan_on_hetero_cluster() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        assert_eq!(p.stages.len(), 1);
+        assert_eq!(p.stages[0].devices.len(), 16);
+        let total: usize = p.stages[0].devices.iter().map(|d| d.samples_per_step).sum();
+        assert_eq!(total, 64);
+        // V100 replicas get more samples.
+        assert!(p.stages[0].devices[0].samples_per_step > p.stages[0].devices[8].samples_per_step);
+        // One big gradient-sync group over 16 GPUs.
+        assert_eq!(p.grad_syncs.len(), 1);
+        assert_eq!(p.grad_syncs[0].group.len(), 16);
+    }
+
+    #[test]
+    fn baseline_dp_is_uniform() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+        let cfg = PlannerConfig {
+            hardware_aware: false,
+            ..PlannerConfig::default()
+        };
+        let p = plan(&ir, &cluster, &cfg).unwrap();
+        assert!(p.stages[0].devices.iter().all(|d| d.samples_per_step == 4));
+    }
+
+    #[test]
+    fn auto_pipeline_plan() {
+        let g = models::bert_base(8, 64).unwrap();
+        let ir = Annotator::new(g, 8).auto_pipeline(4).unwrap().finish().unwrap();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        assert_eq!(p.stages.len(), 4);
+        assert_eq!(p.num_micro_batches, 4);
+        // Stage i sits alone on GPU i.
+        for (i, s) in p.stages.iter().enumerate() {
+            assert_eq!(s.gpu_ids(), vec![i]);
+        }
+        // Non-final stages send activations.
+        assert!(p.stages[0].send_bytes_per_micro > 0);
+        assert_eq!(p.stages[3].send_bytes_per_micro, 0);
+    }
+
+    #[test]
+    fn outer_dp_replicates_pipeline() {
+        let g = models::bert_base(16, 64).unwrap();
+        let ir = Annotator::new(g, 16)
+            .outer_replica()
+            .auto_pipeline(4)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("2x(4xV100)").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        assert_eq!(p.stages.len(), 4);
+        // Each stage runs on one GPU per plan replica.
+        for s in &p.stages {
+            assert_eq!(s.devices.len(), 2);
+        }
+        // Per-stage gradient sync across the two plan replicas.
+        assert_eq!(p.grad_syncs.len(), 4);
+        assert!(p.grad_syncs.iter().all(|c| c.group.len() == 2));
+    }
+
+    #[test]
+    fn moe_hybrid_plan() {
+        use whale_ir::Primitive;
+        let g = models::m6_moe(models::MoeConfig::tiny(), 8).unwrap();
+        let ir = Annotator::new(g, 8)
+            .annotate_named("moe_ffn", vec![Primitive::Split])
+            .unwrap()
+            .set_default(Primitive::Replica)
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("1x(4xV100)").unwrap();
+        let cfg = PlannerConfig {
+            devices: DeviceAssignment::PerTaskGraph(
+                (0..ir.num_task_graphs())
+                    .map(|_| VirtualDevice::new((0..4).collect()).unwrap())
+                    .collect(),
+            ),
+            ..PlannerConfig::default()
+        };
+        let p = plan(&ir, &cluster, &cfg).unwrap();
+        // Split TaskGraphs launch AllToAll per micro batch.
+        let has_a2a = p.stages.iter().any(|s| {
+            s.collectives_per_micro
+                .iter()
+                .any(|c| c.kind == Collective::AllToAll)
+        });
+        assert!(has_a2a, "MoE plan must dispatch tokens with AllToAll");
+        // Replica TGs sync over all 4 GPUs; split shards do not sync (single
+        // plan replica).
+        assert!(p.grad_syncs.iter().any(|c| c.group.len() == 4));
+    }
+
+    #[test]
+    fn stage_taskgraph_requires_single_gpu_vd() {
+        let g = models::bert_base(8, 64).unwrap();
+        let n = g.len();
+        let ir = Annotator::new(g, 8)
+            .pipeline(4)
+            .unwrap()
+            .annotate_range(0, n / 2, vec![Primitive::Stage])
+            .unwrap()
+            .annotate_range(n / 2, n, vec![Primitive::Stage])
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        // Auto assignment gives each stage 2 GPUs → must fail loudly.
+        let err = plan(&ir, &cluster, &PlannerConfig::default()).unwrap_err();
+        assert!(matches!(err, PlanError::BadDeviceAssignment(_)));
+    }
+
+    #[test]
+    fn plan_memory_accounting_reports_usage() {
+        let g = models::bert_large(32, 128).unwrap();
+        let ir = Annotator::new(g, 32).replicate_all().unwrap().finish().unwrap();
+        let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let mem = p.memory_per_gpu();
+        assert_eq!(mem.len(), 16);
+        assert!(mem.values().all(|&m| m > 1 << 30), "params + overhead");
+    }
+}

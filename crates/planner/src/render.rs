@@ -1,0 +1,128 @@
+//! Human-readable rendering of execution plans.
+//!
+//! Used by `whale-cli` and handy in tests/examples: a compact, stable text
+//! summary of what the planner decided — stages, devices, batch shares,
+//! memory, collectives, and gradient-sync groups.
+
+use crate::plan::ExecutionPlan;
+use std::fmt::Write as _;
+use whale_hardware::Cluster;
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Render `plan` as a multi-line summary. `cluster` resolves GPU models;
+/// rendering never fails — unknown devices print as `gpu?`.
+pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan '{}': batch {}, {} micro batch(es), {} stage(s), {} GPU(s)",
+        plan.name,
+        plan.global_batch,
+        plan.num_micro_batches,
+        plan.stages.len(),
+        plan.all_gpus().len()
+    );
+    for stage in &plan.stages {
+        let mem_max = stage.devices.iter().map(|d| d.mem_bytes).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "  stage {:>2}: {:>3} device(s), params {:>8.1} MB, mem ≤ {:>5.1} GiB, dp×{}",
+            stage.index,
+            stage.devices.len(),
+            stage.param_bytes as f64 / 1e6,
+            gib(mem_max),
+            stage.dp_degree,
+        );
+        for d in &stage.devices {
+            let model = cluster
+                .gpu(d.gpu)
+                .map(|g| g.model.to_string())
+                .unwrap_or_else(|_| "gpu?".into());
+            let _ = writeln!(
+                out,
+                "      gpu{:<3} {:<10} batch {:>4}  {:>7.2} GFLOP/micro  {:>5.1} GiB",
+                d.gpu,
+                model,
+                d.samples_per_step,
+                d.fw_flops_per_micro / 1e9,
+                gib(d.mem_bytes),
+            );
+        }
+        for c in &stage.collectives_per_micro {
+            let _ = writeln!(
+                out,
+                "      comm {:?} over {} rank(s), {:.1} MB — {}",
+                c.kind,
+                c.group.len(),
+                c.bytes as f64 / 1e6,
+                c.label
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  gradient sync: {} group(s), {:.1} MB per step",
+        plan.grad_syncs.len(),
+        plan.grad_sync_bytes() as f64 / 1e6
+    );
+    for c in &plan.grad_syncs {
+        let _ = writeln!(
+            out,
+            "      {:?} over {} rank(s), {:.1} MB — {}",
+            c.kind,
+            c.group.len(),
+            c.bytes as f64 / 1e6,
+            c.label
+        );
+    }
+    out
+}
+
+/// One-line digest: `"<stages>s/<gpus>g/<micro>m <batch>b"`.
+pub fn digest(plan: &ExecutionPlan) -> String {
+    format!(
+        "{}s/{}g/{}m {}b",
+        plan.stages.len(),
+        plan.all_gpus().len(),
+        plan.num_micro_batches,
+        plan.global_batch
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan, PlannerConfig};
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    #[test]
+    fn render_includes_every_section() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let cluster = Cluster::parse("2xV100,2xP100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let r = render_plan(&p, &cluster);
+        assert!(r.contains("plan 'resnet50'"));
+        assert!(r.contains("stage  0"));
+        assert!(r.contains("V100-32GB"));
+        assert!(r.contains("P100-16GB"));
+        assert!(r.contains("gradient sync: 1 group(s)"));
+        assert_eq!(digest(&p), "1s/4g/1m 64b");
+    }
+
+    #[test]
+    fn render_survives_foreign_cluster() {
+        // Rendering against a smaller cluster (unknown GPUs) must not panic.
+        let g = models::resnet50(16).unwrap();
+        let ir = Annotator::new(g, 16).replicate_all().unwrap().finish().unwrap();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let tiny = Cluster::parse("1xV100").unwrap();
+        let r = render_plan(&p, &tiny);
+        assert!(r.contains("gpu?"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Split-pattern matching for `split` TaskGraphs (§4, "TaskGraph Partition").
+//!
+//! Whale shards a `split` TaskGraph by matching predefined patterns — MoE
+//! (GShard-style expert sharding), Megatron-style MLP sharding, and
+//! large-scale-classification FC sharding — and inserts the communication
+//! each pattern requires to stay mathematically equivalent.
+
+use serde::{Deserialize, Serialize};
+use whale_graph::{Graph, OpId, OpKind};
+use whale_hardware::Collective;
+
+use crate::error::{PlanError, Result};
+
+/// Recognized sharding patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitPattern {
+    /// Mixture-of-Experts: experts distributed across shards; tokens routed
+    /// with AllToAll dispatch and combine (paper Example 8 / ref \[21\]).
+    Moe,
+    /// Megatron-style MLP: column-parallel up-projection, row-parallel
+    /// down-projection, one AllReduce on the block output (ref \[38\]).
+    MegatronMlp,
+    /// Large classification FC: the weight is column-sharded, every shard
+    /// computes a logit slice, outputs are AllGathered (ref \[20\]).
+    LargeFc,
+    /// Fallback: even shard with an AllGather of the boundary outputs.
+    Generic,
+}
+
+/// How a `split` TaskGraph is distributed over `degree` shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Which pattern matched.
+    pub pattern: SplitPattern,
+    /// Shard count.
+    pub degree: usize,
+    /// Fraction of the TaskGraph's FLOPs each shard executes.
+    pub flops_fraction: f64,
+    /// Fraction of the TaskGraph's parameters each shard stores.
+    pub param_fraction: f64,
+    /// Collectives per step at the graph's reference batch, as
+    /// `(kind, full-tensor bytes)`; the planner scales bytes to the micro
+    /// batch.
+    pub collectives: Vec<(Collective, u64)>,
+}
+
+/// Match the sharding pattern of `ops` and produce a [`SplitPlan`] for
+/// `degree` shards.
+pub fn match_split_pattern(graph: &Graph, ops: &[OpId], degree: usize) -> Result<SplitPlan> {
+    if degree == 0 {
+        return Err(PlanError::BadConfig("split degree must be ≥ 1".into()));
+    }
+    if ops.is_empty() {
+        return Err(PlanError::BadIr("split TaskGraph has no ops".into()));
+    }
+    let even = 1.0 / degree as f64;
+
+    // MoE: expert weights shard perfectly; tokens cross shards twice.
+    for &id in ops {
+        let op = graph.op(id).map_err(|e| PlanError::BadIr(e.to_string()))?;
+        if let OpKind::MoeFfn {
+            tokens,
+            hidden,
+            top_k,
+            ..
+        } = op.kind
+        {
+            // Dispatch sends each token to `top_k` experts, combine brings
+            // the results back: two AllToAlls of top_k-amplified activations.
+            let payload = (tokens as u64) * (hidden as u64) * 4 * top_k as u64;
+            return Ok(SplitPlan {
+                pattern: SplitPattern::Moe,
+                degree,
+                flops_fraction: even,
+                param_fraction: even,
+                collectives: vec![
+                    (Collective::AllToAll, payload),
+                    (Collective::AllToAll, payload),
+                ],
+            });
+        }
+    }
+
+    // Collect parameterized matmuls in topological order.
+    let param_mms: Vec<&whale_graph::Op> = ops
+        .iter()
+        .filter_map(|&id| graph.op(id).ok())
+        .filter(|op| matches!(op.kind, OpKind::MatMul { has_params: true, .. }))
+        .collect();
+
+    // Megatron MLP: consecutive up/down projections (first output dim feeds
+    // the second's contraction dim) → one AllReduce of the block output.
+    if param_mms.len() >= 2 {
+        for pair in param_mms.windows(2) {
+            let (up, down) = (pair[0], pair[1]);
+            if let (
+                OpKind::MatMul { n: up_n, .. },
+                OpKind::MatMul { k: down_k, n: _, .. },
+            ) = (&up.kind, &down.kind)
+            {
+                if up_n == down_k {
+                    let out_bytes = down.output_bytes();
+                    return Ok(SplitPlan {
+                        pattern: SplitPattern::MegatronMlp,
+                        degree,
+                        flops_fraction: even,
+                        param_fraction: even,
+                        collectives: vec![(Collective::AllReduce, out_bytes)],
+                    });
+                }
+            }
+        }
+    }
+
+    // Large FC: a single dominant parameterized matmul (possibly followed by
+    // softmax/loss) → shards hold logit slices; AllGather reassembles them.
+    if let Some(fc) = param_mms
+        .iter()
+        .max_by(|a, b| a.param_count().cmp(&b.param_count()))
+    {
+        let out_bytes = fc.output_bytes();
+        return Ok(SplitPlan {
+            pattern: SplitPattern::LargeFc,
+            degree,
+            flops_fraction: even,
+            param_fraction: even,
+            collectives: vec![(Collective::AllGather, out_bytes)],
+        });
+    }
+
+    // Fallback: shard evenly and gather whatever leaves the TaskGraph.
+    let boundary: u64 = graph.boundary_outputs(ops).iter().map(|(_, b)| b).sum();
+    Ok(SplitPlan {
+        pattern: SplitPattern::Generic,
+        degree,
+        flops_fraction: even,
+        param_fraction: even,
+        collectives: vec![(Collective::AllGather, boundary.max(1))],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models::{self, MoeConfig};
+    use whale_graph::GraphBuilder;
+
+    #[test]
+    fn moe_pattern_detected() {
+        let g = models::m6_moe(MoeConfig::tiny(), 2).unwrap();
+        let moe_ops: Vec<OpId> = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.contains("moe_ffn") || o.name.contains("gating"))
+            .map(|o| o.id)
+            .collect();
+        let plan = match_split_pattern(&g, &moe_ops, 8).unwrap();
+        assert_eq!(plan.pattern, SplitPattern::Moe);
+        assert_eq!(plan.collectives.len(), 2, "dispatch + combine");
+        assert!(plan
+            .collectives
+            .iter()
+            .all(|(k, _)| *k == Collective::AllToAll));
+        assert!((plan.param_fraction - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_fc_pattern_detected() {
+        let g = models::imagenet_100k(8).unwrap();
+        let fc_ops: Vec<OpId> = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.contains("fc_big") || o.name.contains("softmax"))
+            .map(|o| o.id)
+            .collect();
+        let plan = match_split_pattern(&g, &fc_ops, 2).unwrap();
+        assert_eq!(plan.pattern, SplitPattern::LargeFc);
+        assert_eq!(plan.collectives[0].0, Collective::AllGather);
+        // Logits are 8×100000 floats.
+        assert_eq!(plan.collectives[0].1, 8 * 100_000 * 4);
+    }
+
+    #[test]
+    fn megatron_mlp_pattern_detected() {
+        let mut b = GraphBuilder::new("mlp");
+        let x = b.input("x", &[8, 1024]).unwrap();
+        let up = b.dense("up", x, 8, 1024, 4096).unwrap();
+        b.dense("down", up, 8, 4096, 1024).unwrap();
+        let g = b.finish();
+        let ops: Vec<OpId> = g.ops().iter().skip(1).map(|o| o.id).collect();
+        let plan = match_split_pattern(&g, &ops, 4).unwrap();
+        assert_eq!(plan.pattern, SplitPattern::MegatronMlp);
+        assert_eq!(plan.collectives, vec![(Collective::AllReduce, 8 * 1024 * 4)]);
+    }
+
+    #[test]
+    fn generic_fallback_for_parameterless_ops() {
+        let mut b = GraphBuilder::new("gen");
+        let x = b.input("x", &[8, 64]).unwrap();
+        let s = b.softmax("sm", x).unwrap();
+        b.elementwise("ew", vec![s], 1).unwrap();
+        let g = b.finish();
+        let ops: Vec<OpId> = vec![OpId(1)];
+        let plan = match_split_pattern(&g, &ops, 2).unwrap();
+        assert_eq!(plan.pattern, SplitPattern::Generic);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let g = models::bert_base(1, 32).unwrap();
+        assert!(match_split_pattern(&g, &[], 2).is_err());
+        assert!(match_split_pattern(&g, &[OpId(0)], 0).is_err());
+    }
+}

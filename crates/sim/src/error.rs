@@ -1,0 +1,41 @@
+//! Error type for simulation.
+
+use std::fmt;
+
+/// Errors raised while simulating an execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The plan referenced devices or structure the cluster lacks.
+    BadPlan(String),
+    /// Hardware-model failure (unknown device, bad group).
+    Hardware(String),
+    /// Scheduling produced an inconsistent task graph (a bug if it happens).
+    Schedule(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadPlan(s) => write!(f, "bad plan: {s}"),
+            SimError::Hardware(s) => write!(f, "hardware error: {s}"),
+            SimError::Schedule(s) => write!(f, "schedule error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<whale_hardware::HardwareError> for SimError {
+    fn from(e: whale_hardware::HardwareError) -> Self {
+        SimError::Hardware(e.to_string())
+    }
+}
+
+impl From<whale_planner::PlanError> for SimError {
+    fn from(e: whale_planner::PlanError) -> Self {
+        SimError::BadPlan(e.to_string())
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,132 @@
+//! Step-level metrics: time, throughput, utilization (SMACT proxy).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use whale_hardware::GpuModel;
+
+/// Per-GPU accounting for one simulated step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuStat {
+    /// Global GPU id.
+    pub gpu: usize,
+    /// Hardware model.
+    pub model: GpuModel,
+    /// Seconds the GPU spent computing (forward + backward kernels).
+    pub busy: f64,
+    /// `busy / step_time` — our proxy for the paper's SMACT metric
+    /// (Streaming-Multiprocessor Activity, Tables 2-3).
+    pub utilization: f64,
+    /// Estimated memory demand, bytes.
+    pub mem_bytes: u64,
+    /// Memory capacity, bytes.
+    pub mem_capacity: u64,
+}
+
+/// Result of simulating one training step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepStats {
+    /// Wall-clock seconds per training step.
+    pub step_time: f64,
+    /// Makespan of the compute/pipeline phase (before gradient sync).
+    pub compute_makespan: f64,
+    /// Total gradient-synchronization time (if run back-to-back).
+    pub sync_time_total: f64,
+    /// Sync time left exposed after overlapping with backward compute.
+    pub sync_time_exposed: f64,
+    /// Optimizer (parameter-update) time on the critical path.
+    pub optimizer_time: f64,
+    /// Samples per second at this plan's global batch.
+    pub throughput: f64,
+    /// Per-GPU stats, ordered by GPU id.
+    pub per_gpu: Vec<GpuStat>,
+    /// GPUs whose estimated memory demand exceeds capacity.
+    pub oom_gpus: Vec<usize>,
+}
+
+impl StepStats {
+    /// Mean utilization per GPU model — the shape Tables 2-3 report.
+    pub fn utilization_by_model(&self) -> BTreeMap<String, f64> {
+        let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+        for g in &self.per_gpu {
+            let e = sums.entry(g.model.to_string()).or_insert((0.0, 0));
+            e.0 += g.utilization;
+            e.1 += 1;
+        }
+        sums.into_iter()
+            .map(|(k, (s, n))| (k, s / n as f64))
+            .collect()
+    }
+
+    /// Pipeline bubble ratio: idle fraction of the compute phase averaged
+    /// over participating GPUs.
+    pub fn bubble_ratio(&self) -> f64 {
+        if self.compute_makespan <= 0.0 || self.per_gpu.is_empty() {
+            return 0.0;
+        }
+        let avg_busy: f64 =
+            self.per_gpu.iter().map(|g| g.busy).sum::<f64>() / self.per_gpu.len() as f64;
+        (1.0 - avg_busy / self.compute_makespan).max(0.0)
+    }
+
+    /// Whether any GPU is out of memory.
+    pub fn has_oom(&self) -> bool {
+        !self.oom_gpus.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(gpu: usize, model: GpuModel, busy: f64, util: f64) -> GpuStat {
+        GpuStat {
+            gpu,
+            model,
+            busy,
+            utilization: util,
+            mem_bytes: 1,
+            mem_capacity: 2,
+        }
+    }
+
+    #[test]
+    fn utilization_groups_by_model() {
+        let s = StepStats {
+            step_time: 1.0,
+            compute_makespan: 1.0,
+            sync_time_total: 0.0,
+            sync_time_exposed: 0.0,
+            optimizer_time: 0.0,
+            throughput: 32.0,
+            per_gpu: vec![
+                stat(0, GpuModel::V100_32GB, 0.5, 0.5),
+                stat(1, GpuModel::V100_32GB, 0.7, 0.7),
+                stat(2, GpuModel::P100_16GB, 0.9, 0.9),
+            ],
+            oom_gpus: vec![],
+        };
+        let by = s.utilization_by_model();
+        assert!((by["V100-32GB"] - 0.6).abs() < 1e-12);
+        assert!((by["P100-16GB"] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bubble_ratio_bounds() {
+        let s = StepStats {
+            step_time: 2.0,
+            compute_makespan: 2.0,
+            sync_time_total: 0.0,
+            sync_time_exposed: 0.0,
+            optimizer_time: 0.0,
+            throughput: 16.0,
+            per_gpu: vec![
+                stat(0, GpuModel::V100_32GB, 1.0, 0.5),
+                stat(1, GpuModel::V100_32GB, 2.0, 1.0),
+            ],
+            oom_gpus: vec![],
+        };
+        let b = s.bubble_ratio();
+        assert!((b - 0.25).abs() < 1e-12);
+        assert!(!s.has_oom());
+    }
+}

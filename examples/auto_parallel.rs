@@ -1,0 +1,43 @@
+//! Automatic parallelism (paper Example 6: `wh.auto_parallel()`).
+//!
+//! Run with: `cargo run --example auto_parallel`
+//!
+//! Lets Whale explore strategies for two very different models: BERT-Base
+//! (fits everywhere → DP should win) and M6-10B (cannot fit a replica →
+//! pipelines are mandatory). Prints every evaluated candidate with its
+//! verdict.
+
+use whale::{auto_parallel, models, Session};
+
+fn explore(
+    title: &str,
+    cluster: &str,
+    batch: usize,
+    build: impl Fn() -> whale::Result<whale::Graph>,
+) -> whale::Result<()> {
+    println!("== {title} on {cluster}, global batch {batch}");
+    let session = Session::on_cluster(cluster)?;
+    let report = auto_parallel(&session, batch, build)?;
+    for c in &report.candidates {
+        match (&c.stats, &c.rejected) {
+            (Some(s), _) => println!(
+                "  {:<24} step {:>8.3} s  throughput {:>8.1}/s",
+                c.name, s.step_time, s.throughput
+            ),
+            (None, Some(why)) => println!("  {:<24} rejected: {why}", c.name),
+            _ => {}
+        }
+    }
+    println!("  → chose {}\n", report.chosen);
+    Ok(())
+}
+
+fn main() -> whale::Result<()> {
+    explore("BERT-Base", "2x(4xV100)", 256, || {
+        Ok(models::bert_base(256, 128).expect("build"))
+    })?;
+    explore("M6-10B", "2x(8xV100)", 64, || {
+        Ok(models::m6_10b(64).expect("build"))
+    })?;
+    Ok(())
+}

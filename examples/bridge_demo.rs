@@ -1,0 +1,72 @@
+//! Bridge layers and fusion (Figs. 7-9).
+//!
+//! Run with: `cargo run --example bridge_demo`
+//!
+//! Shows the bridge chains Whale inserts between TaskGraphs with different
+//! parallelism and how opposite bridges fuse away: DP(3)→DP(2) (Fig. 9)
+//! keeps its Gather/Partition pair, while DP(4)→DP(4) fuses to nothing.
+
+use whale::Primitive;
+use whale_planner::bridge::{bridge_pattern, chain_bytes, connect, fuse, Bridge};
+
+fn show(label: &str, producer: Primitive, n: usize, consumer: Primitive, m: usize, bytes: u64) {
+    let raw = [
+        bridge_pattern(producer, n).output,
+        bridge_pattern(consumer, m).input,
+    ];
+    let fused = connect(producer, n, consumer, m);
+    println!("{label}:");
+    println!("  raw chain:   {raw:?}");
+    println!("  fused chain: {fused:?}");
+    println!(
+        "  bytes moved: {} MB raw → {} MB fused",
+        chain_bytes(&raw, bytes) >> 20,
+        chain_bytes(&fused, bytes) >> 20
+    );
+}
+
+fn main() {
+    let tensor = 256u64 << 20; // a 256 MB activation tensor
+
+    show(
+        "Fig. 8 — replica(4) → replica(4), same degree",
+        Primitive::Replica,
+        4,
+        Primitive::Replica,
+        4,
+        tensor,
+    );
+    show(
+        "\nFig. 9 — replica(3) → replica(2), mismatched degree",
+        Primitive::Replica,
+        3,
+        Primitive::Replica,
+        2,
+        tensor,
+    );
+    show(
+        "\nsplit(2) → replica(4)",
+        Primitive::Split,
+        2,
+        Primitive::Replica,
+        4,
+        tensor,
+    );
+    show(
+        "\nstage → stage (pipeline neighbours)",
+        Primitive::Stage,
+        1,
+        Primitive::Stage,
+        1,
+        tensor,
+    );
+
+    // Fusion is not just pair-wise: longer chains collapse too.
+    let chain = [
+        Bridge::Gather(4),
+        Bridge::Partition(4),
+        Bridge::Gather(2),
+        Bridge::Partition(2),
+    ];
+    println!("\nlong chain {chain:?}\n  fuses to {:?}", fuse(&chain));
+}

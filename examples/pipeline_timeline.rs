@@ -1,0 +1,53 @@
+//! Pipeline schedules visualized (Figs. 3 and 12).
+//!
+//! Run with: `cargo run --example pipeline_timeline`
+//!
+//! Renders backward-first (Whale's default, Fig. 12) and GPipe schedules as
+//! ASCII timelines, on homogeneous and heterogeneous stage devices — the
+//! heterogeneous baseline reproduces Fig. 3's "slow stage2 starves the
+//! others" effect.
+
+use whale::{models, strategies, ScheduleKind, Session};
+use whale_sim::ascii_timeline;
+
+fn render(title: &str, cluster: &str, schedule: ScheduleKind, aware: bool) -> whale::Result<()> {
+    let session = Session::on_cluster(cluster)?
+        .schedule(schedule)
+        .hardware_aware(aware);
+    let graph = models::bert_base(48, 64).expect("build");
+    let ir = strategies::pipeline_only(graph, 48, 6)?;
+    let out = session.step(&ir)?;
+    println!("{title}");
+    println!("  (cluster {cluster}, bubble ratio {:.1}%)", out.stats.bubble_ratio() * 100.0);
+    print!("{}", ascii_timeline(&out, 100));
+    println!();
+    Ok(())
+}
+
+fn main() -> whale::Result<()> {
+    render(
+        "backward-first (1F1B), 4 homogeneous stages — Fig. 12",
+        "1x(4xV100)",
+        ScheduleKind::BackwardFirst,
+        true,
+    )?;
+    render(
+        "GPipe flush, same pipeline — all forwards then all backwards",
+        "1x(4xV100)",
+        ScheduleKind::GPipe,
+        true,
+    )?;
+    render(
+        "FLOP-even stages on mixed GPUs — the slow P100 stages starve V100s (Fig. 3)",
+        "1x(2xP100,2xV100)",
+        ScheduleKind::BackwardFirst,
+        false,
+    )?;
+    render(
+        "hardware-aware stages on the same mixed GPUs (Algorithm 3)",
+        "1x(2xP100,2xV100)",
+        ScheduleKind::BackwardFirst,
+        true,
+    )?;
+    Ok(())
+}

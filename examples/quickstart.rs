@@ -1,0 +1,57 @@
+//! Quickstart: annotate a model with one line, plan, and simulate a step.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Mirrors the paper's Example 1 (pure data parallelism): the local model is
+//! built as usual, `replica` wraps the whole thing, and Whale turns it into
+//! a distributed plan — here on the heterogeneous 8×V100 + 8×P100 testbed of
+//! Fig. 17.
+
+use whale::{models, strategies, Session};
+
+fn main() -> whale::Result<()> {
+    // A cluster spec, exactly like the paper's `cluster()` scope.
+    let session = Session::on_cluster("1x(8xV100)+1x(8xP100)")?;
+
+    // The "three lines" experience: build the model, annotate, run.
+    let graph = models::resnet50(512).expect("build ResNet-50");
+    let ir = strategies::data_parallel(graph, 512)?;
+    let outcome = session.step(&ir)?;
+
+    let stats = &outcome.stats;
+    println!("ResNet-50, global batch 512, data parallelism on 16 mixed GPUs");
+    println!("  step time:   {:.1} ms", stats.step_time * 1e3);
+    println!("  throughput:  {:.0} samples/s", stats.throughput);
+    println!(
+        "  gradient sync: {:.1} ms total, {:.1} ms exposed",
+        stats.sync_time_total * 1e3,
+        stats.sync_time_exposed * 1e3
+    );
+
+    // The hardware-aware partitioner (Algorithm 2) gave the faster V100s
+    // bigger batches; print the per-GPU split.
+    println!("\n  per-GPU batch shares (V100s first, then P100s):");
+    let plan = session.plan(&ir)?;
+    for d in &plan.stages[0].devices {
+        let gpu = session.cluster().gpu(d.gpu)?;
+        println!(
+            "    gpu{:<2} {:<10} batch {:>3}  mem {:>5.1} GiB",
+            d.gpu,
+            gpu.model.to_string(),
+            d.samples_per_step,
+            d.mem_bytes as f64 / (1u64 << 30) as f64
+        );
+    }
+
+    // Compare against the paper's baseline: uniform batches.
+    let baseline = Session::on_cluster("1x(8xV100)+1x(8xP100)")?.hardware_aware(false);
+    let graph = models::resnet50(512).expect("build ResNet-50");
+    let ir = strategies::data_parallel(graph, 512)?;
+    let base = baseline.step(&ir)?;
+    println!(
+        "\n  baseline (uniform batch) step: {:.1} ms → hardware-aware speedup {:.2}x",
+        base.stats.step_time * 1e3,
+        base.stats.step_time / stats.step_time
+    );
+    Ok(())
+}

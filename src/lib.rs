@@ -1,0 +1,7 @@
+//! Umbrella package hosting the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`) for the Whale reproduction.
+//!
+//! The actual library lives in the `whale` crate and its substrates; this
+//! package only re-exports the façade so examples can `use whale_repro::*`.
+
+pub use whale::*;

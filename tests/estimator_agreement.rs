@@ -1,0 +1,73 @@
+//! The analytic estimator must *rank* strategies like the full simulator —
+//! that is its job inside `auto_parallel`. Absolute agreement within a small
+//! factor; ordering agreement always.
+
+use whale::{models, strategies, Session};
+use whale_planner::estimate_step;
+
+fn pair(spec: &str, ir: &whale::WhaleIr) -> (f64, f64) {
+    let session = Session::on_cluster(spec).unwrap();
+    let plan = session.plan(ir).unwrap();
+    let est = estimate_step(&plan, session.cluster()).unwrap().step_time;
+    let sim = session.step_plan(&plan).unwrap().stats.step_time;
+    (est, sim)
+}
+
+#[test]
+fn estimator_tracks_simulator_within_2x() {
+    let cases: Vec<(&str, whale::WhaleIr)> = vec![
+        (
+            "1x(8xV100)",
+            strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap(),
+        ),
+        (
+            "8xV100+8xP100",
+            strategies::data_parallel(models::bert_large(256, 128).unwrap(), 256).unwrap(),
+        ),
+        (
+            "1x(8xV100)",
+            strategies::pipeline_only(models::bert_large(128, 128).unwrap(), 128, 16).unwrap(),
+        ),
+        (
+            "1x(4xV100)",
+            strategies::moe_hybrid(
+                models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(),
+                64,
+            )
+            .unwrap(),
+        ),
+    ];
+    for (spec, ir) in &cases {
+        let (est, sim) = pair(spec, ir);
+        let ratio = est / sim;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{spec}/{}: estimate {est:.4}s vs simulated {sim:.4}s (ratio {ratio:.2})",
+            ir.graph.name()
+        );
+    }
+}
+
+#[test]
+fn estimator_preserves_strategy_ordering() {
+    // DP vs pipeline for a model that fits everywhere: both must agree DP is
+    // faster.
+    let spec = "1x(8xV100)";
+    let dp = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+    let pipe = strategies::pipeline_only(models::resnet50(256).unwrap(), 256, 8).unwrap();
+    let (est_dp, sim_dp) = pair(spec, &dp);
+    let (est_pipe, sim_pipe) = pair(spec, &pipe);
+    assert!(sim_dp < sim_pipe, "simulator: DP wins");
+    assert!(est_dp < est_pipe, "estimator must agree");
+}
+
+#[test]
+fn estimator_preserves_hardware_aware_ordering() {
+    let ir = strategies::data_parallel(models::resnet50(512).unwrap(), 512).unwrap();
+    let mk = |aware: bool| {
+        let s = Session::on_cluster("8xV100+8xP100").unwrap().hardware_aware(aware);
+        let p = s.plan(&ir).unwrap();
+        estimate_step(&p, s.cluster()).unwrap().step_time
+    };
+    assert!(mk(true) < mk(false), "estimator sees the Fig. 17 speedup too");
+}

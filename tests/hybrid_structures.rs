@@ -1,0 +1,151 @@
+//! Structural hybrids from the paper's figures: Fig. 6's four-TaskGraph
+//! nested plan and Fig. 9's mismatched-degree bridge, planned and simulated
+//! end to end.
+
+use whale::{models, Primitive, Session};
+use whale_hardware::{Collective, VirtualDevice};
+use whale_ir::Annotator;
+use whale_planner::DeviceAssignment;
+
+/// Fig. 6: TG1 replica(4), TG2 replica(2), TG3 split(2), TG4 nested
+/// split+replica on 4 GPUs — a 12-GPU plan mixing all strategies.
+#[test]
+fn fig6_four_taskgraph_hybrid() {
+    let g = models::bert_base(32, 64).unwrap();
+    let n = g.len();
+    let q = n / 4;
+    let ir = Annotator::new(g, 32)
+        .annotate_range(0, q, vec![Primitive::Replica])
+        .unwrap()
+        .annotate_range(q, 2 * q, vec![Primitive::Replica])
+        .unwrap()
+        .annotate_range(2 * q, 3 * q, vec![Primitive::Split])
+        .unwrap()
+        .annotate_range(3 * q, n, vec![Primitive::Split, Primitive::Replica])
+        .unwrap()
+        .finish()
+        .unwrap();
+    assert_eq!(ir.num_task_graphs(), 4);
+
+    // Fig. 6(b)'s virtual devices: 4, 2, 2, 4 GPUs.
+    let vds = vec![
+        VirtualDevice::new(vec![0, 1, 2, 3]).unwrap(),
+        VirtualDevice::new(vec![4, 5]).unwrap(),
+        VirtualDevice::new(vec![6, 7]).unwrap(),
+        VirtualDevice::new(vec![8, 9, 10, 11]).unwrap(),
+    ];
+    let session = Session::on_cluster("3x(4xV100)")
+        .unwrap()
+        .devices(DeviceAssignment::PerTaskGraph(vds));
+    let plan = session.plan(&ir).unwrap();
+
+    // TG1: four replicas sharing the batch.
+    assert_eq!(plan.stages[0].devices.len(), 4);
+    let b1: usize = plan.stages[0].devices.iter().map(|d| d.samples_per_step).sum();
+    assert_eq!(b1, 32);
+    // TG2: two replicas, each with double TG1's per-replica share.
+    assert_eq!(plan.stages[1].devices.len(), 2);
+    assert_eq!(plan.stages[1].devices[0].samples_per_step, 16);
+    // TG3: two shards, each carrying the whole batch at half the FLOPs.
+    assert_eq!(plan.stages[2].devices.len(), 2);
+    assert_eq!(plan.stages[2].devices[0].samples_per_step, 32);
+    // TG4: split(2) × replica(2) = 4 devices.
+    assert_eq!(plan.stages[3].devices.len(), 4);
+
+    // Bridges appear where degrees mismatch: TG1(4 replicas) → TG2(2).
+    let has_bridge = plan
+        .stages
+        .iter()
+        .flat_map(|s| &s.collectives_per_micro)
+        .any(|c| c.label.contains("bridge"));
+    assert!(has_bridge, "mismatched replica degrees need a bridge");
+
+    // Gradient sync: TG1 over its 4 GPUs, TG2 over 2, nested TG4 per shard.
+    assert!(plan.grad_syncs.iter().any(|c| c.group == vec![0, 1, 2, 3]));
+    assert!(plan.grad_syncs.iter().any(|c| c.group == vec![4, 5]));
+
+    let out = session.step_plan(&plan).unwrap();
+    assert!(out.stats.step_time > 0.0);
+    assert!(!out.stats.has_oom());
+}
+
+/// Fig. 9: DP(3) → DP(2) — the gathered tensor must be re-partitioned, so
+/// the bridge traffic survives fusion.
+#[test]
+fn fig9_mismatched_dp_degrees_pay_bridge_traffic() {
+    let g = models::bert_base(30, 64).unwrap();
+    let n = g.len();
+    let ir = Annotator::new(g, 30)
+        .annotate_range(0, n / 2, vec![Primitive::Replica])
+        .unwrap()
+        .annotate_range(n / 2, n, vec![Primitive::Replica])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let vds = vec![
+        VirtualDevice::new(vec![0, 1, 2]).unwrap(),
+        VirtualDevice::new(vec![3, 4]).unwrap(),
+    ];
+    let session = Session::on_cluster("1x(5xV100)")
+        .unwrap()
+        .devices(DeviceAssignment::PerTaskGraph(vds));
+    let plan = session.plan(&ir).unwrap();
+    // Per-replica batches: 10 each upstream, 15 each downstream.
+    assert_eq!(plan.stages[0].devices[0].samples_per_step, 10);
+    assert_eq!(plan.stages[1].devices[0].samples_per_step, 15);
+    let bridge_bytes: u64 = plan
+        .stages
+        .iter()
+        .flat_map(|s| &s.collectives_per_micro)
+        .filter(|c| c.label.contains("bridge"))
+        .map(|c| c.bytes)
+        .sum();
+    assert!(bridge_bytes > 0, "Fig. 9's Gather(3)+Partition(2) moves data");
+}
+
+/// Same-degree, same-device replica chain fuses: no bridge traffic at all
+/// (Fig. 8).
+#[test]
+fn fig8_same_degree_chain_is_free() {
+    let g = models::bert_base(32, 64).unwrap();
+    let n = g.len();
+    let ir = Annotator::new(g, 32)
+        .annotate_range(0, n / 2, vec![Primitive::Replica])
+        .unwrap()
+        .annotate_range(n / 2, n, vec![Primitive::Replica])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let session = Session::on_cluster("1x(4xV100)").unwrap();
+    let plan = session.plan(&ir).unwrap();
+    let bridge_bytes: u64 = plan
+        .stages
+        .iter()
+        .flat_map(|s| &s.collectives_per_micro)
+        .filter(|c| c.label.contains("bridge"))
+        .map(|c| c.bytes)
+        .sum();
+    assert_eq!(bridge_bytes, 0, "Gather(4)∘Partition(4) fuses to identity");
+}
+
+/// Nested [Replica, Split]: replica groups inside shards also plan and run.
+#[test]
+fn nested_replica_inside_split_plans() {
+    let g = models::bert_base(32, 64).unwrap();
+    let n = g.len();
+    let ir = Annotator::new(g, 32)
+        .annotate_range(0, n, vec![Primitive::Replica, Primitive::Split])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let session = Session::on_cluster("1x(4xV100)").unwrap();
+    let plan = session.plan(&ir).unwrap();
+    assert_eq!(plan.stages[0].devices.len(), 4);
+    // Two shards, each replicated twice: shard syncs bind replica pairs.
+    assert!(plan
+        .grad_syncs
+        .iter()
+        .all(|c| c.kind == Collective::AllReduce));
+    let out = session.step_plan(&plan).unwrap();
+    assert!(out.stats.throughput > 0.0);
+}

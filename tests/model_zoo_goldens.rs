@@ -1,0 +1,111 @@
+//! Golden numbers for the model zoo: parameter counts against published
+//! values and FLOP sanity via the `≈ 2·params·tokens` rule for dense LMs.
+//! These pin the cost model the whole reproduction rests on.
+
+use whale::models;
+
+fn params(g: &whale::Graph) -> f64 {
+    g.total_params() as f64
+}
+
+#[test]
+fn published_parameter_counts() {
+    // (builder result, published params, tolerance)
+    let cases: Vec<(&str, f64, f64, f64)> = vec![
+        ("resnet50", params(&models::resnet50(1).unwrap()), 25.6e6, 0.10),
+        ("bert_base", params(&models::bert_base(1, 128).unwrap()), 110e6, 0.25),
+        ("bert_large", params(&models::bert_large(1, 128).unwrap()), 340e6, 0.10),
+        ("t5_large", params(&models::t5_large(1, 128, 128).unwrap()), 770e6, 0.12),
+        ("vit_large", params(&models::vit_large(1).unwrap()), 304e6, 0.10),
+        ("gpt2_xl", params(&models::gpt2_xl(1, 128).unwrap()), 1.56e9, 0.10),
+        ("gnmt", params(&models::gnmt(1, 50).unwrap()), 278e6, 0.25),
+        ("m6_10b", params(&models::m6_10b(1).unwrap()), 10e9, 0.12),
+        (
+            "m6_moe_100b",
+            params(&models::m6_moe_100b(1).unwrap()),
+            100e9,
+            0.06,
+        ),
+    ];
+    for (name, got, published, tol) in cases {
+        let rel = (got - published).abs() / published;
+        assert!(
+            rel <= tol,
+            "{name}: {got:.3e} vs published {published:.3e} (rel {rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn dense_lm_flops_follow_2n_per_token() {
+    // For decoder-only and encoder-only dense transformers, forward FLOPs
+    // per token ≈ 2 × parameters (attention scores add a small overhead).
+    for (name, g, tokens) in [
+        ("bert_large", models::bert_large(2, 128).unwrap(), 2 * 128),
+        ("gpt2_xl", models::gpt2_xl(2, 128).unwrap(), 2 * 128),
+    ] {
+        let per_token = g.total_forward_flops() / tokens as f64;
+        let two_n = 2.0 * g.total_params() as f64;
+        let ratio = per_token / two_n;
+        assert!(
+            (0.75..1.8).contains(&ratio),
+            "{name}: flops/token = {ratio:.2} × 2N"
+        );
+    }
+}
+
+#[test]
+fn conv_net_flops_are_batch_linear() {
+    for batch in [1usize, 4, 16] {
+        let g = models::resnet50(batch).unwrap();
+        let per_sample = g.total_forward_flops() / batch as f64;
+        let base = models::resnet50(1).unwrap().total_forward_flops();
+        assert!(
+            (per_sample - base).abs() / base < 1e-9,
+            "batch {batch}: per-sample flops drift"
+        );
+    }
+}
+
+#[test]
+fn every_zoo_model_has_layers_and_positive_costs() {
+    let graphs = vec![
+        models::resnet50(2).unwrap(),
+        models::imagenet_100k(2).unwrap(),
+        models::bert_base(2, 64).unwrap(),
+        models::gnmt(2, 30).unwrap(),
+        models::t5(models::T5Config::base(), 2, 64, 64).unwrap(),
+        models::vit(models::VitConfig::base16(), 2).unwrap(),
+        models::gpt(models::GptConfig::gpt2_xl(), 1, 64).unwrap(),
+        models::m6(models::M6Config::tiny(), 2).unwrap(),
+        models::m6_moe(models::MoeConfig::tiny(), 2).unwrap(),
+    ];
+    for g in &graphs {
+        assert!(g.len() > 3, "{}", g.name());
+        assert!(g.total_forward_flops() > 0.0, "{}", g.name());
+        assert!(g.total_params() > 0, "{}", g.name());
+        assert!(!g.per_layer_costs().is_empty(), "{}", g.name());
+        assert!(!g.sources().is_empty() && !g.sinks().is_empty(), "{}", g.name());
+        // The profile round-trips through subgraph profiling.
+        let p = whale::CostProfile::from_graph(g, 2);
+        assert!(p.activation_bytes_per_sample > 0.0, "{}", g.name());
+        assert!(
+            p.checkpoint_bytes_per_sample <= p.activation_bytes_per_sample,
+            "{}",
+            g.name()
+        );
+        assert!(p.memory_traffic_bytes_per_sample >= 0.0, "{}", g.name());
+    }
+}
+
+#[test]
+fn recompute_checkpoints_shrink_for_deep_models() {
+    // Transformers store many tensors per layer; checkpoints keep one.
+    let g = models::bert_large(4, 128).unwrap();
+    let p = whale::CostProfile::from_graph(&g, 4);
+    let ratio = p.checkpoint_bytes_per_sample / p.activation_bytes_per_sample;
+    assert!(
+        ratio < 0.25,
+        "checkpointing should keep <25% of activations, got {ratio:.2}"
+    );
+}

@@ -1,0 +1,64 @@
+//! Serde round-trips: plans, IR, stats, and configs survive JSON — what a
+//! production deployment needs to ship plans between a planner service and
+//! runtime workers.
+
+use whale::{models, strategies, Session};
+use whale_graph::TrainingConfig;
+use whale_hardware::Cluster;
+use whale_planner::ExecutionPlan;
+
+#[test]
+fn execution_plan_round_trips_through_json() {
+    let session = Session::on_cluster("2xV100,2xP100").unwrap();
+    let ir = strategies::data_parallel(models::resnet50(64).unwrap(), 64).unwrap();
+    let plan = session.plan(&ir).unwrap();
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(plan, back);
+}
+
+#[test]
+fn cluster_round_trips_through_json() {
+    let mut c = Cluster::parse("2x(2xV100,2xP100)").unwrap();
+    c.degrade_gpu(3, 0.5).unwrap();
+    let json = serde_json::to_string(&c).unwrap();
+    let back: Cluster = serde_json::from_str(&json).unwrap();
+    assert_eq!(c, back);
+    assert_eq!(back.gpu(3).unwrap().throughput_scale, 0.5);
+}
+
+#[test]
+fn whale_ir_round_trips_through_json() {
+    let ir = strategies::moe_hybrid(
+        models::m6_moe(models::MoeConfig::tiny(), 16).unwrap(),
+        16,
+    )
+    .unwrap();
+    let json = serde_json::to_string(&ir).unwrap();
+    let back: whale::WhaleIr = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.num_task_graphs(), ir.num_task_graphs());
+    assert_eq!(back.graph.len(), ir.graph.len());
+    assert_eq!(back.default_strategy, ir.default_strategy);
+    back.validate().unwrap();
+}
+
+#[test]
+fn step_stats_round_trip_and_expose_fields() {
+    let session = Session::on_cluster("4xV100").unwrap();
+    let ir = strategies::data_parallel(models::resnet50(32).unwrap(), 32).unwrap();
+    let stats = session.step(&ir).unwrap().stats;
+    let json = serde_json::to_string(&stats).unwrap();
+    assert!(json.contains("step_time"));
+    assert!(json.contains("per_gpu"));
+    let back: whale::StepStats = serde_json::from_str(&json).unwrap();
+    assert_eq!(stats, back);
+}
+
+#[test]
+fn training_config_json_is_stable() {
+    let cfg = TrainingConfig::default();
+    let json = serde_json::to_string(&cfg).unwrap();
+    assert!(json.contains("\"optimizer\":\"Adam\""), "{json}");
+    let back: TrainingConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}

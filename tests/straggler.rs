@@ -1,0 +1,72 @@
+//! Dynamic heterogeneity: a throttled GPU inside a "homogeneous" allocation
+//! (§2.2's motivation — users cannot know device behaviour at programming
+//! time). Hardware-aware balancing must absorb the straggler.
+
+use whale::{models, strategies, Session};
+use whale_hardware::Cluster;
+
+fn step_time(cluster: Cluster, hardware_aware: bool) -> f64 {
+    let session = Session::new(cluster).hardware_aware(hardware_aware);
+    let ir = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+    session.step(&ir).unwrap().stats.step_time
+}
+
+#[test]
+fn hardware_aware_dp_absorbs_a_straggler() {
+    let mut degraded = Cluster::parse("1x(8xV100)").unwrap();
+    // One V100 throttled to half throughput (thermal/noisy neighbour).
+    degraded.degrade_gpu(3, 0.5).unwrap();
+
+    let base = step_time(degraded.clone(), false);
+    let aware = step_time(degraded, true);
+    // Baseline is gated by the straggler: ~2x the healthy step. The aware
+    // partition shrinks its batch instead.
+    let speedup = base / aware;
+    assert!(
+        (1.3..2.0).contains(&speedup),
+        "straggler speedup {speedup}"
+    );
+}
+
+#[test]
+fn straggler_gets_a_proportionally_smaller_batch() {
+    let mut cluster = Cluster::parse("1x(4xV100)").unwrap();
+    cluster.degrade_gpu(1, 0.5).unwrap();
+    let session = Session::new(cluster).hardware_aware(true);
+    let ir = strategies::data_parallel(models::resnet50(112).unwrap(), 112).unwrap();
+    let plan = session.plan(&ir).unwrap();
+    let batches: Vec<usize> = plan.stages[0]
+        .devices
+        .iter()
+        .map(|d| d.samples_per_step)
+        .collect();
+    assert_eq!(batches.iter().sum::<usize>(), 112);
+    // Healthy GPUs carry ~32, the throttled one ~16.
+    assert!(batches[1] * 3 < batches[0] * 2, "batches {batches:?}");
+}
+
+#[test]
+fn healthy_homogeneous_cluster_is_unaffected_by_awareness() {
+    let a = step_time(Cluster::parse("1x(8xV100)").unwrap(), true);
+    let b = step_time(Cluster::parse("1x(8xV100)").unwrap(), false);
+    assert!((a - b).abs() / b < 1e-9, "no straggler → identical plans");
+}
+
+#[test]
+fn degraded_pipeline_stage_rebalances() {
+    use whale::strategies::pipeline_only;
+    let mk = |aware: bool| {
+        let mut cluster = Cluster::parse("1x(4xV100)").unwrap();
+        cluster.degrade_gpu(2, 0.5).unwrap();
+        let session = Session::new(cluster).hardware_aware(aware);
+        let ir = pipeline_only(models::bert_large(128, 128).unwrap(), 128, 16).unwrap();
+        session.step(&ir).unwrap().stats
+    };
+    let base = mk(false);
+    let aware = mk(true);
+    assert!(
+        base.step_time / aware.step_time > 1.15,
+        "stage rebalance speedup {:.3}",
+        base.step_time / aware.step_time
+    );
+}
