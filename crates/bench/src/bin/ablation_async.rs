@@ -48,7 +48,8 @@ fn main() {
     let async_loss = sync_loss.with_sample_efficiency(0.7);
     let solve_samples = |m: &LossModel| {
         // Invert L(D) = target for the data term.
-        let residual = target_loss - m.l_infinity
+        let residual = target_loss
+            - m.l_infinity
             - m.capacity_coeff * m.effective_params.powf(-m.capacity_exponent);
         (m.data_coeff / residual).powf(1.0 / m.data_exponent) / m.sample_efficiency
     };
@@ -69,7 +70,15 @@ fn main() {
     row("wall time to loss 9.0 (async)", fmt_secs(async_wall));
     row(
         "async net win",
-        format!("{:.2}x {}", sync_wall / async_wall, if async_wall < sync_wall { "(faster)" } else { "(slower!)" }),
+        format!(
+            "{:.2}x {}",
+            sync_wall / async_wall,
+            if async_wall < sync_wall {
+                "(faster)"
+            } else {
+                "(slower!)"
+            }
+        ),
     );
     println!("\n  expected shape: async wins raw steps/sec by exactly the bubble");
     println!("  ratio, but stale-gradient inefficiency can erase the win — which");

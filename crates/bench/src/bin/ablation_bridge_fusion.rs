@@ -18,11 +18,41 @@ fn main() {
         "transition", "unfused", "fused", "saved"
     );
     let cases = [
-        ("replica(8) → replica(8)", Primitive::Replica, 8, Primitive::Replica, 8),
-        ("replica(8) → replica(4)", Primitive::Replica, 8, Primitive::Replica, 4),
-        ("replica(4) → split(4)", Primitive::Replica, 4, Primitive::Split, 4),
-        ("split(4) → replica(4)", Primitive::Split, 4, Primitive::Replica, 4),
-        ("split(8) → split(8)", Primitive::Split, 8, Primitive::Split, 8),
+        (
+            "replica(8) → replica(8)",
+            Primitive::Replica,
+            8,
+            Primitive::Replica,
+            8,
+        ),
+        (
+            "replica(8) → replica(4)",
+            Primitive::Replica,
+            8,
+            Primitive::Replica,
+            4,
+        ),
+        (
+            "replica(4) → split(4)",
+            Primitive::Replica,
+            4,
+            Primitive::Split,
+            4,
+        ),
+        (
+            "split(4) → replica(4)",
+            Primitive::Split,
+            4,
+            Primitive::Replica,
+            4,
+        ),
+        (
+            "split(8) → split(8)",
+            Primitive::Split,
+            8,
+            Primitive::Split,
+            8,
+        ),
         ("stage → stage", Primitive::Stage, 1, Primitive::Stage, 1),
     ];
     for (label, p, n, q, m) in cases {

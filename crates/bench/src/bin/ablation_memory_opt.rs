@@ -9,7 +9,9 @@ use whale::{models, strategies, Optimizer, Session, TrainingConfig, ZeroStage};
 use whale_bench::{fmt_secs, header};
 
 fn run(label: &str, training: TrainingConfig) {
-    let session = Session::on_cluster("1x(8xV100)").unwrap().training(training);
+    let session = Session::on_cluster("1x(8xV100)")
+        .unwrap()
+        .training(training);
     let batch = 256;
     let ir = strategies::data_parallel(models::bert_large(batch, 128).unwrap(), batch).unwrap();
     let plan = session.plan(&ir).unwrap();
@@ -38,21 +40,43 @@ fn main() {
         "configuration", "peak mem/GPU", "step", ""
     );
     run("baseline (Adam, fp32)", base);
-    run("+ recompute", TrainingConfig { recompute: true, ..base });
+    run(
+        "+ recompute",
+        TrainingConfig {
+            recompute: true,
+            ..base
+        },
+    );
     run("+ AMP", TrainingConfig { amp: true, ..base });
     run(
         "+ ZeRO-1 (optimizer states)",
-        TrainingConfig { zero: ZeroStage::OptimizerState, ..base },
+        TrainingConfig {
+            zero: ZeroStage::OptimizerState,
+            ..base
+        },
     );
     run(
         "+ ZeRO-2 (grads + states)",
-        TrainingConfig { zero: ZeroStage::Gradients, ..base },
+        TrainingConfig {
+            zero: ZeroStage::Gradients,
+            ..base
+        },
     );
     run(
         "+ ZeRO-3 (params too)",
-        TrainingConfig { zero: ZeroStage::Parameters, ..base },
+        TrainingConfig {
+            zero: ZeroStage::Parameters,
+            ..base
+        },
     );
-    run("+ ZeRO-Offload", TrainingConfig { offload: true, amp: true, ..base });
+    run(
+        "+ ZeRO-Offload",
+        TrainingConfig {
+            offload: true,
+            amp: true,
+            ..base
+        },
+    );
     run(
         "everything",
         TrainingConfig {

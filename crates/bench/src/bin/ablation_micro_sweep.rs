@@ -8,7 +8,10 @@ use whale::{models, strategies, Session};
 use whale_bench::{fmt_secs, header};
 
 fn main() {
-    header("Ablation", "micro-batch sweep for an 8-stage BERT-Large pipeline");
+    header(
+        "Ablation",
+        "micro-batch sweep for an 8-stage BERT-Large pipeline",
+    );
     println!(
         "\n  {:>7} {:>12} {:>14} {:>10} {:>14}",
         "micros", "step", "throughput", "bubble", "peak memory"
@@ -16,12 +19,8 @@ fn main() {
     for micros in [1usize, 2, 4, 8, 16, 35, 64] {
         let session = Session::on_cluster("1x(8xV100)").unwrap();
         let batch = 128;
-        let ir = strategies::pipeline_only(
-            models::bert_large(batch, 128).unwrap(),
-            batch,
-            micros,
-        )
-        .unwrap();
+        let ir = strategies::pipeline_only(models::bert_large(batch, 128).unwrap(), batch, micros)
+            .unwrap();
         let plan = session.plan(&ir).unwrap();
         let out = session.step_plan(&plan).unwrap();
         let peak = plan.memory_per_gpu().values().copied().max().unwrap_or(0);

@@ -31,7 +31,10 @@ fn main() {
         ("50 Gb/s (paper)", Interconnect::ethernet_50g()),
         ("100 Gb/s IB", Interconnect::infiniband_100g()),
     ];
-    println!("\n  {:<16} {:>12} {:>12} {:>14}", "fabric", "1 node", "8 nodes", "scalability");
+    println!(
+        "\n  {:<16} {:>12} {:>12} {:>14}",
+        "fabric", "1 node", "8 nodes", "scalability"
+    );
     for (name, ic) in fabrics {
         let step = |nodes: usize| {
             let session = Session::new(cluster(nodes, ic.clone()))
@@ -39,12 +42,8 @@ fn main() {
                 .sync_overlap(0.6)
                 .outer_dp(nodes);
             let batch = 70 * nodes;
-            let ir = strategies::pipeline_with_dp(
-                whale::models::m6_10b(batch).unwrap(),
-                batch,
-                35,
-            )
-            .unwrap();
+            let ir = strategies::pipeline_with_dp(whale::models::m6_10b(batch).unwrap(), batch, 35)
+                .unwrap();
             session.step(&ir).unwrap().stats
         };
         let one = step(1);

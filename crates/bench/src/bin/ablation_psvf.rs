@@ -5,15 +5,18 @@
 //! throughput cost relative to the (infeasible) pure-FLOP split and still
 //! beats the uniform baseline.
 
+use whale::{strategies, Session};
 use whale_bench::{fmt_secs, header, row};
 use whale_graph::{models, CostProfile, TrainingConfig};
 use whale_hardware::Cluster;
-use whale_planner::partition::proportional_split;
 use whale_planner::dp_partition;
-use whale::{strategies, Session};
+use whale_planner::partition::proportional_split;
 
 fn main() {
-    header("Ablation", "PSVF on/off for hardware-aware DP under memory pressure");
+    header(
+        "Ablation",
+        "PSVF on/off for hardware-aware DP under memory pressure",
+    );
     let spec = "2xV100,2xP100";
     let cluster = Cluster::parse(spec).unwrap();
     let cfg = TrainingConfig::default();
@@ -37,7 +40,10 @@ fn main() {
         .zip(cluster.gpus())
         .filter(|(&b, g)| cfg.memory_bytes(&profile, b, 1.0) > g.memory_bytes())
         .count();
-    row("FLOP-proportional split (no PSVF)", format!("{flop_only:?} — {oom} GPU(s) OOM"));
+    row(
+        "FLOP-proportional split (no PSVF)",
+        format!("{flop_only:?} — {oom} GPU(s) OOM"),
+    );
 
     let with = dp_partition(&profile, &cfg, cluster.gpus(), global, 1.0, true).unwrap();
     row(
@@ -50,9 +56,7 @@ fn main() {
     );
 
     // Step-time comparison: uniform baseline vs PSVF-repaired hardware-aware.
-    let mk = |aware: bool| {
-        Session::on_cluster(spec).unwrap().hardware_aware(aware)
-    };
+    let mk = |aware: bool| Session::on_cluster(spec).unwrap().hardware_aware(aware);
     let ir = strategies::data_parallel(models::bert_large(global, 128).unwrap(), global).unwrap();
     let base = mk(false).step(&ir).unwrap().stats;
     let aware = mk(true).step(&ir).unwrap().stats;

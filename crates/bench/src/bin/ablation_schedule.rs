@@ -23,12 +23,8 @@ fn main() {
             let session = Session::on_cluster("1x(8xV100)")
                 .unwrap()
                 .schedule(schedule);
-            let ir = strategies::pipeline_only(
-                models::bert_large(128, 128).unwrap(),
-                128,
-                micros,
-            )
-            .unwrap();
+            let ir = strategies::pipeline_only(models::bert_large(128, 128).unwrap(), 128, micros)
+                .unwrap();
             let plan = session.plan(&ir).unwrap();
             let out = session.step_plan(&plan).unwrap();
             let peak = plan.memory_per_gpu().values().copied().max().unwrap_or(0);

@@ -34,8 +34,14 @@ fn main() {
     let dp_sync = dp_plan.grad_sync_bytes();
     let hy_sync = hy_plan.grad_sync_bytes();
     println!();
-    row("pure DP: gradient sync per step", format!("{} MB", dp_sync >> 20));
-    row("hybrid:  gradient sync per step", format!("{} MB", hy_sync >> 20));
+    row(
+        "pure DP: gradient sync per step",
+        format!("{} MB", dp_sync >> 20),
+    );
+    row(
+        "hybrid:  gradient sync per step",
+        format!("{} MB", hy_sync >> 20),
+    );
     let reduction = 100.0 * (1.0 - hy_sync as f64 / dp_sync as f64);
     row("sync traffic reduction", format!("{reduction:.1}%"));
     row("paper claim", "~90% (FC updated locally)");

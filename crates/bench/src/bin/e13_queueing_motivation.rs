@@ -22,7 +22,10 @@ fn main() {
     let any = replay(&cluster, &jobs, AllocPolicy::AnyMix);
 
     println!("\n  500 synthetic jobs on 8xV100 + 8xP100 (seeded, deterministic)\n");
-    row("mean delay, all jobs (homogeneous-only)", fmt_secs(homo.mean_delay()));
+    row(
+        "mean delay, all jobs (homogeneous-only)",
+        fmt_secs(homo.mean_delay()),
+    );
     row("mean delay, all jobs (any mix)", fmt_secs(any.mean_delay()));
     for min in [4usize, 8] {
         row(

@@ -18,7 +18,12 @@ fn main() {
         ..TrainingConfig::default()
     };
     let runs = [
-        ("M6-MoE-100B", MoeConfig::m6_moe_100b(), "16x(8xV100)", 128usize),
+        (
+            "M6-MoE-100B",
+            MoeConfig::m6_moe_100b(),
+            "16x(8xV100)",
+            128usize,
+        ),
         ("M6-MoE-1T", MoeConfig::m6_moe_1t(), "60x(8xV100)", 480usize),
     ];
     for (name, cfg, cluster, gpus) in runs {
@@ -34,7 +39,10 @@ fn main() {
         println!();
         row(&format!("{name}: parameters"), fmt_count(params as f64));
         row(&format!("{name}: GPUs"), gpus);
-        row(&format!("{name}: step time (batch {batch})"), fmt_secs(s.step_time));
+        row(
+            &format!("{name}: step time (batch {batch})"),
+            fmt_secs(s.step_time),
+        );
         row(
             &format!("{name}: throughput"),
             format!("{:.0} samples/s", s.throughput),

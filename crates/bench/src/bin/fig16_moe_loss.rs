@@ -30,8 +30,18 @@ fn main() {
         ..TrainingConfig::default()
     };
     let runs = [
-        ("M6-MoE-100B", MoeConfig::m6_moe_100b(), "16x(8xV100)", 1024usize),
-        ("M6-MoE-1T", MoeConfig::m6_moe_1t(), "60x(8xV100)", 1024usize),
+        (
+            "M6-MoE-100B",
+            MoeConfig::m6_moe_100b(),
+            "16x(8xV100)",
+            1024usize,
+        ),
+        (
+            "M6-MoE-1T",
+            MoeConfig::m6_moe_1t(),
+            "60x(8xV100)",
+            1024usize,
+        ),
     ];
     let mut curves = Vec::new();
     for (name, cfg, cluster, batch) in runs {
@@ -55,7 +65,10 @@ fn main() {
     }
 
     println!("\n  loss curve (log-spaced checkpoints):");
-    println!("  {:>14} {:>14} {:>14}", "samples", curves[0].0, curves[1].0);
+    println!(
+        "  {:>14} {:>14} {:>14}",
+        "samples", curves[0].0, curves[1].0
+    );
     for i in 0..curves[0].1.points.len() {
         let p0 = &curves[0].1.points[i];
         // Match the 1T curve at the nearest sample count.

@@ -1,0 +1,81 @@
+//! Micro-benchmarks for the planner's hot paths: model construction,
+//! profiling, stage partitioning (Algorithm 3), DP partitioning
+//! (Algorithm 2), and full plan assembly.
+//!
+//! Formerly a Criterion bench; now runs on the in-repo harness
+//! (`whale_bench::time_fn`) so the build needs no registry access.
+
+use std::hint::black_box;
+use whale::{models, strategies, Session};
+use whale_bench::{header, time_fn};
+use whale_graph::{CostProfile, TrainingConfig};
+use whale_hardware::Cluster;
+use whale_planner::{dp_partition, pipeline_partition};
+
+fn main() {
+    let (warmup, iters) = (3, 15);
+
+    header(
+        "planner_bench",
+        "planner hot paths (median/p95 over timed iterations)",
+    );
+
+    time_fn("model_build/resnet50", warmup, iters, || {
+        black_box(models::resnet50(32).unwrap())
+    })
+    .print();
+    time_fn("model_build/bert_large", warmup, iters, || {
+        black_box(models::bert_large(32, 128).unwrap())
+    })
+    .print();
+    time_fn("model_build/m6_moe_100b", warmup, iters, || {
+        black_box(models::m6_moe_100b(32).unwrap())
+    })
+    .print();
+
+    let graph = models::bert_large(32, 128).unwrap();
+    time_fn("profile_bert_large", warmup, iters, || {
+        black_box(CostProfile::from_graph(&graph, 32))
+    })
+    .print();
+
+    let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+    let graph64 = models::bert_large(64, 128).unwrap();
+    let profile = CostProfile::from_graph(&graph64, 64);
+    let cfg = TrainingConfig::default();
+    time_fn("alg2_dp_partition_16gpu", warmup, iters, || {
+        black_box(dp_partition(&profile, &cfg, cluster.gpus(), 512, 1.0, true).unwrap())
+    })
+    .print();
+
+    let stage_cluster = Cluster::parse("2xP100,2xV100").unwrap();
+    time_fn("alg3_pipeline_partition_4stage", warmup, iters, || {
+        black_box(
+            pipeline_partition(&graph64, &cfg, stage_cluster.gpus(), 4, 8, false, 64, true)
+                .unwrap(),
+        )
+    })
+    .print();
+
+    type Case = (&'static str, &'static str, fn() -> whale::WhaleIr);
+    let cases: Vec<Case> = vec![
+        ("dp_hetero_16gpu", "8xV100+8xP100", || {
+            strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap()
+        }),
+        ("pipeline_8stage", "1x(8xV100)", || {
+            strategies::pipeline_only(models::bert_large(64, 128).unwrap(), 64, 8).unwrap()
+        }),
+        ("moe_49tg_32gpu", "4x(8xV100)", || {
+            strategies::moe_hybrid(models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(), 64)
+                .unwrap()
+        }),
+    ];
+    for (name, cluster, mk) in cases {
+        let session = Session::on_cluster(cluster).unwrap();
+        let ir = mk();
+        time_fn(&format!("full_plan/{name}"), warmup, iters, || {
+            black_box(session.plan(&ir).unwrap())
+        })
+        .print();
+    }
+}

@@ -19,12 +19,7 @@ fn main() {
         "\n  {:<22} {:>14} {:>12}",
         "config", "M6-MoE-100B", "M6-MoE-1T"
     );
-    let get = |f: fn(&MoeConfig) -> usize| {
-        (
-            f(&configs[0].1),
-            f(&configs[1].1),
-        )
-    };
+    let get = |f: fn(&MoeConfig) -> usize| (f(&configs[0].1), f(&configs[1].1));
     let (a, b) = get(|c| c.hidden);
     println!("  {:<22} {:>14} {:>12}", "hidden_size", a, b);
     let (a, b) = get(|c| c.heads);
@@ -41,11 +36,18 @@ fn main() {
         let built = graph.total_params();
         row(
             &format!("{name}: parameters (closed form / built graph)"),
-            format!("{} / {}", fmt_count(analytic as f64), fmt_count(built as f64)),
+            format!(
+                "{} / {}",
+                fmt_count(analytic as f64),
+                fmt_count(built as f64)
+            ),
         );
     }
     let ratio = MoeConfig::m6_moe_1t().analytic_params() as f64
         / MoeConfig::m6_moe_100b().analytic_params() as f64;
-    row("1T / 100B parameter ratio (paper: ~10x)", format!("{ratio:.1}x"));
+    row(
+        "1T / 100B parameter ratio (paper: ~10x)",
+        format!("{ratio:.1}x"),
+    );
     println!("\n  paper §5.2: scaled parameters 10x while GPUs only grew 3.75x (128 → 480).");
 }

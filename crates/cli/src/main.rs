@@ -15,8 +15,7 @@ mod zoo;
 
 use args::Args;
 use whale::{
-    auto_parallel, strategies, Optimizer, ScheduleKind, Session, TrainingConfig, WhaleIr,
-    ZeroStage,
+    auto_parallel, strategies, Optimizer, ScheduleKind, Session, TrainingConfig, WhaleIr, ZeroStage,
 };
 use whale_hardware::GpuModel;
 use whale_sim::ascii_timeline;
@@ -160,9 +159,7 @@ fn ir_from(args: &Args) -> Result<WhaleIr, String> {
         "pipeline" => strategies::pipeline_only(graph, batch, micro),
         "pipeline-dp" => strategies::pipeline_with_dp(graph, batch, micro),
         "moe" => strategies::moe_hybrid(graph, batch),
-        "split-classifier" => {
-            strategies::feature_dp_classifier_split(graph, batch, "fc_big")
-        }
+        "split-classifier" => strategies::feature_dp_classifier_split(graph, batch, "fc_big"),
         s => return Err(format!("unknown strategy '{s}'")),
     };
     ir.map_err(|e| e.to_string())
@@ -189,14 +186,16 @@ fn cmd_plan(args: &Args, simulate: bool) -> Result<(), String> {
     let mem_ok = plan
         .memory_feasible(session.cluster())
         .map_err(|e| e.to_string())?;
-    println!("  memory: {}", if mem_ok { "fits" } else { "OUT OF MEMORY" });
+    println!(
+        "  memory: {}",
+        if mem_ok { "fits" } else { "OUT OF MEMORY" }
+    );
 
     if simulate {
         let out = session.step_plan(&plan).map_err(|e| e.to_string())?;
         let s = &out.stats;
         if args.flag("json") {
-            let json = serde_json::to_string_pretty(s).map_err(|e| e.to_string())?;
-            println!("{json}");
+            println!("{}", s.to_json().to_string_pretty());
             return Ok(());
         }
         println!("\nsimulated step:");

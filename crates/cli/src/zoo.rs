@@ -6,7 +6,10 @@ use whale_graph::Graph;
 /// Known models: `(name, description)`.
 pub const MODELS: &[(&str, &str)] = &[
     ("resnet50", "ResNet-50 image classifier (~25M params)"),
-    ("imagenet100k", "ResNet-50 + 100,000-class FC (Fig. 4 motivation)"),
+    (
+        "imagenet100k",
+        "ResNet-50 + 100,000-class FC (Fig. 4 motivation)",
+    ),
     ("bert-base", "BERT-Base encoder (~110M params)"),
     ("bert-large", "BERT-Large encoder (~340M params)"),
     ("gnmt", "GNMT 8+8-layer LSTM seq2seq (~230M params)"),

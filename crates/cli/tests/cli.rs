@@ -18,7 +18,9 @@ fn run(args: &[&str]) -> (String, String, bool) {
 fn help_lists_commands() {
     let (stdout, _, ok) = run(&["help"]);
     assert!(ok);
-    for cmd in ["models", "gpus", "plan", "simulate", "auto", "dot", "inspect"] {
+    for cmd in [
+        "models", "gpus", "plan", "simulate", "auto", "dot", "inspect",
+    ] {
         assert!(stdout.contains(cmd), "help missing '{cmd}'");
     }
 }
@@ -67,9 +69,9 @@ fn simulate_json_is_parseable() {
     ]);
     assert!(ok);
     let json_start = stdout.find('{').expect("json in output");
-    let v: serde_json::Value = serde_json::from_str(&stdout[json_start..]).expect("valid json");
-    assert!(v["step_time"].as_f64().unwrap() > 0.0);
-    assert_eq!(v["per_gpu"].as_array().unwrap().len(), 4);
+    let v = whale_sim::json::parse(stdout[json_start..].trim()).expect("valid json");
+    assert!(v.get("step_time").as_f64().unwrap() > 0.0);
+    assert_eq!(v.get("per_gpu").as_array().unwrap().len(), 4);
 }
 
 #[test]
@@ -105,17 +107,26 @@ fn bad_inputs_fail_with_messages() {
 fn baseline_flag_slows_hetero_dp() {
     let step_time = |extra: &[&str]| {
         let mut args = vec![
-            "simulate", "--cluster", "4xV100,4xP100", "--model", "resnet50", "--batch", "256",
+            "simulate",
+            "--cluster",
+            "4xV100,4xP100",
+            "--model",
+            "resnet50",
+            "--batch",
+            "256",
             "--json",
         ];
         args.extend_from_slice(extra);
         let (stdout, _, ok) = run(&args);
         assert!(ok);
         let json_start = stdout.find('{').unwrap();
-        let v: serde_json::Value = serde_json::from_str(&stdout[json_start..]).unwrap();
-        v["step_time"].as_f64().unwrap()
+        let v = whale_sim::json::parse(stdout[json_start..].trim()).unwrap();
+        v.get("step_time").as_f64().unwrap()
     };
     let aware = step_time(&[]);
     let baseline = step_time(&["--baseline"]);
-    assert!(baseline > aware * 1.2, "baseline {baseline} vs aware {aware}");
+    assert!(
+        baseline > aware * 1.2,
+        "baseline {baseline} vs aware {aware}"
+    );
 }

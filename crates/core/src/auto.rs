@@ -15,7 +15,7 @@ use crate::session::Session;
 use crate::strategies;
 
 /// One evaluated candidate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// Human-readable strategy name.
     pub name: String,
@@ -28,7 +28,7 @@ pub struct Candidate {
 }
 
 /// The auto-parallel decision.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoReport {
     /// Winning strategy name.
     pub chosen: String,
@@ -40,6 +40,88 @@ pub struct AutoReport {
     pub candidates: Vec<Candidate>,
 }
 
+/// Knobs of the candidate search; [`AutoOptions::default`] is the fast
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutoOptions {
+    /// Worker threads for the planning and simulation phases. `0` sizes to
+    /// [`std::thread::available_parallelism`]; `1` reproduces the serial
+    /// search exactly (any thread count returns an identical report — see
+    /// `tests/fastpath_determinism.rs`).
+    pub search_threads: usize,
+    /// Memoize planner cost terms and share one estimator cache across
+    /// candidates. Bit-identical results either way; `false` is the
+    /// pre-fast-path baseline `fastpath_bench` measures against.
+    pub memoize: bool,
+    /// Simulate candidates with the polling reference scheduler instead of
+    /// the event-driven one (golden baseline; timelines are bit-identical).
+    pub reference_sim: bool,
+}
+
+impl Default for AutoOptions {
+    fn default() -> Self {
+        Self {
+            search_threads: 0,
+            memoize: true,
+            reference_sim: false,
+        }
+    }
+}
+
+impl AutoOptions {
+    fn effective_threads(&self, work_items: usize) -> usize {
+        let requested = if self.search_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.search_threads
+        };
+        requested.min(work_items).max(1)
+    }
+}
+
+/// Run `f` over `items`, fanning across `threads` scoped workers when
+/// `threads > 1`; workers pull indices from a shared counter. Results come
+/// back in item order no matter which worker ran them, and each item is
+/// processed exactly once, so the output is identical to the serial loop.
+fn fan_out<T: Send, R: Send>(threads: usize, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let n = items.len();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work mutex poisoned")
+                    .take()
+                    .expect("each index claimed exactly once");
+                let result = f(item);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("every slot filled before scope exit")
+        })
+        .collect()
+}
+
 /// Explore strategies for `graph` on the session's cluster and pick the
 /// fastest memory-feasible one.
 ///
@@ -48,11 +130,27 @@ pub struct AutoReport {
 pub fn auto_parallel(
     session: &Session,
     global_batch: usize,
-    build: impl Fn() -> Result<Graph>,
+    build: impl Fn() -> Result<Graph> + Sync,
 ) -> Result<AutoReport> {
+    auto_parallel_opts(session, global_batch, &AutoOptions::default(), build)
+}
+
+/// [`auto_parallel`] with explicit search options.
+pub fn auto_parallel_opts(
+    session: &Session,
+    global_batch: usize,
+    opts: &AutoOptions,
+    build: impl Fn() -> Result<Graph> + Sync,
+) -> Result<AutoReport> {
+    let baseline_session;
+    let session = if opts.memoize {
+        session
+    } else {
+        baseline_session = session.clone().memoize(false);
+        &baseline_session
+    };
     let n_gpus = session.cluster().num_gpus();
     let n_nodes = session.cluster().num_nodes();
-    let mut candidates: Vec<Candidate> = Vec::new();
 
     // Probe the model structure once to propose structure-specific
     // strategies (the paper's planner likewise pattern-matches MoE and
@@ -67,14 +165,24 @@ pub fn auto_parallel(
         .ops()
         .iter()
         .filter(|op| {
-            matches!(op.kind, whale_graph::OpKind::MatMul { has_params: true, .. })
-                && op.param_count() * 2 > total_params
+            matches!(
+                op.kind,
+                whale_graph::OpKind::MatMul {
+                    has_params: true,
+                    ..
+                }
+            ) && op.param_count() * 2 > total_params
         })
         .map(|op| op.name.clone())
         .next();
-    drop(probe);
+    // On the fast path the probe doubles as the candidate template: `Graph`
+    // clones are an O(1) Arc bump, so every candidate reuses the one built
+    // model instead of re-running the model constructor (the dominant cost
+    // of the seed search). The uncached baseline rebuilds per candidate,
+    // reproducing seed behavior for `fastpath_bench`'s "before" arm.
+    let template = if opts.memoize { Some(probe) } else { None };
 
-    type IrBuilder = Box<dyn Fn(Graph) -> Result<whale_ir::WhaleIr>>;
+    type IrBuilder = Box<dyn Fn(Graph) -> Result<whale_ir::WhaleIr> + Send + Sync>;
     let mut specs: Vec<(String, IrBuilder)> = vec![(
         "data-parallel".to_string(),
         Box::new(move |g| strategies::data_parallel(g, global_batch)),
@@ -105,9 +213,7 @@ pub fn auto_parallel(
         if n_gpus > 1 {
             specs.push((
                 format!("dp+split({fc})"),
-                Box::new(move |g| {
-                    strategies::feature_dp_classifier_split(g, global_batch, &fc)
-                }),
+                Box::new(move |g| strategies::feature_dp_classifier_split(g, global_batch, &fc)),
             ));
         }
     }
@@ -115,23 +221,39 @@ pub fn auto_parallel(
     // Two-phase evaluation: plan everything, rank by the analytic estimator,
     // and only simulate candidates within 4x of the best estimate (the
     // estimator provably preserves ordering on these workloads; see
-    // tests/estimator_agreement.rs).
-    let mut planned: Vec<(String, std::result::Result<whale_planner::ExecutionPlan, String>)> =
-        Vec::new();
-    for (name, mk_ir) in specs {
-        let plan = build()
-            .and_then(mk_ir)
+    // tests/estimator_agreement.rs). Planning and simulation fan out over
+    // `search_threads` workers; the merge is by candidate index, so the
+    // report is independent of worker scheduling.
+    let threads = opts.effective_threads(specs.len());
+    let planned: Vec<(
+        String,
+        std::result::Result<whale_planner::ExecutionPlan, String>,
+    )> = fan_out(threads, specs, |(name, mk_ir)| {
+        let graph = match &template {
+            Some(g) => Ok(g.clone()),
+            None => build(),
+        };
+        let plan = graph
+            .and_then(|g| mk_ir(g))
             .and_then(|ir| session.plan(&ir))
             .map_err(|e| e.to_string());
-        planned.push((name, plan));
-    }
+        (name, plan)
+    });
+
+    // The estimator is cheap; it runs serially so every candidate can share
+    // one memoized cache (stages repeated across candidates are priced
+    // once).
+    let mut cache = whale_planner::EstimateCache::new(session.cluster());
     let estimates: Vec<Option<f64>> = planned
         .iter()
         .map(|(_, p)| {
             p.as_ref().ok().and_then(|plan| {
-                whale_planner::estimate_step(plan, session.cluster())
-                    .ok()
-                    .map(|e| e.step_time)
+                let estimate = if opts.memoize {
+                    whale_planner::estimate_step_cached(plan, &mut cache)
+                } else {
+                    whale_planner::estimate_step(plan, session.cluster())
+                };
+                estimate.ok().map(|e| e.step_time)
             })
         })
         .collect();
@@ -140,30 +262,41 @@ pub fn auto_parallel(
         .flatten()
         .fold(f64::INFINITY, |a, &b| a.min(b));
 
-    for ((name, plan), estimate) in planned.into_iter().zip(estimates) {
-        let candidate = match plan {
-            Err(e) => Candidate {
+    // Candidates that survive pruning go to the simulator (the expensive
+    // phase), again fanned out and merged by index.
+    enum Pending {
+        Done(Candidate),
+        Simulate(String, whale_planner::ExecutionPlan),
+    }
+    let pending: Vec<Pending> = planned
+        .into_iter()
+        .zip(estimates)
+        .map(|((name, plan), estimate)| match plan {
+            Err(e) => Pending::Done(Candidate {
                 name,
                 plan: None,
                 stats: None,
                 rejected: Some(format!("planning failed: {e}")),
-            },
+            }),
             Ok(plan) => match estimate {
                 Some(est) if est > 4.0 * best_estimate && best_estimate.is_finite() => {
-                    Candidate {
+                    Pending::Done(Candidate {
                         name,
                         plan: Some(plan),
                         stats: None,
                         rejected: Some(format!(
                             "pruned by cost model (estimate {est:.3}s > 4x best {best_estimate:.3}s)"
                         )),
-                    }
+                    })
                 }
-                _ => evaluate_plan(session, &name, plan),
+                _ => Pending::Simulate(name, plan),
             },
-        };
-        candidates.push(candidate);
-    }
+        })
+        .collect();
+    let candidates: Vec<Candidate> = fan_out(threads, pending, |p| match p {
+        Pending::Done(c) => c,
+        Pending::Simulate(name, plan) => evaluate_plan(session, &name, plan, opts.reference_sim),
+    });
 
     let best = candidates
         .iter()
@@ -188,8 +321,14 @@ fn evaluate_plan(
     session: &Session,
     name: &str,
     plan: whale_planner::ExecutionPlan,
+    reference_sim: bool,
 ) -> Candidate {
-    let outcome = match session.step_plan(&plan) {
+    let outcome = if reference_sim {
+        session.step_plan_reference(&plan)
+    } else {
+        session.step_plan(&plan)
+    };
+    let outcome = match outcome {
         Ok(o) => o,
         Err(e) => {
             return Candidate {
@@ -240,15 +379,18 @@ mod tests {
         assert!(
             report.candidates.iter().any(|c| c.name.contains("moe")),
             "candidates: {:?}",
-            report.candidates.iter().map(|c| &c.name).collect::<Vec<_>>()
+            report
+                .candidates
+                .iter()
+                .map(|c| &c.name)
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn auto_parallel_proposes_split_for_dominant_fc() {
         let s = Session::on_cluster("1x(4xV100)").unwrap();
-        let report =
-            auto_parallel(&s, 64, || Ok(models::imagenet_100k(64).unwrap())).unwrap();
+        let report = auto_parallel(&s, 64, || Ok(models::imagenet_100k(64).unwrap())).unwrap();
         let split = report
             .candidates
             .iter()
@@ -269,6 +411,10 @@ mod tests {
             .find(|c| c.name == "data-parallel")
             .unwrap();
         assert!(dp.rejected.is_some(), "10B DP replica must OOM");
-        assert!(report.chosen.contains("pipeline"), "chose {}", report.chosen);
+        assert!(
+            report.chosen.contains("pipeline"),
+            "chose {}",
+            report.chosen
+        );
     }
 }

@@ -42,7 +42,7 @@ pub mod error;
 pub mod session;
 pub mod strategies;
 
-pub use auto::{auto_parallel, AutoReport, Candidate};
+pub use auto::{auto_parallel, auto_parallel_opts, AutoOptions, AutoReport, Candidate};
 pub use error::{Result, WhaleError};
 pub use session::Session;
 

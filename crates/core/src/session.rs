@@ -9,7 +9,10 @@ use whale_graph::TrainingConfig;
 use whale_hardware::Cluster;
 use whale_ir::WhaleIr;
 use whale_planner::{plan, DeviceAssignment, ExecutionPlan, PlannerConfig, ScheduleKind};
-use whale_sim::{simulate_step, simulate_training, LossModel, SimConfig, StepOutcome, TrainingRun};
+use whale_sim::{
+    simulate_step, simulate_step_reference, simulate_training, LossModel, SimConfig, StepOutcome,
+    TrainingRun,
+};
 
 use crate::error::{Result, WhaleError};
 
@@ -86,6 +89,14 @@ impl Session {
         self
     }
 
+    /// Toggle the planner's per-stage cost memoization (on by default;
+    /// results are bit-identical either way — `off` exists so benchmarks
+    /// can measure the pre-fast-path planner).
+    pub fn memoize(mut self, on: bool) -> Session {
+        self.planner.memoize = on;
+        self
+    }
+
     /// The active planner configuration.
     pub fn planner_config(&self) -> &PlannerConfig {
         &self.planner
@@ -105,6 +116,14 @@ impl Session {
     /// Simulate one step of an existing plan.
     pub fn step_plan(&self, p: &ExecutionPlan) -> Result<StepOutcome> {
         Ok(simulate_step(p, &self.cluster, &self.sim)?)
+    }
+
+    /// [`Session::step_plan`] through the polling reference scheduler — the
+    /// golden baseline the equivalence tests and `fastpath_bench` compare
+    /// the event-driven engine against.
+    #[doc(hidden)]
+    pub fn step_plan_reference(&self, p: &ExecutionPlan) -> Result<StepOutcome> {
+        Ok(simulate_step_reference(p, &self.cluster, &self.sim)?)
     }
 
     /// Plan and simulate a training run to `total_samples`.
@@ -157,7 +176,11 @@ mod tests {
     #[test]
     fn session_end_to_end_dp() {
         let g = models::resnet50(64).unwrap();
-        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let s = Session::on_cluster("8xV100+8xP100").unwrap();
         let out = s.step(&ir).unwrap();
         assert!(out.stats.throughput > 0.0);
@@ -180,7 +203,11 @@ mod tests {
     #[test]
     fn memory_check_reports_oom_gpus() {
         let g = models::bert_large(1024, 128).unwrap();
-        let ir = Annotator::new(g, 1024).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 1024)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let s = Session::on_cluster("2xP100").unwrap().hardware_aware(false);
         let p = s.plan(&ir).unwrap();
         match s.check_memory(&p) {

@@ -66,11 +66,7 @@ pub fn moe_hybrid(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
         .ops()
         .iter()
         .filter(|op| op.name.ends_with("/moe_ffn"))
-        .map(|op| {
-            op.name
-                .trim_end_matches("moe_ffn")
-                .to_string()
-        })
+        .map(|op| op.name.trim_end_matches("moe_ffn").to_string())
         .collect();
     let mut annot = Annotator::new(graph, global_batch).set_default(Primitive::Replica);
     for layer in &markers {
@@ -110,8 +106,8 @@ mod tests {
 
     #[test]
     fn example5_ir_shape() {
-        let ir = feature_dp_classifier_split(models::imagenet_100k(32).unwrap(), 32, "fc_big")
-            .unwrap();
+        let ir =
+            feature_dp_classifier_split(models::imagenet_100k(32).unwrap(), 32, "fc_big").unwrap();
         assert!(ir
             .task_graphs
             .iter()

@@ -317,8 +317,15 @@ impl GraphBuilder {
         heads: usize,
         intermediate: usize,
     ) -> Result<OpId, GraphError> {
-        let attn = self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
-        let out = self.ffn(&format!("{prefix}/ffn"), attn, batch * seq, hidden, intermediate)?;
+        let attn =
+            self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+        let out = self.ffn(
+            &format!("{prefix}/ffn"),
+            attn,
+            batch * seq,
+            hidden,
+            intermediate,
+        )?;
         self.next_layer();
         Ok(out)
     }
@@ -338,8 +345,14 @@ impl GraphBuilder {
         heads: usize,
         intermediate: usize,
     ) -> Result<OpId, GraphError> {
-        let self_attn =
-            self.self_attention(&format!("{prefix}/self_attn"), input, batch, seq, hidden, heads)?;
+        let self_attn = self.self_attention(
+            &format!("{prefix}/self_attn"),
+            input,
+            batch,
+            seq,
+            hidden,
+            heads,
+        )?;
         let cross = self.cross_attention(
             &format!("{prefix}/cross_attn"),
             self_attn,
@@ -350,7 +363,13 @@ impl GraphBuilder {
             hidden,
             heads,
         )?;
-        let out = self.ffn(&format!("{prefix}/ffn"), cross, batch * seq, hidden, intermediate)?;
+        let out = self.ffn(
+            &format!("{prefix}/ffn"),
+            cross,
+            batch * seq,
+            hidden,
+            intermediate,
+        )?;
         self.next_layer();
         Ok(out)
     }
@@ -370,7 +389,8 @@ impl GraphBuilder {
         experts: usize,
         top_k: usize,
     ) -> Result<OpId, GraphError> {
-        let attn = self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+        let attn =
+            self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
         let tokens = batch * seq;
         let gates = self.op(
             format!("{prefix}/gating"),

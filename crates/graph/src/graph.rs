@@ -7,12 +7,12 @@
 
 use crate::op::{OpKind, Phase};
 use crate::tensor::TensorMeta;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of an operation within a [`Graph`]; dense in `0..graph.len()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub usize);
 
 impl fmt::Display for OpId {
@@ -22,7 +22,7 @@ impl fmt::Display for OpId {
 }
 
 /// One node of the computation graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Op {
     /// Dense id within the graph.
     pub id: OpId,
@@ -88,10 +88,16 @@ impl fmt::Display for GraphError {
 impl std::error::Error for GraphError {}
 
 /// An append-only dataflow DAG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Ops live behind an [`Arc`] with copy-on-write mutation, so cloning a
+/// finished graph is a reference-count bump — `auto_parallel` hands one
+/// built model to every candidate strategy without re-running the model
+/// constructor. Value semantics are preserved: appending to a shared graph
+/// copies the op list first.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     name: String,
-    ops: Vec<Op>,
+    ops: Arc<Vec<Op>>,
 }
 
 impl Graph {
@@ -99,7 +105,7 @@ impl Graph {
     pub fn new(name: impl Into<String>) -> Graph {
         Graph {
             name: name.into(),
-            ops: Vec::new(),
+            ops: Arc::new(Vec::new()),
         }
     }
 
@@ -145,7 +151,7 @@ impl Graph {
                 return Err(GraphError::DanglingInput { op: name, input });
             }
         }
-        self.ops.push(Op {
+        Arc::make_mut(&mut self.ops).push(Op {
             id,
             name,
             kind,
@@ -169,7 +175,7 @@ impl Graph {
     /// Ids of ops nothing consumes (the graph outputs).
     pub fn sinks(&self) -> Vec<OpId> {
         let mut consumed = vec![false; self.ops.len()];
-        for op in &self.ops {
+        for op in self.ops.iter() {
             for &input in &op.inputs {
                 consumed[input.0] = true;
             }
@@ -184,7 +190,7 @@ impl Graph {
     /// Consumers of each op, indexed by producer id.
     pub fn consumers(&self) -> Vec<Vec<OpId>> {
         let mut out = vec![Vec::new(); self.ops.len()];
-        for op in &self.ops {
+        for op in self.ops.iter() {
             for &input in &op.inputs {
                 out[input.0].push(op.id);
             }
@@ -206,7 +212,7 @@ impl Graph {
     /// layer index, ordered by layer.
     pub fn per_layer_costs(&self) -> Vec<(usize, f64, u64)> {
         let mut agg: BTreeMap<usize, (f64, u64)> = BTreeMap::new();
-        for op in &self.ops {
+        for op in self.ops.iter() {
             if let Some(layer) = op.layer {
                 let e = agg.entry(layer).or_insert((0.0, 0));
                 e.0 += op.forward_flops();
@@ -242,7 +248,7 @@ impl Graph {
             v
         };
         let mut out = Vec::new();
-        for op in &self.ops {
+        for op in self.ops.iter() {
             if inside[op.id.0] {
                 continue;
             }
@@ -258,7 +264,7 @@ impl Graph {
     /// Export in Graphviz DOT format (for debugging and docs).
     pub fn to_dot(&self) -> String {
         let mut s = format!("digraph \"{}\" {{\n", self.name);
-        for op in &self.ops {
+        for op in self.ops.iter() {
             s.push_str(&format!(
                 "  n{} [label=\"{}\\n{:?}\"];\n",
                 op.id.0, op.name, op.phase
@@ -293,8 +299,15 @@ mod tests {
                 }
             };
             prev = Some(
-                g.add_op(format!("op{i}"), kind, inputs, TensorMeta::f32(&[8, 16]), Phase::Forward, Some(i))
-                    .unwrap(),
+                g.add_op(
+                    format!("op{i}"),
+                    kind,
+                    inputs,
+                    TensorMeta::f32(&[8, 16]),
+                    Phase::Forward,
+                    Some(i),
+                )
+                .unwrap(),
             );
         }
         g

@@ -30,11 +30,7 @@ impl GnmtConfig {
 }
 
 /// Build a GNMT training graph at the given batch and sequence length.
-pub fn gnmt_with_config(
-    config: GnmtConfig,
-    batch: usize,
-    seq: usize,
-) -> Result<Graph, GraphError> {
+pub fn gnmt_with_config(config: GnmtConfig, batch: usize, seq: usize) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new("gnmt");
     let h = config.hidden;
 
@@ -117,8 +113,16 @@ mod tests {
     #[test]
     fn has_encoder_and_decoder_layers() {
         let g = gnmt(2, 30).unwrap();
-        let enc = g.ops().iter().filter(|o| o.name.starts_with("encoder.")).count();
-        let dec = g.ops().iter().filter(|o| o.name.starts_with("decoder.")).count();
+        let enc = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.starts_with("encoder."))
+            .count();
+        let dec = g
+            .ops()
+            .iter()
+            .filter(|o| o.name.starts_with("decoder."))
+            .count();
         assert_eq!(enc, 8);
         assert_eq!(dec, 8);
     }

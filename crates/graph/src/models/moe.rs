@@ -87,7 +87,14 @@ impl MoeConfig {
 pub fn m6_moe(config: MoeConfig, batch: usize) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new("m6_moe");
     let tokens = b.input("tokens", &[batch, config.seq])?;
-    let mut h = b.embedding("embed", tokens, config.vocab, config.hidden, batch, config.seq)?;
+    let mut h = b.embedding(
+        "embed",
+        tokens,
+        config.vocab,
+        config.hidden,
+        batch,
+        config.seq,
+    )?;
     b.next_layer();
     for i in 0..config.layers {
         h = b.moe_encoder_layer(
@@ -102,7 +109,13 @@ pub fn m6_moe(config: MoeConfig, batch: usize) -> Result<Graph, GraphError> {
             config.top_k,
         )?;
     }
-    let logits = b.dense("lm_head", h, batch * config.seq, config.hidden, config.vocab)?;
+    let logits = b.dense(
+        "lm_head",
+        h,
+        batch * config.seq,
+        config.hidden,
+        config.vocab,
+    )?;
     b.cross_entropy("loss", logits, batch * config.seq, config.vocab)?;
     Ok(b.finish())
 }
@@ -143,10 +156,7 @@ mod tests {
     #[test]
     fn table1_1t_parameter_count() {
         let analytic = MoeConfig::m6_moe_1t().analytic_params() as f64;
-        assert!(
-            (0.95e12..1.1e12).contains(&analytic),
-            "params = {analytic}"
-        );
+        assert!((0.95e12..1.1e12).contains(&analytic), "params = {analytic}");
     }
 
     #[test]
@@ -166,7 +176,10 @@ mod tests {
         let flop_ratio = g1t.total_forward_flops() / g100.total_forward_flops();
         assert!(param_ratio > 8.0);
         // FLOPs only grow with the intermediate size (~5×), not experts.
-        assert!(flop_ratio < param_ratio * 0.75, "flops {flop_ratio} vs params {param_ratio}");
+        assert!(
+            flop_ratio < param_ratio * 0.75,
+            "flops {flop_ratio} vs params {param_ratio}"
+        );
     }
 
     #[test]

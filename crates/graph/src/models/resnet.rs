@@ -36,9 +36,33 @@ fn features(batch: usize) -> Result<(GraphBuilder, OpId, usize), GraphError> {
         for blk in 0..blocks {
             let prefix = format!("stage{}/block{}", stage_idx + 1, blk);
             let identity = h;
-            let c1 = b.conv2d(&format!("{prefix}/conv1"), h, batch, in_c, mid, (1, 1), (hw, hw))?;
-            let c2 = b.conv2d(&format!("{prefix}/conv2"), c1, batch, mid, mid, (3, 3), (hw, hw))?;
-            let c3 = b.conv2d(&format!("{prefix}/conv3"), c2, batch, mid, out_c, (1, 1), (hw, hw))?;
+            let c1 = b.conv2d(
+                &format!("{prefix}/conv1"),
+                h,
+                batch,
+                in_c,
+                mid,
+                (1, 1),
+                (hw, hw),
+            )?;
+            let c2 = b.conv2d(
+                &format!("{prefix}/conv2"),
+                c1,
+                batch,
+                mid,
+                mid,
+                (3, 3),
+                (hw, hw),
+            )?;
+            let c3 = b.conv2d(
+                &format!("{prefix}/conv3"),
+                c2,
+                batch,
+                mid,
+                out_c,
+                (1, 1),
+                (hw, hw),
+            )?;
             // Projection shortcut on the first block of each stage.
             let skip = if blk == 0 {
                 b.conv2d(

@@ -48,7 +48,12 @@ impl T5Config {
 }
 
 /// Build a T5 training graph.
-pub fn t5(config: T5Config, batch: usize, src_seq: usize, tgt_seq: usize) -> Result<Graph, GraphError> {
+pub fn t5(
+    config: T5Config,
+    batch: usize,
+    src_seq: usize,
+    tgt_seq: usize,
+) -> Result<Graph, GraphError> {
     let mut b = GraphBuilder::new("t5");
     let src = b.input("src_tokens", &[batch, src_seq])?;
     let mut enc = b.embedding("embed", src, config.vocab, config.hidden, batch, src_seq)?;
@@ -65,7 +70,14 @@ pub fn t5(config: T5Config, batch: usize, src_seq: usize, tgt_seq: usize) -> Res
         )?;
     }
     let tgt = b.input("tgt_tokens", &[batch, tgt_seq])?;
-    let mut dec = b.embedding("tgt_embed", tgt, config.vocab, config.hidden, batch, tgt_seq)?;
+    let mut dec = b.embedding(
+        "tgt_embed",
+        tgt,
+        config.vocab,
+        config.hidden,
+        batch,
+        tgt_seq,
+    )?;
     b.next_layer();
     for i in 0..config.decoder_layers {
         dec = b.decoder_layer(

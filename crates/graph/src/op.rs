@@ -7,11 +7,9 @@
 //! nodes, which is also how Whale's own TaskGraph abstraction avoids
 //! operation-wise strategy explosion (§3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// Execution phase of an operation (§4, "TaskGraph Schedule" groups
 /// operations into forward / backward / optimizer / others).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Forward computation.
     Forward,
@@ -24,7 +22,7 @@ pub enum Phase {
 }
 
 /// Semantic kind of an operation, with the attributes its cost depends on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OpKind {
     /// Graph input (a data source); no compute.
     Input,
@@ -151,7 +149,15 @@ impl OpKind {
                 out_c,
                 kernel: (kh, kw),
                 out_hw: (oh, ow),
-            } => 2.0 * batch as f64 * oh as f64 * ow as f64 * out_c as f64 * in_c as f64 * kh as f64 * kw as f64,
+            } => {
+                2.0 * batch as f64
+                    * oh as f64
+                    * ow as f64
+                    * out_c as f64
+                    * in_c as f64
+                    * kh as f64
+                    * kw as f64
+            }
             // Lookup is memory-bound; model as one FLOP per fetched element.
             OpKind::Embedding { dim, tokens, .. } => dim as f64 * tokens as f64,
             OpKind::LayerNorm { elems, .. } => 8.0 * elems as f64,
@@ -169,7 +175,8 @@ impl OpKind {
                 input_dim,
                 hidden,
             } => {
-                let per_step = 8.0 * (input_dim as f64 * hidden as f64 + hidden as f64 * hidden as f64);
+                let per_step =
+                    8.0 * (input_dim as f64 * hidden as f64 + hidden as f64 * hidden as f64);
                 seq as f64 * batch as f64 * per_step
             }
             OpKind::CrossEntropy { batch, classes } => 5.0 * batch as f64 * classes as f64,
@@ -205,10 +212,7 @@ impl OpKind {
         match *self {
             OpKind::MatMul {
                 k, n, has_params, ..
-            }
-                if has_params => {
-                    k as u64 * n as u64 + n as u64
-                }
+            } if has_params => k as u64 * n as u64 + n as u64,
             OpKind::Conv2d {
                 in_c,
                 out_c,
@@ -219,13 +223,22 @@ impl OpKind {
             OpKind::LayerNorm { dim, .. } => 2 * dim as u64,
             OpKind::Lstm {
                 input_dim, hidden, ..
-            } => 4 * (input_dim as u64 * hidden as u64 + hidden as u64 * hidden as u64 + hidden as u64),
+            } => {
+                4 * (input_dim as u64 * hidden as u64
+                    + hidden as u64 * hidden as u64
+                    + hidden as u64)
+            }
             OpKind::MoeFfn {
                 hidden,
                 intermediate,
                 experts,
                 ..
-            } => experts as u64 * (2 * hidden as u64 * intermediate as u64 + hidden as u64 + intermediate as u64),
+            } => {
+                experts as u64
+                    * (2 * hidden as u64 * intermediate as u64
+                        + hidden as u64
+                        + intermediate as u64)
+            }
             OpKind::Gating {
                 hidden, experts, ..
             } => hidden as u64 * experts as u64,
@@ -362,10 +375,26 @@ mod roofline_tests {
     fn bandwidth_bound_classification() {
         assert!(OpKind::Softmax { elems: 10 }.is_bandwidth_bound());
         assert!(OpKind::LayerNorm { elems: 10, dim: 4 }.is_bandwidth_bound());
-        assert!(OpKind::Elementwise { elems: 10, flops_per_elem: 1 }.is_bandwidth_bound());
-        assert!(!OpKind::MatMul { m: 2, k: 2, n: 2, has_params: true }.is_bandwidth_bound());
-        assert!(!OpKind::Conv2d { batch: 1, in_c: 1, out_c: 1, kernel: (3, 3), out_hw: (4, 4) }
-            .is_bandwidth_bound());
+        assert!(OpKind::Elementwise {
+            elems: 10,
+            flops_per_elem: 1
+        }
+        .is_bandwidth_bound());
+        assert!(!OpKind::MatMul {
+            m: 2,
+            k: 2,
+            n: 2,
+            has_params: true
+        }
+        .is_bandwidth_bound());
+        assert!(!OpKind::Conv2d {
+            batch: 1,
+            in_c: 1,
+            out_c: 1,
+            kernel: (3, 3),
+            out_hw: (4, 4)
+        }
+        .is_bandwidth_bound());
         assert!(!OpKind::Input.is_bandwidth_bound());
     }
 }

@@ -10,11 +10,9 @@
 
 use crate::graph::{Graph, OpId};
 use crate::op::{OpKind, Phase};
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Optimizers with their per-parameter state footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Optimizer {
     /// Plain SGD: no extra state.
     Sgd,
@@ -40,7 +38,7 @@ impl Optimizer {
 }
 
 /// ZeRO sharded-data-parallelism stages (ref \[31\], integrated by Whale §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ZeroStage {
     /// No sharding: every replica holds full states.
     None,
@@ -81,7 +79,7 @@ impl ZeroStage {
 }
 
 /// Training-time options that change the memory footprint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingConfig {
     /// Optimizer choice.
     pub optimizer: Optimizer,
@@ -142,7 +140,14 @@ impl TrainingConfig {
             master = 0.0;
             if !self.amp {
                 // Without AMP the device still needs an fp32 working copy.
-                working = working.max(p * 4.0 / if self.zero.shards_parameters() { d } else { 1.0 });
+                working = working.max(
+                    p * 4.0
+                        / if self.zero.shards_parameters() {
+                            d
+                        } else {
+                            1.0
+                        },
+                );
             }
         }
         let mut grads = p * if self.amp { 2.0 } else { 4.0 };
@@ -191,7 +196,7 @@ impl TrainingConfig {
 }
 
 /// Aggregated analytic costs of a graph or subgraph, normalized per sample.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostProfile {
     /// Trainable parameters.
     pub param_count: u64,
@@ -227,8 +232,11 @@ impl CostProfile {
         let mut fwd_flops = 0.0f64;
         let mut act_bytes = 0u64;
         let mut traffic_bytes = 0u64;
-        // Last op of each layer — its output is the layer checkpoint.
-        let mut layer_last: BTreeMap<usize, OpId> = BTreeMap::new();
+        // Last op of each layer — its output is the layer checkpoint. Ops
+        // arrive grouped by layer in practice, so a tail-first scan over a
+        // small vec is amortized O(1) per op (checkpoint_bytes is a u64 sum,
+        // so the collection order does not affect the result).
+        let mut layer_last: Vec<(usize, OpId)> = Vec::new();
         for &id in ids {
             let op = match graph.op(id) {
                 Ok(op) => op,
@@ -248,7 +256,10 @@ impl CostProfile {
                 traffic_bytes += 2 * op.output_bytes();
             }
             if let Some(layer) = op.layer {
-                layer_last.insert(layer, id);
+                match layer_last.iter_mut().rev().find(|(l, _)| *l == layer) {
+                    Some(entry) => entry.1 = id,
+                    None => layer_last.push((layer, id)),
+                }
             }
         }
         let mut checkpoint_bytes = 0u64;
@@ -296,12 +307,24 @@ mod tests {
     fn toy() -> Graph {
         let mut g = Graph::new("toy");
         let x = g
-            .add_op("x", OpKind::Input, vec![], TensorMeta::f32(&[8, 16]), Phase::Forward, None)
+            .add_op(
+                "x",
+                OpKind::Input,
+                vec![],
+                TensorMeta::f32(&[8, 16]),
+                Phase::Forward,
+                None,
+            )
             .unwrap();
         let h = g
             .add_op(
                 "fc1",
-                OpKind::MatMul { m: 8, k: 16, n: 32, has_params: true },
+                OpKind::MatMul {
+                    m: 8,
+                    k: 16,
+                    n: 32,
+                    has_params: true,
+                },
                 vec![x],
                 TensorMeta::f32(&[8, 32]),
                 Phase::Forward,
@@ -310,7 +333,12 @@ mod tests {
             .unwrap();
         g.add_op(
             "fc2",
-            OpKind::MatMul { m: 8, k: 32, n: 8, has_params: true },
+            OpKind::MatMul {
+                m: 8,
+                k: 32,
+                n: 8,
+                has_params: true,
+            },
             vec![h],
             TensorMeta::f32(&[8, 8]),
             Phase::Forward,
@@ -355,8 +383,11 @@ mod tests {
     fn optimizer_state_ordering() {
         let p = CostProfile::from_graph(&toy(), 8);
         let mem = |opt| {
-            TrainingConfig { optimizer: opt, ..TrainingConfig::default() }
-                .memory_bytes(&p, 8, 1.0)
+            TrainingConfig {
+                optimizer: opt,
+                ..TrainingConfig::default()
+            }
+            .memory_bytes(&p, 8, 1.0)
         };
         assert!(mem(Optimizer::Adam) > mem(Optimizer::SgdMomentum));
         assert!(mem(Optimizer::SgdMomentum) > mem(Optimizer::Sgd));
@@ -367,7 +398,10 @@ mod tests {
     fn recompute_and_amp_reduce_memory() {
         let p = CostProfile::from_graph(&toy(), 8);
         let base = TrainingConfig::default();
-        let recompute = TrainingConfig { recompute: true, ..base };
+        let recompute = TrainingConfig {
+            recompute: true,
+            ..base
+        };
         let amp = TrainingConfig { amp: true, ..base };
         assert!(recompute.memory_bytes(&p, 1024, 1.0) <= base.memory_bytes(&p, 1024, 1.0));
         assert!(amp.memory_bytes(&p, 1024, 1.0) < base.memory_bytes(&p, 1024, 1.0));
@@ -377,7 +411,10 @@ mod tests {
     fn recompute_costs_an_extra_forward() {
         let p = CostProfile::from_graph(&toy(), 8);
         let base = TrainingConfig::default();
-        let rc = TrainingConfig { recompute: true, ..base };
+        let rc = TrainingConfig {
+            recompute: true,
+            ..base
+        };
         let f = p.forward_flops(8);
         assert!((base.step_flops(&p, 8) - 3.0 * f).abs() < 1e-6);
         assert!((rc.step_flops(&p, 8) - 4.0 * f).abs() < 1e-6);
@@ -449,7 +486,11 @@ mod zero_tests {
         let none = mem(ZeroStage::None, false, false, 8) as f64;
         let z1 = mem(ZeroStage::OptimizerState, false, false, 8) as f64;
         let expect = p.param_count as f64 * 8.0 * (7.0 / 8.0);
-        assert!(((none - z1) - expect).abs() < 16.0, "{} vs {expect}", none - z1);
+        assert!(
+            ((none - z1) - expect).abs() < 16.0,
+            "{} vs {expect}",
+            none - z1
+        );
     }
 
     #[test]

@@ -2,11 +2,10 @@
 
 use crate::graph::Graph;
 use crate::op::OpKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregated description of a model graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphStats {
     /// Model name.
     pub name: String,
@@ -50,7 +49,9 @@ pub fn graph_stats(graph: &Graph) -> GraphStats {
     let mut by_flops: Vec<(String, f64)> = Vec::new();
     let mut by_params: Vec<(String, u64)> = Vec::new();
     for op in graph.ops() {
-        *ops_by_kind.entry(kind_name(&op.kind).to_string()).or_insert(0) += 1;
+        *ops_by_kind
+            .entry(kind_name(&op.kind).to_string())
+            .or_insert(0) += 1;
         by_flops.push((op.name.clone(), op.forward_flops()));
         if op.param_count() > 0 {
             by_params.push((op.name.clone(), op.param_count()));

@@ -4,11 +4,10 @@
 //! sizes to reason about bridge layers, communication volume, and activation
 //! memory. This module provides exactly that metadata.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Element types understood by the cost model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DType {
     /// 32-bit IEEE float (the paper's cost model is stated in fp32 FLOP).
     F32,
@@ -52,7 +51,7 @@ impl fmt::Display for DType {
 
 /// A dense tensor shape. Dimension 0 is the batch dimension by convention,
 /// which is what bridge layers partition and gather along (§3.4).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape(pub Vec<usize>);
 
 impl Shape {
@@ -129,7 +128,7 @@ impl fmt::Display for Shape {
 }
 
 /// Metadata for a tensor flowing along a graph edge.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorMeta {
     /// Shape of the tensor.
     pub shape: Shape,

@@ -8,11 +8,10 @@
 use crate::error::{HardwareError, Result};
 use crate::gpu::{Gpu, GpuModel};
 use crate::interconnect::Interconnect;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One machine hosting several GPUs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Node index within the cluster.
     pub index: usize,
@@ -21,7 +20,7 @@ pub struct Node {
 }
 
 /// A physical GPU cluster.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     gpus: Vec<Gpu>,
     nodes: Vec<Node>,
@@ -80,9 +79,9 @@ impl Cluster {
                     .trim()
                     .parse()
                     .map_err(|_| HardwareError::ParseError(format!("bad count in '{group}'")))?;
-                let inner = group[paren + 2..]
-                    .strip_suffix(')')
-                    .ok_or_else(|| HardwareError::ParseError(format!("missing ')' in '{group}'")))?;
+                let inner = group[paren + 2..].strip_suffix(')').ok_or_else(|| {
+                    HardwareError::ParseError(format!("missing ')' in '{group}'"))
+                })?;
                 let models = parse_node(inner)?;
                 for _ in 0..count {
                     b = b.add_node(models.clone());
@@ -129,9 +128,7 @@ impl Cluster {
 
     /// Whether the cluster mixes more than one GPU model.
     pub fn is_heterogeneous(&self) -> bool {
-        self.gpus
-            .windows(2)
-            .any(|w| w[0].model != w[1].model)
+        self.gpus.windows(2).any(|w| w[0].model != w[1].model)
     }
 
     /// Mark GPU `id` as degraded to `scale` of its peak throughput.

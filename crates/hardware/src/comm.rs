@@ -13,11 +13,10 @@
 use crate::cluster::Cluster;
 use crate::error::{HardwareError, Result};
 use crate::interconnect::LinkKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Collective operations the planner can insert.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Collective {
     /// Sum-reduce then replicate: each rank ends with the full reduced tensor.
     AllReduce,
@@ -270,10 +269,7 @@ mod tests {
     fn p100_nodes_use_pcie() {
         let c = Cluster::homogeneous(GpuModel::P100_16GB, 1, 8);
         let m = CommModel::new(&c);
-        assert_eq!(
-            m.bottleneck_link(&[0, 1, 2, 3]).unwrap(),
-            LinkKind::Pcie
-        );
+        assert_eq!(m.bottleneck_link(&[0, 1, 2, 3]).unwrap(), LinkKind::Pcie);
     }
 
     #[test]

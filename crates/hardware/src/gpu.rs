@@ -5,7 +5,6 @@
 //! The catalog below records the published specs for the GPU types named in
 //! the paper (V100, P100, P40) plus a few extras used in tests and ablations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One teraFLOPS, in FLOP per second.
@@ -18,7 +17,7 @@ pub const GIB: u64 = 1 << 30;
 /// The FLOPS numbers are peak single-precision (fp32) throughput, matching the
 /// paper's cost model `t = α · MF / GF` which is stated in terms of
 /// single-precision FLOP.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GpuModel {
     /// NVIDIA Tesla V100 with 32 GB HBM2 (15.7 fp32 TFLOPS).
     V100_32GB,
@@ -148,7 +147,7 @@ impl fmt::Display for GpuModel {
 ///
 /// `id` is globally unique within the [`crate::Cluster`]; `node` is the index
 /// of the hosting machine; `local_rank` is the GPU's slot within that machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Gpu {
     /// Global device id, dense in `0..cluster.num_gpus()`.
     pub id: usize,

@@ -7,10 +7,9 @@
 //! devices have NVLink.
 
 use crate::gpu::Gpu;
-use serde::{Deserialize, Serialize};
 
 /// Classes of links between two GPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkKind {
     /// Same-node NVLink mesh.
     NvLink,
@@ -26,7 +25,7 @@ pub enum LinkKind {
 ///
 /// Defaults model the paper's testbed: 50 Gb/s inter-node bandwidth, NVLink at
 /// 150 GB/s effective per direction, PCIe 3.0 x16 at ~12 GB/s effective.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Interconnect {
     /// NVLink per-pair bandwidth, bytes/s.
     pub nvlink_bw: f64,

@@ -8,10 +8,9 @@
 
 use crate::cluster::Cluster;
 use crate::error::{HardwareError, Result};
-use serde::{Deserialize, Serialize};
 
 /// An ordered, non-empty set of physical GPUs assigned to one TaskGraph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VirtualDevice {
     gpu_ids: Vec<usize>,
 }
@@ -58,7 +57,10 @@ impl VirtualDevice {
 
     /// Whether all member GPUs share one node.
     pub fn is_single_node(&self, cluster: &Cluster) -> Result<bool> {
-        let mut nodes = self.gpu_ids.iter().map(|&id| cluster.gpu(id).map(|g| g.node));
+        let mut nodes = self
+            .gpu_ids
+            .iter()
+            .map(|&id| cluster.gpu(id).map(|g| g.node));
         let first = match nodes.next() {
             Some(n) => n?,
             None => return Ok(true),
@@ -73,7 +75,7 @@ impl VirtualDevice {
 }
 
 /// Strategies for slicing a cluster into virtual devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SliceStrategy {
     /// Equal-sized contiguous chunks in global-id order.
     EvenContiguous,

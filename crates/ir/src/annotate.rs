@@ -96,7 +96,8 @@ impl Annotator {
     pub fn annotate_ops(mut self, ops: Vec<OpId>, strategies: Vec<Primitive>) -> Result<Annotator> {
         self.claim(&ops)?;
         let index = self.task_graphs.len();
-        self.task_graphs.push(TaskGraph::new(index, ops, strategies));
+        self.task_graphs
+            .push(TaskGraph::new(index, ops, strategies));
         Ok(self)
     }
 

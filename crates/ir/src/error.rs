@@ -39,7 +39,10 @@ impl fmt::Display for IrError {
             IrError::ScopeMismatch(s) => write!(f, "scope mismatch: {s}"),
             IrError::Graph(s) => write!(f, "graph error: {s}"),
             IrError::NonConvexStage(i) => {
-                write!(f, "stage TaskGraph {i} is not contiguous in topological order")
+                write!(
+                    f,
+                    "stage TaskGraph {i} is not contiguous in topological order"
+                )
             }
         }
     }

@@ -1,6 +1,5 @@
 //! The four parallel primitives of §3.3.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A parallel primitive annotating a TaskGraph.
@@ -14,7 +13,7 @@ use std::fmt;
 ///
 /// `pipeline` is not a per-TaskGraph strategy but a schedule over a sequence
 /// of TaskGraphs; it is carried separately as [`PipelineSpec`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Primitive {
     /// Replicate the TaskGraph (data parallelism).
     Replica,
@@ -37,7 +36,7 @@ impl fmt::Display for Primitive {
 
 /// The `pipeline` primitive: schedule the annotated TaskGraphs as an
 /// interleaved pipeline over micro batches (§2.1, §3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineSpec {
     /// Number of micro batches each mini batch is split into (M6-10B uses
     /// 35, §5.1).

@@ -1,7 +1,6 @@
 //! TaskGraph: the unit of parallel annotation and execution (§3.2).
 
 use crate::primitive::Primitive;
-use serde::{Deserialize, Serialize};
 use whale_graph::{CostProfile, Graph, OpId};
 
 /// A non-overlapping subgraph annotated with one or more parallel strategies.
@@ -10,7 +9,7 @@ use whale_graph::{CostProfile, Graph, OpId};
 /// inside `replica` — is `[Split, Replica]`, meaning the TaskGraph is first
 /// sharded and the sharded group is then replicated across the remaining
 /// GPUs of its virtual device.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskGraph {
     /// Index within the IR's TaskGraph list (execution order for pipelines).
     pub index: usize,

@@ -31,7 +31,11 @@ pub fn to_dot(ir: &WhaleIr) -> String {
         s.push_str(&format!(
             "  label=\"pipeline({} micro batches){}\";\n",
             p.num_micro_batches,
-            if ir.outer_replica { " inside outer replica" } else { "" },
+            if ir.outer_replica {
+                " inside outer replica"
+            } else {
+                ""
+            },
         ));
     }
     for tg in &ir.task_graphs {

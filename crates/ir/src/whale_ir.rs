@@ -3,13 +3,12 @@
 use crate::error::{IrError, Result};
 use crate::primitive::{PipelineSpec, Primitive};
 use crate::taskgraph::TaskGraph;
-use serde::{Deserialize, Serialize};
 use whale_graph::Graph;
 
 /// The augmented computation graph of §3.1: the local model plus parallel
 /// annotations (strategy per TaskGraph, optional pipeline schedule, optional
 /// plan-level data parallelism).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WhaleIr {
     /// The local model.
     pub graph: Graph,

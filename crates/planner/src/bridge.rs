@@ -6,11 +6,10 @@
 //! `Partition(n)` collapses to `Identity` (Fig. 8) — to remove unnecessary
 //! communication.
 
-use serde::{Deserialize, Serialize};
 use whale_ir::Primitive;
 
 /// A bridge operation on the tensor flowing between TaskGraphs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bridge {
     /// Split the batch dimension into `n` parts.
     Partition(usize),
@@ -32,7 +31,7 @@ impl Bridge {
 }
 
 /// Input and output bridges a primitive imposes (Fig. 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BridgePattern {
     /// Bridge applied to the TaskGraph's input tensor.
     pub input: Bridge,

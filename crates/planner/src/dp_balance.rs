@@ -8,12 +8,11 @@
 use crate::error::Result;
 use crate::partition::proportional_split;
 use crate::psvf::{psvf, PsvfReport, Workload};
-use serde::{Deserialize, Serialize};
 use whale_graph::{CostProfile, TrainingConfig};
 use whale_hardware::Gpu;
 
 /// Outcome of Algorithm 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DpPartition {
     /// Batch size per replica, aligned with the input GPU order.
     pub batch_sizes: Vec<usize>,
@@ -41,12 +40,55 @@ impl DpPartition {
 }
 
 /// The `shift_batch` workload: moving one unit moves one sample.
+///
+/// Per-replica memory/FLOP terms are cached (`mem`/`flops` vectors) and a
+/// `shift` refreshes only the two replicas whose batch changed, so one PSVF
+/// step costs O(devices) queries instead of O(devices) cost-model
+/// re-evaluations. Entries are refreshed by the same `TrainingConfig` calls
+/// that computed them, so caching cannot change any PSVF decision.
 struct DpWorkload<'a> {
     batch_sizes: Vec<usize>,
     profile: &'a CostProfile,
     cfg: &'a TrainingConfig,
     gpus: &'a [Gpu],
     act_multiplier: f64,
+    mem: Vec<u64>,
+    flops: Vec<f64>,
+}
+
+impl<'a> DpWorkload<'a> {
+    fn new(
+        batch_sizes: Vec<usize>,
+        profile: &'a CostProfile,
+        cfg: &'a TrainingConfig,
+        gpus: &'a [Gpu],
+        act_multiplier: f64,
+    ) -> DpWorkload<'a> {
+        let mem = batch_sizes
+            .iter()
+            .map(|&bs| cfg.memory_bytes(profile, bs, act_multiplier))
+            .collect();
+        let flops = batch_sizes
+            .iter()
+            .map(|&bs| cfg.step_flops(profile, bs))
+            .collect();
+        DpWorkload {
+            batch_sizes,
+            profile,
+            cfg,
+            gpus,
+            act_multiplier,
+            mem,
+            flops,
+        }
+    }
+
+    fn refresh(&mut self, i: usize) {
+        self.mem[i] = self
+            .cfg
+            .memory_bytes(self.profile, self.batch_sizes[i], self.act_multiplier);
+        self.flops[i] = self.cfg.step_flops(self.profile, self.batch_sizes[i]);
+    }
 }
 
 impl Workload for DpWorkload<'_> {
@@ -54,14 +96,13 @@ impl Workload for DpWorkload<'_> {
         self.gpus.len()
     }
     fn mem_bytes(&self, i: usize) -> u64 {
-        self.cfg
-            .memory_bytes(self.profile, self.batch_sizes[i], self.act_multiplier)
+        self.mem[i]
     }
     fn mem_capacity(&self, i: usize) -> u64 {
         self.gpus[i].memory_bytes()
     }
     fn flops(&self, i: usize) -> f64 {
-        self.cfg.step_flops(self.profile, self.batch_sizes[i])
+        self.flops[i]
     }
     fn flops_capacity(&self, i: usize) -> f64 {
         self.gpus[i].flops()
@@ -72,6 +113,8 @@ impl Workload for DpWorkload<'_> {
         }
         self.batch_sizes[from] -= 1;
         self.batch_sizes[to] += 1;
+        self.refresh(from);
+        self.refresh(to);
         true
     }
 }
@@ -101,13 +144,7 @@ pub fn dp_partition(
             psvf: None,
         });
     }
-    let mut w = DpWorkload {
-        batch_sizes,
-        profile,
-        cfg,
-        gpus,
-        act_multiplier,
-    };
+    let mut w = DpWorkload::new(batch_sizes, profile, cfg, gpus, act_multiplier);
     // Lines 9-10: PSVF only when some replica overflows.
     let overflow = (0..w.len()).any(|i| w.mem_bytes(i) > w.mem_capacity(i));
     let report = if overflow { Some(psvf(&mut w)?) } else { None };

@@ -7,14 +7,44 @@
 //! enough to rank strategies, which lets `auto_parallel` prune candidates
 //! before paying for a full simulation.
 
-use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
 use whale_hardware::{Cluster, CommModel};
 
 use crate::error::Result;
-use crate::plan::ExecutionPlan;
+use crate::plan::{ExecutionPlan, PlannedStage};
+
+/// FNV-1a. The cache keys are short vectors of numeric words produced by the
+/// planner itself, so SipHash's collision-attack resistance buys nothing and
+/// costs measurably in `auto_parallel`'s estimate phase.
+#[derive(Clone)]
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<Fnv>>;
 
 /// Closed-form estimate of one training step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepEstimate {
     /// Estimated pipeline/compute span, seconds.
     pub compute: f64,
@@ -27,6 +57,105 @@ pub struct StepEstimate {
     pub step_time: f64,
 }
 
+/// Memoized sub-terms of [`estimate_step`], shared across the many plans of
+/// one `auto_parallel` search.
+///
+/// Candidate plans frequently repeat whole stages (the same devices running
+/// the same per-micro work) and gradient-sync collectives; the cache keys
+/// each stage by its full cost signature — device set, per-device FLOP and
+/// traffic terms, collectives, AMP/recompute/efficiency — so a hit returns
+/// a value computed by the identical arithmetic on identical inputs.
+/// Estimates are therefore bit-identical with or without the cache.
+pub struct EstimateCache<'c> {
+    cluster: &'c Cluster,
+    comm: CommModel<'c>,
+    stage_terms: FnvMap<Vec<u64>, f64>,
+    sync_terms: FnvMap<Vec<u64>, f64>,
+}
+
+impl<'c> EstimateCache<'c> {
+    /// Empty cache over `cluster` (also pre-builds the communication model
+    /// once instead of once per estimate).
+    pub fn new(cluster: &'c Cluster) -> EstimateCache<'c> {
+        EstimateCache {
+            cluster,
+            comm: CommModel::new(cluster),
+            stage_terms: FnvMap::default(),
+            sync_terms: FnvMap::default(),
+        }
+    }
+
+    /// Number of memoized sub-terms (diagnostics).
+    pub fn len(&self) -> usize {
+        self.stage_terms.len() + self.sync_terms.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The full cost signature of one stage, written into `key` (a scratch
+/// buffer reused across stages — cache hits then cost no allocation); two
+/// stages with equal keys have equal forward+backward terms.
+fn stage_key_into(
+    key: &mut Vec<u64>,
+    stage: &PlannedStage,
+    amp: bool,
+    bw_factor: f64,
+    efficiency: f64,
+) {
+    key.clear();
+    key.push(amp as u64);
+    key.push(bw_factor.to_bits());
+    key.push(efficiency.to_bits());
+    for d in &stage.devices {
+        key.push(d.gpu as u64);
+        key.push(d.fw_flops_per_micro.to_bits());
+        key.push(d.mem_traffic_per_micro.to_bits());
+    }
+    key.push(u64::MAX); // separates devices from collectives
+    for c in &stage.collectives_per_micro {
+        key.push(c.kind as u64);
+        key.push(c.bytes);
+        key.push(c.group.len() as u64);
+        key.extend(c.group.iter().map(|&g| g as u64));
+    }
+}
+
+/// One stage's forward+backward span (compute roofline + collectives) —
+/// the term [`EstimateCache`] memoizes.
+fn stage_fw_bw(
+    stage: &PlannedStage,
+    cluster: &Cluster,
+    comm: &CommModel<'_>,
+    amp: bool,
+    bw_factor: f64,
+    efficiency: f64,
+) -> Result<f64> {
+    let mut t: f64 = 0.0;
+    for d in &stage.devices {
+        let gpu = cluster.gpu(d.gpu)?;
+        let boost = if amp { gpu.model.amp_speedup() } else { 1.0 };
+        let flops_t = d.fw_flops_per_micro / (gpu.flops() * boost * efficiency);
+        let traffic = d.mem_traffic_per_micro * if amp { 0.5 } else { 1.0 };
+        t = t.max(flops_t + traffic / gpu.model.memory_bandwidth());
+    }
+    let mut comm_t = 0.0;
+    for c in &stage.collectives_per_micro {
+        let n = c.group.len().max(1) as u64;
+        let per_rank = match c.kind {
+            whale_hardware::Collective::AllGather | whale_hardware::Collective::AllToAll => {
+                (c.bytes / n).max(1)
+            }
+            _ => c.bytes,
+        };
+        comm_t += comm.collective(c.kind, &c.group, per_rank)?;
+    }
+    Ok(t * (1.0 + bw_factor) + comm_t * 2.0)
+}
+
 /// Estimate `plan`'s step time on `cluster`.
 ///
 /// Model: per-stage task time `tᵢ = max_device(flops/(GF·α·amp) +
@@ -34,7 +163,15 @@ pub struct StepEstimate {
 /// stretched by the 1F1B bubble factor `(S−1)/(S−1+M)`; sync fully
 /// overlapped (matching the simulator's default), except latency floors.
 pub fn estimate_step(plan: &ExecutionPlan, cluster: &Cluster) -> Result<StepEstimate> {
-    let comm = CommModel::new(cluster);
+    estimate_step_cached(plan, &mut EstimateCache::new(cluster))
+}
+
+/// [`estimate_step`] against a shared [`EstimateCache`]; `auto_parallel`
+/// reuses one cache across every candidate of a search.
+pub fn estimate_step_cached(
+    plan: &ExecutionPlan,
+    cache: &mut EstimateCache<'_>,
+) -> Result<StepEstimate> {
     let s = plan.stages.len().max(1);
     let m = plan.num_micro_batches.max(1);
     let amp = plan.training.amp;
@@ -42,27 +179,24 @@ pub fn estimate_step(plan: &ExecutionPlan, cluster: &Cluster) -> Result<StepEsti
 
     let mut bottleneck: f64 = 0.0;
     let mut total_stage_time = 0.0;
+    let mut key: Vec<u64> = Vec::new();
     for stage in &plan.stages {
-        let mut t: f64 = 0.0;
-        for d in &stage.devices {
-            let gpu = cluster.gpu(d.gpu)?;
-            let boost = if amp { gpu.model.amp_speedup() } else { 1.0 };
-            let flops_t = d.fw_flops_per_micro / (gpu.flops() * boost * plan.efficiency);
-            let traffic = d.mem_traffic_per_micro * if amp { 0.5 } else { 1.0 };
-            t = t.max(flops_t + traffic / gpu.model.memory_bandwidth());
-        }
-        let mut comm_t = 0.0;
-        for c in &stage.collectives_per_micro {
-            let n = c.group.len().max(1) as u64;
-            let per_rank = match c.kind {
-                whale_hardware::Collective::AllGather | whale_hardware::Collective::AllToAll => {
-                    (c.bytes / n).max(1)
-                }
-                _ => c.bytes,
-            };
-            comm_t += comm.collective(c.kind, &c.group, per_rank)?;
-        }
-        let fw_bw = t * (1.0 + bw_factor) + comm_t * 2.0;
+        stage_key_into(&mut key, stage, amp, bw_factor, plan.efficiency);
+        let fw_bw = match cache.stage_terms.get(key.as_slice()) {
+            Some(&t) => t,
+            None => {
+                let t = stage_fw_bw(
+                    stage,
+                    cache.cluster,
+                    &cache.comm,
+                    amp,
+                    bw_factor,
+                    plan.efficiency,
+                )?;
+                cache.stage_terms.insert(key.clone(), t);
+                t
+            }
+        };
         bottleneck = bottleneck.max(fw_bw);
         total_stage_time += fw_bw;
     }
@@ -83,7 +217,19 @@ pub fn estimate_step(plan: &ExecutionPlan, cluster: &Cluster) -> Result<StepEsti
 
     let mut sync = 0.0;
     for c in &plan.grad_syncs {
-        sync += comm.collective(c.kind, &c.group, c.bytes)?;
+        key.clear();
+        key.push(c.kind as u64);
+        key.push(c.bytes);
+        key.extend(c.group.iter().map(|&g| g as u64));
+        let t = match cache.sync_terms.get(key.as_slice()) {
+            Some(&t) => t,
+            None => {
+                let t = cache.comm.collective(c.kind, &c.group, c.bytes)?;
+                cache.sync_terms.insert(key.clone(), t);
+                t
+            }
+        };
+        sync += t;
     }
     // Default overlap hides sync behind backward; expose only what exceeds
     // the backward window (≈ compute·bw/(1+bw)).
@@ -110,7 +256,11 @@ mod tests {
 
     fn dp_plan(cluster: &Cluster, batch: usize) -> ExecutionPlan {
         let g = models::resnet50(batch).unwrap();
-        let ir = Annotator::new(g, batch).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, batch)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         plan(&ir, cluster, &PlannerConfig::default()).unwrap()
     }
 
@@ -127,7 +277,11 @@ mod tests {
     fn hetero_baseline_estimates_slower() {
         let cluster = Cluster::parse("4xV100,4xP100").unwrap();
         let g = models::resnet50(256).unwrap();
-        let ir = Annotator::new(g, 256).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 256)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let aware = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let base = plan(
             &ir,
@@ -144,10 +298,29 @@ mod tests {
     }
 
     #[test]
+    fn cached_estimates_are_bit_identical() {
+        let cluster = Cluster::parse("4xV100,4xP100").unwrap();
+        let mut cache = EstimateCache::new(&cluster);
+        for batch in [64usize, 256] {
+            let p = dp_plan(&cluster, batch);
+            let fresh = estimate_step(&p, &cluster).unwrap();
+            let first = estimate_step_cached(&p, &mut cache).unwrap();
+            let hit = estimate_step_cached(&p, &mut cache).unwrap();
+            assert_eq!(fresh, first, "cold cache must match the plain path");
+            assert_eq!(first, hit, "warm hit must return the stored terms");
+        }
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
     fn pipeline_bubble_matches_closed_form() {
         let cluster = Cluster::parse("1x(4xV100)").unwrap();
         let g = models::bert_base(64, 64).unwrap();
-        let ir = Annotator::new(g, 64).auto_pipeline(12).unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .auto_pipeline(12)
+            .unwrap()
+            .finish()
+            .unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let e = estimate_step(&p, &cluster).unwrap();
         assert!((e.bubble - 3.0 / 15.0).abs() < 1e-12);

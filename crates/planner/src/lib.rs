@@ -44,8 +44,11 @@ pub mod shard;
 
 pub use dp_balance::{dp_partition, DpPartition};
 pub use error::{PlanError, Result};
-pub use estimate::{estimate_step, StepEstimate};
-pub use pipe_balance::{in_flight_micro_batches, pipeline_partition, stage_flops, PipePartition};
+pub use estimate::{estimate_step, estimate_step_cached, EstimateCache, StepEstimate};
+pub use pipe_balance::{
+    in_flight_micro_batches, pipeline_partition, pipeline_partition_opts, stage_flops,
+    PipePartition,
+};
 pub use plan::{CollectiveTask, DeviceWork, ExecutionPlan, PlannedStage};
 pub use planner::{plan, DeviceAssignment, PlannerConfig, ScheduleKind};
 pub use psvf::{psvf, PsvfReport, PsvfStep, Workload};

@@ -25,7 +25,9 @@ pub fn proportional_split(total: usize, weights: &[f64]) -> Result<Vec<usize>> {
     }
     let sum: f64 = weights.iter().sum();
     if sum <= 0.0 || weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
-        return Err(PlanError::BadConfig("weights must be non-negative and finite".into()));
+        return Err(PlanError::BadConfig(
+            "weights must be non-negative and finite".into(),
+        ));
     }
     let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
     let mut out: Vec<usize> = exact.iter().map(|&e| e.floor() as usize).collect();

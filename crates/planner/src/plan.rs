@@ -6,14 +6,13 @@
 //! estimates, the collectives each stage launches per micro batch, and the
 //! gradient-synchronization collectives run at the end of every step (§4).
 
-use serde::{Deserialize, Serialize};
 use whale_graph::TrainingConfig;
 use whale_hardware::{Cluster, Collective};
 
 use crate::error::{PlanError, Result};
 
 /// Work assigned to one GPU within a stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceWork {
     /// Global GPU id.
     pub gpu: usize,
@@ -30,7 +29,7 @@ pub struct DeviceWork {
 }
 
 /// A collective launched by the plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveTask {
     /// Which collective.
     pub kind: Collective,
@@ -46,7 +45,7 @@ pub struct CollectiveTask {
 }
 
 /// One planned TaskGraph (a pipeline stage when a pipeline is scheduled).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlannedStage {
     /// Stage index in execution order.
     pub index: usize,
@@ -74,7 +73,7 @@ impl PlannedStage {
 }
 
 /// The distributed execution plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionPlan {
     /// Model name this plan was derived from.
     pub name: String,

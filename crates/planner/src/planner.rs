@@ -21,7 +21,7 @@ use whale_ir::{Primitive, TaskGraph, WhaleIr};
 use crate::bridge::{chain_bytes, connect};
 use crate::dp_balance::dp_partition;
 use crate::error::{PlanError, Result};
-use crate::pipe_balance::{in_flight_micro_batches, pipeline_partition};
+use crate::pipe_balance::in_flight_micro_batches;
 use crate::plan::{CollectiveTask, DeviceWork, ExecutionPlan, PlannedStage};
 use crate::shard::match_split_pattern;
 
@@ -69,6 +69,11 @@ pub struct PlannerConfig {
     pub schedule: ScheduleKind,
     /// TaskGraph → virtual device mapping.
     pub devices: DeviceAssignment,
+    /// Memoize per-stage cost terms inside the load balancers (PSVF delta
+    /// updates instead of full re-profiles). Results are bit-identical with
+    /// or without; `false` exists so `fastpath_bench` can measure the
+    /// pre-fast-path planner.
+    pub memoize: bool,
 }
 
 impl Default for PlannerConfig {
@@ -80,6 +85,7 @@ impl Default for PlannerConfig {
             outer_dp: 0,
             schedule: ScheduleKind::BackwardFirst,
             devices: DeviceAssignment::Auto,
+            memoize: true,
         }
     }
 }
@@ -128,12 +134,24 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
     let num_micro = ir.pipeline.map(|p| p.num_micro_batches).unwrap_or(1);
     let gpipe = config.schedule == ScheduleKind::GPipe;
 
-    // 3. Resolve TaskGraphs (auto-partition pipelines first).
-    let task_graphs: Vec<TaskGraph> = if ir.auto_partition && ir.task_graphs.is_empty() {
-        auto_stages(ir, cluster, config, &groups[0], group_batches[0], num_micro, gpipe)?
-    } else {
-        ir.task_graphs.clone()
-    };
+    // 3. Resolve TaskGraphs (auto-partition pipelines first). The memoized
+    // partition hands back the per-stage profiles it already computed for
+    // the final cuts; the stage loop below then skips its own re-profiling
+    // pass (bit-identical: same op ranges, same reference batch).
+    let (task_graphs, stage_profiles): (Vec<TaskGraph>, Option<Vec<CostProfile>>) =
+        if ir.auto_partition && ir.task_graphs.is_empty() {
+            auto_stages(
+                ir,
+                cluster,
+                config,
+                &groups[0],
+                group_batches[0],
+                num_micro,
+                gpipe,
+            )?
+        } else {
+            (ir.task_graphs.clone(), None)
+        };
     if task_graphs.is_empty() {
         return Err(PlanError::BadIr("no TaskGraphs to plan".into()));
     }
@@ -144,11 +162,25 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
 
     // 5. Plan each TaskGraph once per plan replica and merge the per-replica
     // device work into shared stages.
+    //
+    // Boundary bytes: `exit_tensors` rescans the whole graph per TaskGraph,
+    // an O(stages × ops) term that dominates deep-pipeline planning. The
+    // memoized path replaces those scans with one pass over the graph's
+    // edges (`stage_boundary_bytes`); per-producer byte sums are u64, so
+    // the two computations are exactly equal, not just approximately.
+    let boundary_sums: Option<Vec<u64>> = if config.memoize {
+        stage_boundary_bytes(&ir.graph, &task_graphs)
+    } else {
+        None
+    };
     let mut stages: Vec<PlannedStage> = Vec::with_capacity(num_stages);
     let mut grad_groups: Vec<(String, Vec<usize>, u64, usize)> = Vec::new();
 
     for (tg_idx, tg) in task_graphs.iter().enumerate() {
-        let profile = tg.profile(&ir.graph, ir.global_batch.max(1));
+        let profile = match &stage_profiles {
+            Some(ps) => ps[tg_idx].clone(),
+            None => tg.profile(&ir.graph, ir.global_batch.max(1)),
+        };
         let mut devices = Vec::new();
         let mut collectives = Vec::new();
 
@@ -199,11 +231,14 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
 
         // Inter-stage boundary bytes per micro batch (at the first group's
         // batch; groups are symmetric by construction).
-        let boundary: u64 = tg
-            .exit_tensors(&ir.graph)
-            .iter()
-            .map(|(_, bytes)| bytes)
-            .sum();
+        let boundary: u64 = match &boundary_sums {
+            Some(v) => v[tg_idx],
+            None => tg
+                .exit_tensors(&ir.graph)
+                .iter()
+                .map(|(_, bytes)| bytes)
+                .sum(),
+        };
         let micro_scale = if ir.global_batch > 0 {
             group_batches[0] as f64 / (num_micro as f64 * ir.global_batch as f64)
         } else {
@@ -249,7 +284,10 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
         if chain.is_empty() {
             continue;
         }
-        let boundary: u64 = a.exit_tensors(&ir.graph).iter().map(|(_, b)| b).sum();
+        let boundary: u64 = match &boundary_sums {
+            Some(v) => v[i],
+            None => a.exit_tensors(&ir.graph).iter().map(|(_, b)| b).sum(),
+        };
         let micro_scale =
             group_batches[0] as f64 / (num_micro as f64 * ir.global_batch.max(1) as f64);
         let moved = (chain_bytes(&chain, boundary) as f64 * micro_scale) as u64;
@@ -301,6 +339,43 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
     Ok(plan)
 }
 
+/// Exit-tensor byte totals for every TaskGraph in a single sweep over the
+/// graph's edges, equal to `tg.exit_tensors(graph).iter().map(|(_, b)| b)
+/// .sum()` per TaskGraph: a producer counts once when any consumer lives
+/// outside its TaskGraph, and the per-TaskGraph u64 sums are
+/// order-independent. Returns `None` when TaskGraphs share ops (the
+/// per-TaskGraph scan is then not expressible as one labeling) so the
+/// caller falls back to the direct computation.
+fn stage_boundary_bytes(graph: &whale_graph::Graph, task_graphs: &[TaskGraph]) -> Option<Vec<u64>> {
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut stage_of = vec![UNASSIGNED; graph.len()];
+    for (tg_idx, tg) in task_graphs.iter().enumerate() {
+        for op in &tg.ops {
+            let slot = stage_of.get_mut(op.0)?;
+            if *slot != UNASSIGNED {
+                return None;
+            }
+            *slot = tg_idx as u32;
+        }
+    }
+    let mut exits = vec![false; graph.len()];
+    for op in graph.ops() {
+        let consumer_stage = stage_of[op.id.0];
+        for &input in &op.inputs {
+            if stage_of[input.0] != consumer_stage {
+                exits[input.0] = true;
+            }
+        }
+    }
+    let mut sums = vec![0u64; task_graphs.len()];
+    for op in graph.ops() {
+        if exits[op.id.0] && stage_of[op.id.0] != UNASSIGNED {
+            sums[stage_of[op.id.0] as usize] += op.output_bytes();
+        }
+    }
+    Some(sums)
+}
+
 /// Auto-partition a pipeline into one stage per GPU of a plan replica
 /// (Example 4: "the stage number is set to the number of virtual devices").
 fn auto_stages(
@@ -311,13 +386,13 @@ fn auto_stages(
     group_batch: usize,
     num_micro: usize,
     gpipe: bool,
-) -> Result<Vec<TaskGraph>> {
+) -> Result<(Vec<TaskGraph>, Option<Vec<CostProfile>>)> {
     let gpus: Vec<whale_hardware::Gpu> = group
         .iter()
         .map(|&id| Ok(*cluster.gpu(id)?))
         .collect::<Result<_>>()?;
     let micro_batch = (group_batch / num_micro).max(1);
-    let part = pipeline_partition(
+    let (part, profiles) = crate::pipe_balance::pipeline_partition_profiled(
         &ir.graph,
         &config.training,
         &gpus,
@@ -326,10 +401,12 @@ fn auto_stages(
         gpipe,
         ir.global_batch.max(1),
         config.hardware_aware,
+        config.memoize,
     )?;
-    Ok((0..part.num_stages())
+    let tgs = (0..part.num_stages())
         .map(|k| TaskGraph::new(k, part.stage_ops(k), vec![Primitive::Stage]))
-        .collect())
+        .collect();
+    Ok((tgs, profiles))
 }
 
 /// Resolve per-TaskGraph virtual devices inside plan replica 0.
@@ -470,8 +547,7 @@ fn plan_taskgraph(
         // Fig. 6 TG4: split nested inside replica — shard groups replicated.
         [Primitive::Split, Primitive::Replica] => {
             let (s, r) = nested_degrees(k);
-            let sub_batches =
-                crate::partition::proportional_split(a.group_batch, &vec![1.0; r])?;
+            let sub_batches = crate::partition::proportional_split(a.group_batch, &vec![1.0; r])?;
             for (rep, chunk) in a.vd_gpus.chunks(s).enumerate() {
                 shard_onto(&a, chunk, sub_batches[rep], act_mult, devices, collectives)?;
             }
@@ -501,10 +577,11 @@ fn plan_taskgraph(
                         mem_traffic_per_micro: a.profile.memory_traffic_bytes_per_sample
                             * bs as f64
                             / (a.num_micro as f64 * s as f64),
-                        mem_bytes: a
-                            .config
-                            .training
-                            .memory_bytes(a.profile, bs, act_mult / s as f64),
+                        mem_bytes: a.config.training.memory_bytes(
+                            a.profile,
+                            bs,
+                            act_mult / s as f64,
+                        ),
                         samples_per_step: bs,
                     });
                 }
@@ -537,10 +614,8 @@ fn shard_onto(
         param_count: (a.profile.param_count as f64 * split.param_fraction) as u64,
         param_bytes: (a.profile.param_bytes as f64 * split.param_fraction) as u64,
         forward_flops_per_sample: fw_per_sample * split.flops_fraction,
-        activation_bytes_per_sample: a.profile.activation_bytes_per_sample
-            * split.flops_fraction,
-        checkpoint_bytes_per_sample: a.profile.checkpoint_bytes_per_sample
-            * split.flops_fraction,
+        activation_bytes_per_sample: a.profile.activation_bytes_per_sample * split.flops_fraction,
+        checkpoint_bytes_per_sample: a.profile.checkpoint_bytes_per_sample * split.flops_fraction,
         memory_traffic_bytes_per_sample: a.profile.memory_traffic_bytes_per_sample
             * split.flops_fraction,
         ref_batch: a.profile.ref_batch,
@@ -625,18 +700,33 @@ fn build_grad_groups(
         [] | [Primitive::Replica] => {
             let mut group: Vec<usize> = positions.into_iter().flatten().collect();
             group.sort_unstable();
-            out.push((format!("dp sync tg{}", tg.index), group, grad_bytes_full, tg.index));
+            out.push((
+                format!("dp sync tg{}", tg.index),
+                group,
+                grad_bytes_full,
+                tg.index,
+            ));
         }
         // Shards are unique; only plan-level copies need syncing.
         [Primitive::Split] => {
             let per_shard = grad_bytes_full / k.max(1) as u64;
             for (i, pos) in positions.into_iter().enumerate() {
-                out.push((format!("split sync tg{} shard{i}", tg.index), pos, per_shard, tg.index));
+                out.push((
+                    format!("split sync tg{} shard{i}", tg.index),
+                    pos,
+                    per_shard,
+                    tg.index,
+                ));
             }
         }
         [Primitive::Stage] => {
             let pos = positions.into_iter().flatten().collect();
-            out.push((format!("stage sync tg{}", tg.index), pos, grad_bytes_full, tg.index));
+            out.push((
+                format!("stage sync tg{}", tg.index),
+                pos,
+                grad_bytes_full,
+                tg.index,
+            ));
         }
         [Primitive::Split, Primitive::Replica] => {
             let (s, _r) = nested_degrees(k);
@@ -697,7 +787,11 @@ mod tests {
     #[test]
     fn pure_dp_plan_on_hetero_cluster() {
         let g = models::resnet50(64).unwrap();
-        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("8xV100+8xP100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         assert_eq!(p.stages.len(), 1);
@@ -714,7 +808,11 @@ mod tests {
     #[test]
     fn baseline_dp_is_uniform() {
         let g = models::resnet50(64).unwrap();
-        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("8xV100+8xP100").unwrap();
         let cfg = PlannerConfig {
             hardware_aware: false,
@@ -727,7 +825,11 @@ mod tests {
     #[test]
     fn auto_pipeline_plan() {
         let g = models::bert_base(8, 64).unwrap();
-        let ir = Annotator::new(g, 8).auto_pipeline(4).unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 8)
+            .auto_pipeline(4)
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("4xV100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         assert_eq!(p.stages.len(), 4);
@@ -816,7 +918,11 @@ mod tests {
     #[test]
     fn plan_memory_accounting_reports_usage() {
         let g = models::bert_large(32, 128).unwrap();
-        let ir = Annotator::new(g, 32).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 32)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("8xV100+8xP100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let mem = p.memory_per_gpu();

@@ -12,7 +12,6 @@
 //! paper's `shift_func` parameter.
 
 use crate::error::{PlanError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The mutable assignment PSVF rebalances.
 ///
@@ -48,7 +47,7 @@ pub trait Workload {
 }
 
 /// One executed PSVF step, for reporting (Fig. 10's step-by-step walk).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PsvfStep {
     /// Peak device index work was taken from.
     pub peak: usize,
@@ -59,7 +58,7 @@ pub struct PsvfStep {
 }
 
 /// Outcome of a PSVF run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PsvfReport {
     /// Executed shifts in order.
     pub steps: Vec<PsvfStep>,
@@ -106,9 +105,16 @@ pub fn psvf(workload: &mut impl Workload) -> Result<PsvfReport> {
     // Bound the loop: each unit of work can move at most n times.
     let mut guard = 0usize;
     let max_steps = 64 * n * n + 4096;
+    // Scratch buffers reused across iterations so the steady-state loop
+    // allocates nothing beyond the per-step report entries.
+    let mut ratios = vec![0.0f64; n];
+    let mut flop_ratios = vec![0.0f64; n];
+    let mut valleys: Vec<usize> = Vec::with_capacity(n);
 
     loop {
-        let ratios: Vec<f64> = (0..n).map(|i| mem_ratio(workload, i)).collect();
+        for (i, r) in ratios.iter_mut().enumerate() {
+            *r = mem_ratio(workload, i);
+        }
         let peak = match ratios
             .iter()
             .enumerate()
@@ -123,8 +129,15 @@ pub fn psvf(workload: &mut impl Workload) -> Result<PsvfReport> {
         candidates[peak] = false;
 
         // Line 6: candidate valleys sorted by ascending FLOP utilization.
-        let mut valleys: Vec<usize> = (0..n).filter(|&i| candidates[i] && i != peak).collect();
-        valleys.sort_by(|&a, &b| flop_ratio(workload, a).total_cmp(&flop_ratio(workload, b)));
+        // The sort keys are computed once per device, not once per
+        // comparison — the workload state does not change during the sort,
+        // so the order is exactly the one a lazy comparator would produce.
+        for (i, r) in flop_ratios.iter_mut().enumerate() {
+            *r = flop_ratio(workload, i);
+        }
+        valleys.clear();
+        valleys.extend((0..n).filter(|&i| candidates[i] && i != peak));
+        valleys.sort_by(|&a, &b| flop_ratios[a].total_cmp(&flop_ratios[b]));
         if valleys.is_empty() {
             return Err(PlanError::Infeasible(format!(
                 "device {peak} remains out of memory (ratio {:.2}) and no valley can absorb work",
@@ -283,7 +296,11 @@ mod tests {
         };
         let r = psvf(&mut w).unwrap();
         assert!(r.feasible());
-        assert!(r.steps.iter().all(|s| s.valley == 2), "steps: {:?}", r.steps);
+        assert!(
+            r.steps.iter().all(|s| s.valley == 2),
+            "steps: {:?}",
+            r.steps
+        );
         assert_eq!(w.units, vec![4, 4, 3]);
     }
 
@@ -351,7 +368,26 @@ mod tests {
 #[cfg(test)]
 mod psvf_property_tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Tiny xorshift64* PRNG so the property sweep needs no registry deps
+    /// (the planner cannot depend on `whale-sim`'s SplitMix64 — the
+    /// dependency points the other way).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
 
     #[derive(Debug)]
     struct RandomDp {
@@ -386,46 +422,40 @@ mod psvf_property_tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// Whenever the total work fits the total capacity with any
-        /// per-device assignment, PSVF either converges to a feasible
-        /// assignment (conserving total units) or reports Infeasible — it
-        /// never loses or invents work, and never panics.
-        #[test]
-        fn psvf_conserves_units_and_terminates(
-            units in prop::collection::vec(0u64..40, 2..10),
-            caps in prop::collection::vec(1u64..60, 2..10),
-            flops in prop::collection::vec(1.0f64..20.0, 2..10),
-        ) {
-            let n = units.len().min(caps.len()).min(flops.len());
+    /// Whenever the total work fits the total capacity with any per-device
+    /// assignment, PSVF either converges to a feasible assignment
+    /// (conserving total units) or reports Infeasible — it never loses or
+    /// invents work, and never panics. 128 seeded random cases.
+    #[test]
+    fn psvf_conserves_units_and_terminates() {
+        let mut rng = XorShift(0x9E3779B97F4A7C15);
+        for _ in 0..128 {
+            let n = 2 + rng.below(8) as usize;
             let mut w = RandomDp {
-                units: units[..n].to_vec(),
-                caps: caps[..n].to_vec(),
-                flops: flops[..n].to_vec(),
+                units: (0..n).map(|_| rng.below(40)).collect(),
+                caps: (0..n).map(|_| 1 + rng.below(59)).collect(),
+                flops: (0..n).map(|_| 1.0 + rng.below(19) as f64).collect(),
             };
             let total_before: u64 = w.units.iter().sum();
-            let fits_somewhere = total_before <= w.caps.iter().sum::<u64>();
             match psvf(&mut w) {
                 Ok(report) => {
-                    prop_assert!(report.feasible());
-                    prop_assert_eq!(w.units.iter().sum::<u64>(), total_before);
+                    assert!(report.feasible());
+                    assert_eq!(w.units.iter().sum::<u64>(), total_before);
                     // Steps and final ratios are consistent.
                     for r in &report.mem_ratios {
-                        prop_assert!(*r <= 1.0 + 1e-12);
+                        assert!(*r <= 1.0 + 1e-12);
                     }
                 }
                 Err(PlanError::Infeasible(_)) => {
-                    // Only legitimate when a greedy unit-shift search can
-                    // fail; if total work exceeds capacity it is mandatory.
-                    if !fits_somewhere {
-                        // Expected.
-                    }
-                    prop_assert_eq!(w.units.iter().sum::<u64>(), total_before,
-                        "even failed searches must conserve work");
+                    // A greedy unit-shift search may legitimately fail; it is
+                    // mandatory when total work exceeds total capacity.
+                    assert_eq!(
+                        w.units.iter().sum::<u64>(),
+                        total_before,
+                        "even failed searches must conserve work"
+                    );
                 }
-                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                Err(other) => panic!("unexpected error {other:?}"),
             }
         }
     }

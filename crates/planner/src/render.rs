@@ -102,7 +102,11 @@ mod tests {
     #[test]
     fn render_includes_every_section() {
         let g = models::resnet50(64).unwrap();
-        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("2xV100,2xP100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let r = render_plan(&p, &cluster);
@@ -118,7 +122,11 @@ mod tests {
     fn render_survives_foreign_cluster() {
         // Rendering against a smaller cluster (unknown GPUs) must not panic.
         let g = models::resnet50(16).unwrap();
-        let ir = Annotator::new(g, 16).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 16)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("4xV100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let tiny = Cluster::parse("1xV100").unwrap();

@@ -5,14 +5,13 @@
 //! large-scale-classification FC sharding — and inserts the communication
 //! each pattern requires to stay mathematically equivalent.
 
-use serde::{Deserialize, Serialize};
 use whale_graph::{Graph, OpId, OpKind};
 use whale_hardware::Collective;
 
 use crate::error::{PlanError, Result};
 
 /// Recognized sharding patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitPattern {
     /// Mixture-of-Experts: experts distributed across shards; tokens routed
     /// with AllToAll dispatch and combine (paper Example 8 / ref \[21\]).
@@ -28,7 +27,7 @@ pub enum SplitPattern {
 }
 
 /// How a `split` TaskGraph is distributed over `degree` shards.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitPlan {
     /// Which pattern matched.
     pub pattern: SplitPattern,
@@ -85,7 +84,15 @@ pub fn match_split_pattern(graph: &Graph, ops: &[OpId], degree: usize) -> Result
     let param_mms: Vec<&whale_graph::Op> = ops
         .iter()
         .filter_map(|&id| graph.op(id).ok())
-        .filter(|op| matches!(op.kind, OpKind::MatMul { has_params: true, .. }))
+        .filter(|op| {
+            matches!(
+                op.kind,
+                OpKind::MatMul {
+                    has_params: true,
+                    ..
+                }
+            )
+        })
         .collect();
 
     // Megatron MLP: consecutive up/down projections (first output dim feeds
@@ -95,7 +102,9 @@ pub fn match_split_pattern(graph: &Graph, ops: &[OpId], degree: usize) -> Result
             let (up, down) = (pair[0], pair[1]);
             if let (
                 OpKind::MatMul { n: up_n, .. },
-                OpKind::MatMul { k: down_k, n: _, .. },
+                OpKind::MatMul {
+                    k: down_k, n: _, ..
+                },
             ) = (&up.kind, &down.kind)
             {
                 if up_n == down_k {
@@ -190,7 +199,10 @@ mod tests {
         let ops: Vec<OpId> = g.ops().iter().skip(1).map(|o| o.id).collect();
         let plan = match_split_pattern(&g, &ops, 4).unwrap();
         assert_eq!(plan.pattern, SplitPattern::MegatronMlp);
-        assert_eq!(plan.collectives, vec![(Collective::AllReduce, 8 * 1024 * 4)]);
+        assert_eq!(
+            plan.collectives,
+            vec![(Collective::AllReduce, 8 * 1024 * 4)]
+        );
     }
 
     #[test]

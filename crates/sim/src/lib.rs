@@ -33,16 +33,20 @@
 
 pub mod engine;
 pub mod error;
+pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod rng;
 pub mod schedule;
 pub mod trace;
 pub mod trainer;
 
-pub use engine::{simulate_step, SimConfig, StepOutcome, TaskRecord};
+pub use engine::{simulate_step, simulate_step_reference, SimConfig, StepOutcome, TaskRecord};
 pub use error::{Result, SimError};
+pub use json::JsonValue;
 pub use metrics::{GpuStat, StepStats};
 pub use queue::{replay, synthetic_trace, AllocPolicy, Job, JobOutcome, QueueStats};
+pub use rng::SplitMix64;
 pub use schedule::{data_deps, stage_order, TaskKind};
 pub use trace::{ascii_timeline, chrome_trace, memory_profile};
 pub use trainer::{simulate_training, LossModel, TrainPoint, TrainingRun};

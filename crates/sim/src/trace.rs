@@ -115,7 +115,11 @@ mod tests {
 
     fn outcome() -> StepOutcome {
         let g = models::bert_base(16, 64).unwrap();
-        let ir = Annotator::new(g, 16).auto_pipeline(4).unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 16)
+            .auto_pipeline(4)
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("4xV100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         simulate_step(&p, &cluster, &SimConfig::default()).unwrap()
@@ -135,7 +139,11 @@ mod tests {
     #[test]
     fn memory_profile_bars() {
         let g = models::bert_base(16, 64).unwrap();
-        let ir = Annotator::new(g, 16).auto_pipeline(4).unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 16)
+            .auto_pipeline(4)
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("4xV100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let prof = memory_profile(&p, &cluster, 40);
@@ -148,7 +156,11 @@ mod tests {
     #[test]
     fn memory_profile_flags_oom() {
         let g = models::gpt2_xl(128, 256).unwrap();
-        let ir = Annotator::new(g, 128).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 128)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("2xP100").unwrap();
         let cfg = PlannerConfig {
             hardware_aware: false,

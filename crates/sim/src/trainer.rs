@@ -7,9 +7,7 @@
 //! which reproduces the figure's claim: at equal samples, the 1 T model sits
 //! strictly below the 100 B model.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use crate::rng::SplitMix64;
 use whale_hardware::Cluster;
 use whale_planner::ExecutionPlan;
 
@@ -17,7 +15,7 @@ use crate::engine::{simulate_step, SimConfig};
 use crate::error::Result;
 
 /// Scaling-law loss model `L(D) = L∞ + A·D^(−β) + B·N_eff^(−γ)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LossModel {
     /// Irreducible loss floor.
     pub l_infinity: f64,
@@ -73,7 +71,7 @@ impl LossModel {
 }
 
 /// One point of a simulated training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainPoint {
     /// Training step index.
     pub step: u64,
@@ -86,7 +84,7 @@ pub struct TrainPoint {
 }
 
 /// A full simulated training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingRun {
     /// Sampled curve (log-spaced checkpoints).
     pub points: Vec<TrainPoint>,
@@ -123,7 +121,7 @@ pub fn simulate_training(
     let step_time = step.step_time;
     let per_step = plan.global_batch as f64;
     let total_steps = (total_samples / per_step).ceil().max(1.0) as u64;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let n = checkpoints.max(2);
     let mut points = Vec::with_capacity(n);
     for i in 0..n {
@@ -131,7 +129,7 @@ pub fn simulate_training(
         let frac = i as f64 / (n - 1) as f64;
         let s = (total_steps as f64).powf(frac).round().max(1.0) as u64;
         let samples = s as f64 * per_step;
-        let noise: f64 = rng.gen_range(-1.0..1.0) * loss.noise;
+        let noise: f64 = rng.range_f64(-1.0, 1.0) * loss.noise;
         points.push(TrainPoint {
             step: s,
             samples,
@@ -173,7 +171,11 @@ mod tests {
     #[test]
     fn training_run_is_deterministic_and_monotone_in_time() {
         let g = models::resnet50(64).unwrap();
-        let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
         let cluster = Cluster::parse("8xV100").unwrap();
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         let lm = LossModel::for_params(25e6);

@@ -13,7 +13,7 @@ fn explore(
     title: &str,
     cluster: &str,
     batch: usize,
-    build: impl Fn() -> whale::Result<whale::Graph>,
+    build: impl Fn() -> whale::Result<whale::Graph> + Sync,
 ) -> whale::Result<()> {
     println!("== {title} on {cluster}, global batch {batch}");
     let session = Session::on_cluster(cluster)?;

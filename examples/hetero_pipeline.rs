@@ -7,9 +7,9 @@
 //! memory, and the resulting step time against the FLOP-even baseline.
 
 use whale::{models, strategies, Session};
-use whale_planner::{pipeline_partition, stage_flops};
 use whale_graph::TrainingConfig;
 use whale_hardware::Cluster;
+use whale_planner::{pipeline_partition, stage_flops};
 
 fn main() -> whale::Result<()> {
     let cluster = Cluster::parse("2x(2xP100,2xV100)")?;

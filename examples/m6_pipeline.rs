@@ -49,11 +49,7 @@ fn main() -> whale::Result<()> {
 
     // A small pipeline rendered as ASCII (Fig. 12 style) for intuition; the
     // 35-micro-batch timeline is too wide to print, so redo with 6.
-    let tiny = strategies::pipeline_with_dp(
-        models::bert_base(64, 64).expect("build bert"),
-        64,
-        6,
-    )?;
+    let tiny = strategies::pipeline_with_dp(models::bert_base(64, 64).expect("build bert"), 64, 6)?;
     let tiny_session = Session::on_cluster("1x(4xV100)")?.outer_dp(1);
     let tiny_out = tiny_session.step(&tiny)?;
     println!("\nbackward-first schedule, 4 stages x 6 micro batches (F=fwd, B=bwd):");

@@ -33,9 +33,19 @@ fn main() -> whale::Result<()> {
         session.check_memory(&plan)?;
         let out = session.step_plan(&plan)?;
 
-        println!("{name}: {:.2}B parameters on {} GPUs", params as f64 / 1e9, session.cluster().num_gpus());
-        println!("  TaskGraphs: {} (replica/split interleaved per layer)", ir.num_task_graphs());
-        println!("  step time:  {:.2} s at batch {batch}", out.stats.step_time);
+        println!(
+            "{name}: {:.2}B parameters on {} GPUs",
+            params as f64 / 1e9,
+            session.cluster().num_gpus()
+        );
+        println!(
+            "  TaskGraphs: {} (replica/split interleaved per layer)",
+            ir.num_task_graphs()
+        );
+        println!(
+            "  step time:  {:.2} s at batch {batch}",
+            out.stats.step_time
+        );
         println!("  throughput: {:.0} samples/s", out.stats.throughput);
 
         // A short simulated loss curve from the scaling-law model.

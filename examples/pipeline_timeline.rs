@@ -18,7 +18,10 @@ fn render(title: &str, cluster: &str, schedule: ScheduleKind, aware: bool) -> wh
     let ir = strategies::pipeline_only(graph, 48, 6)?;
     let out = session.step(&ir)?;
     println!("{title}");
-    println!("  (cluster {cluster}, bubble ratio {:.1}%)", out.stats.bubble_ratio() * 100.0);
+    println!(
+        "  (cluster {cluster}, bubble ratio {:.1}%)",
+        out.stats.bubble_ratio() * 100.0
+    );
     print!("{}", ascii_timeline(&out, 100));
     println!();
     Ok(())

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and style gate for the whole workspace.
+# Run from the repo root (or let the cd below handle it). Offline by design —
+# the workspace has no network-fetched dev dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check

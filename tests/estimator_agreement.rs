@@ -30,11 +30,8 @@ fn estimator_tracks_simulator_within_2x() {
         ),
         (
             "1x(4xV100)",
-            strategies::moe_hybrid(
-                models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(),
-                64,
-            )
-            .unwrap(),
+            strategies::moe_hybrid(models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(), 64)
+                .unwrap(),
         ),
     ];
     for (spec, ir) in &cases {
@@ -65,9 +62,14 @@ fn estimator_preserves_strategy_ordering() {
 fn estimator_preserves_hardware_aware_ordering() {
     let ir = strategies::data_parallel(models::resnet50(512).unwrap(), 512).unwrap();
     let mk = |aware: bool| {
-        let s = Session::on_cluster("8xV100+8xP100").unwrap().hardware_aware(aware);
+        let s = Session::on_cluster("8xV100+8xP100")
+            .unwrap()
+            .hardware_aware(aware);
         let p = s.plan(&ir).unwrap();
         estimate_step(&p, s.cluster()).unwrap().step_time
     };
-    assert!(mk(true) < mk(false), "estimator sees the Fig. 17 speedup too");
+    assert!(
+        mk(true) < mk(false),
+        "estimator sees the Fig. 17 speedup too"
+    );
 }

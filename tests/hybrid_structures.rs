@@ -41,7 +41,11 @@ fn fig6_four_taskgraph_hybrid() {
 
     // TG1: four replicas sharing the batch.
     assert_eq!(plan.stages[0].devices.len(), 4);
-    let b1: usize = plan.stages[0].devices.iter().map(|d| d.samples_per_step).sum();
+    let b1: usize = plan.stages[0]
+        .devices
+        .iter()
+        .map(|d| d.samples_per_step)
+        .sum();
     assert_eq!(b1, 32);
     // TG2: two replicas, each with double TG1's per-replica share.
     assert_eq!(plan.stages[1].devices.len(), 2);
@@ -100,7 +104,10 @@ fn fig9_mismatched_dp_degrees_pay_bridge_traffic() {
         .filter(|c| c.label.contains("bridge"))
         .map(|c| c.bytes)
         .sum();
-    assert!(bridge_bytes > 0, "Fig. 9's Gather(3)+Partition(2) moves data");
+    assert!(
+        bridge_bytes > 0,
+        "Fig. 9's Gather(3)+Partition(2) moves data"
+    );
 }
 
 /// Same-degree, same-device replica chain fuses: no bridge traffic at all

@@ -12,12 +12,42 @@ fn params(g: &whale::Graph) -> f64 {
 fn published_parameter_counts() {
     // (builder result, published params, tolerance)
     let cases: Vec<(&str, f64, f64, f64)> = vec![
-        ("resnet50", params(&models::resnet50(1).unwrap()), 25.6e6, 0.10),
-        ("bert_base", params(&models::bert_base(1, 128).unwrap()), 110e6, 0.25),
-        ("bert_large", params(&models::bert_large(1, 128).unwrap()), 340e6, 0.10),
-        ("t5_large", params(&models::t5_large(1, 128, 128).unwrap()), 770e6, 0.12),
-        ("vit_large", params(&models::vit_large(1).unwrap()), 304e6, 0.10),
-        ("gpt2_xl", params(&models::gpt2_xl(1, 128).unwrap()), 1.56e9, 0.10),
+        (
+            "resnet50",
+            params(&models::resnet50(1).unwrap()),
+            25.6e6,
+            0.10,
+        ),
+        (
+            "bert_base",
+            params(&models::bert_base(1, 128).unwrap()),
+            110e6,
+            0.25,
+        ),
+        (
+            "bert_large",
+            params(&models::bert_large(1, 128).unwrap()),
+            340e6,
+            0.10,
+        ),
+        (
+            "t5_large",
+            params(&models::t5_large(1, 128, 128).unwrap()),
+            770e6,
+            0.12,
+        ),
+        (
+            "vit_large",
+            params(&models::vit_large(1).unwrap()),
+            304e6,
+            0.10,
+        ),
+        (
+            "gpt2_xl",
+            params(&models::gpt2_xl(1, 128).unwrap()),
+            1.56e9,
+            0.10,
+        ),
         ("gnmt", params(&models::gnmt(1, 50).unwrap()), 278e6, 0.25),
         ("m6_10b", params(&models::m6_10b(1).unwrap()), 10e9, 0.12),
         (
@@ -85,7 +115,11 @@ fn every_zoo_model_has_layers_and_positive_costs() {
         assert!(g.total_forward_flops() > 0.0, "{}", g.name());
         assert!(g.total_params() > 0, "{}", g.name());
         assert!(!g.per_layer_costs().is_empty(), "{}", g.name());
-        assert!(!g.sources().is_empty() && !g.sinks().is_empty(), "{}", g.name());
+        assert!(
+            !g.sources().is_empty() && !g.sinks().is_empty(),
+            "{}",
+            g.name()
+        );
         // The profile round-trips through subgraph profiling.
         let p = whale::CostProfile::from_graph(g, 2);
         assert!(p.activation_bytes_per_sample > 0.0, "{}", g.name());

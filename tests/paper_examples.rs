@@ -67,12 +67,9 @@ fn example4_auto_pipeline_end_to_end() {
 
 #[test]
 fn example5_hybrid_dp_split_end_to_end() {
-    let ir = strategies::feature_dp_classifier_split(
-        models::imagenet_100k(64).unwrap(),
-        64,
-        "fc_big",
-    )
-    .unwrap();
+    let ir =
+        strategies::feature_dp_classifier_split(models::imagenet_100k(64).unwrap(), 64, "fc_big")
+            .unwrap();
     let session = Session::on_cluster("1x(8xV100)").unwrap();
     let plan = session.plan(&ir).unwrap();
     // The split classifier must not appear in the gradient sync.

@@ -69,12 +69,14 @@ fn vd_count_must_match_taskgraph_count() {
 #[test]
 fn vd_outside_cluster_rejected() {
     let g = models::resnet50(16).unwrap();
-    let ir = Annotator::new(g, 16).replicate_all().unwrap().finish().unwrap();
+    let ir = Annotator::new(g, 16)
+        .replicate_all()
+        .unwrap()
+        .finish()
+        .unwrap();
     let cluster = Cluster::parse("1x(2xV100)").unwrap();
     let cfg = PlannerConfig {
-        devices: DeviceAssignment::PerTaskGraph(vec![
-            VirtualDevice::new(vec![0, 1, 7]).unwrap(),
-        ]),
+        devices: DeviceAssignment::PerTaskGraph(vec![VirtualDevice::new(vec![0, 1, 7]).unwrap()]),
         ..PlannerConfig::default()
     };
     assert!(plan(&ir, &cluster, &cfg).is_err());
@@ -85,7 +87,11 @@ fn micro_batches_exceeding_batch_still_plan() {
     // 4 samples, 16 micro batches: micro batches are fractional-sample but
     // the plan stays consistent (FLOPs conserve).
     let g = models::bert_base(4, 64).unwrap();
-    let ir = Annotator::new(g, 4).auto_pipeline(16).unwrap().finish().unwrap();
+    let ir = Annotator::new(g, 4)
+        .auto_pipeline(16)
+        .unwrap()
+        .finish()
+        .unwrap();
     let session = Session::on_cluster("1x(4xV100)").unwrap();
     let p = session.plan(&ir).unwrap();
     assert_eq!(p.num_micro_batches, 16);
@@ -125,7 +131,11 @@ fn infeasible_memory_is_an_explicit_error_under_awareness() {
     // GPT-2 XL DP replicas cannot fit 16 GB P100s even after PSVF: the
     // planner must say Infeasible, not emit a doomed plan.
     let g = models::gpt2_xl(64, 256).unwrap();
-    let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
+    let ir = Annotator::new(g, 64)
+        .replicate_all()
+        .unwrap()
+        .finish()
+        .unwrap();
     let cluster = Cluster::parse("1x(4xP100)").unwrap();
     let err = plan(&ir, &cluster, &PlannerConfig::default()).unwrap_err();
     assert!(matches!(err, PlanError::Infeasible(_)), "got {err:?}");
@@ -136,8 +146,14 @@ fn baseline_mode_emits_the_doomed_plan_for_comparison() {
     // With hardware awareness off (the paper's baseline), the planner does
     // not attempt PSVF; the simulator then reports the OOM.
     let g = models::gpt2_xl(64, 256).unwrap();
-    let ir = Annotator::new(g, 64).replicate_all().unwrap().finish().unwrap();
-    let session = Session::on_cluster("1x(4xP100)").unwrap().hardware_aware(false);
+    let ir = Annotator::new(g, 64)
+        .replicate_all()
+        .unwrap()
+        .finish()
+        .unwrap();
+    let session = Session::on_cluster("1x(4xP100)")
+        .unwrap()
+        .hardware_aware(false);
     let p = session.plan(&ir).unwrap();
     let out = session.step_plan(&p).unwrap();
     assert!(out.stats.has_oom());
@@ -146,7 +162,11 @@ fn baseline_mode_emits_the_doomed_plan_for_comparison() {
 #[test]
 fn zero_global_batch_is_rejected_or_empty() {
     let g = models::resnet50(1).unwrap();
-    let ir = Annotator::new(g, 0).replicate_all().unwrap().finish().unwrap();
+    let ir = Annotator::new(g, 0)
+        .replicate_all()
+        .unwrap()
+        .finish()
+        .unwrap();
     let cluster = Cluster::parse("1x(2xV100)").unwrap();
     // Zero batch planning yields zero samples everywhere (valid but inert)
     // or an explicit error — never a panic.

@@ -1,178 +1,200 @@
-//! Property-based tests over the core algorithms and data structures.
+//! Property-style tests over the core algorithms and data structures.
+//!
+//! Formerly written with `proptest`; the sandboxed build has no registry
+//! access, so each property is now driven by a seeded in-repo PRNG
+//! ([`whale_sim::SplitMix64`]) over a fixed number of cases. Seeds are
+//! constants, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use whale::{models, strategies, Session};
 use whale_graph::{CostProfile, TrainingConfig};
 use whale_hardware::{Cluster, CommModel, GpuModel};
 use whale_planner::bridge::{chain_bytes, fuse, Bridge};
 use whale_planner::partition::{balanced_cuts, group_costs, proportional_split};
 use whale_planner::{dp_partition, ScheduleKind};
-use whale_sim::stage_order;
+use whale_sim::{stage_order, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// `proportional_split` always preserves the total exactly and tracks
-    /// the weights monotonically.
-    #[test]
-    fn proportional_split_preserves_total(
-        total in 0usize..10_000,
-        weights in prop::collection::vec(0.01f64..100.0, 1..16),
-    ) {
+/// `proportional_split` always preserves the total exactly and tracks the
+/// weights monotonically.
+#[test]
+fn proportional_split_preserves_total() {
+    let mut rng = SplitMix64::seed_from_u64(0xA11CE);
+    for _ in 0..64 {
+        let total = rng.index(10_000);
+        let n = rng.range_usize(1, 16);
+        let weights: Vec<f64> = (0..n).map(|_| rng.range_f64(0.01, 100.0)).collect();
         let split = proportional_split(total, &weights).unwrap();
-        prop_assert_eq!(split.iter().sum::<usize>(), total);
-        prop_assert_eq!(split.len(), weights.len());
+        assert_eq!(split.iter().sum::<usize>(), total);
+        assert_eq!(split.len(), weights.len());
         // A strictly larger weight never receives a smaller share ± 1 unit
         // of rounding slack.
         for i in 0..weights.len() {
             for j in 0..weights.len() {
                 if weights[i] > weights[j] * 1.01 {
-                    prop_assert!(split[i] + 1 >= split[j]);
+                    assert!(split[i] + 1 >= split[j]);
                 }
             }
         }
     }
+}
 
-    /// `balanced_cuts` covers every op exactly once with non-empty groups.
-    #[test]
-    fn balanced_cuts_cover_exactly(
-        costs in prop::collection::vec(0.0f64..1000.0, 1..200),
-        groups in 1usize..8,
-    ) {
-        prop_assume!(costs.len() >= groups);
+/// `balanced_cuts` covers every op exactly once with non-empty groups.
+#[test]
+fn balanced_cuts_cover_exactly() {
+    let mut rng = SplitMix64::seed_from_u64(0xB417);
+    for _ in 0..64 {
+        let groups = rng.range_usize(1, 8);
+        let len = rng.range_usize(groups, 200);
+        let costs: Vec<f64> = (0..len).map(|_| rng.range_f64(0.0, 1000.0)).collect();
         let weights = vec![1.0; groups];
         let cuts = balanced_cuts(&costs, &weights).unwrap();
-        prop_assert_eq!(cuts[0], 0);
-        prop_assert_eq!(*cuts.last().unwrap(), costs.len());
+        assert_eq!(cuts[0], 0);
+        assert_eq!(*cuts.last().unwrap(), costs.len());
         for w in cuts.windows(2) {
-            prop_assert!(w[1] > w[0], "non-empty groups");
+            assert!(w[1] > w[0], "non-empty groups");
         }
         let total: f64 = group_costs(&costs, &cuts).iter().sum();
-        prop_assert!((total - costs.iter().sum::<f64>()).abs() < 1e-6);
+        assert!((total - costs.iter().sum::<f64>()).abs() < 1e-6);
     }
+}
 
-    /// Bridge fusion never increases the bytes moved and is idempotent.
-    #[test]
-    fn bridge_fusion_monotone_and_idempotent(
-        chain in prop::collection::vec(
-            prop_oneof![
-                (2usize..9).prop_map(Bridge::Partition),
-                (2usize..9).prop_map(Bridge::Gather),
-                Just(Bridge::Identity),
-            ],
-            0..12,
-        ),
-        bytes in 1u64..(1 << 32),
-    ) {
+/// Bridge fusion never increases the bytes moved and is idempotent.
+#[test]
+fn bridge_fusion_monotone_and_idempotent() {
+    let mut rng = SplitMix64::seed_from_u64(0xB21D);
+    for _ in 0..64 {
+        let len = rng.index(12);
+        let chain: Vec<Bridge> = (0..len)
+            .map(|_| match rng.index(3) {
+                0 => Bridge::Partition(rng.range_usize(2, 9)),
+                1 => Bridge::Gather(rng.range_usize(2, 9)),
+                _ => Bridge::Identity,
+            })
+            .collect();
+        let bytes = 1 + (rng.next_u64() & ((1 << 32) - 1));
         let fused = fuse(&chain);
-        prop_assert!(chain_bytes(&fused, bytes) <= chain_bytes(&chain, bytes));
-        prop_assert_eq!(fuse(&fused), fused.clone(), "idempotent");
-        prop_assert!(fused.iter().all(|b| b.is_communication()));
+        assert!(chain_bytes(&fused, bytes) <= chain_bytes(&chain, bytes));
+        assert_eq!(fuse(&fused), fused.clone(), "idempotent");
+        assert!(fused.iter().all(|b| b.is_communication()));
     }
+}
 
-    /// Ring-AllReduce cost is monotone in bytes and never negative.
-    #[test]
-    fn allreduce_cost_monotone(
-        gpus in 2usize..16,
-        bytes_a in 1u64..(1 << 30),
-        bytes_b in 1u64..(1 << 30),
-    ) {
+/// Ring-AllReduce cost is monotone in bytes and never negative.
+#[test]
+fn allreduce_cost_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(0xC057);
+    for _ in 0..64 {
+        let gpus = rng.range_usize(2, 16);
+        let bytes_a = 1 + (rng.next_u64() & ((1 << 30) - 1));
+        let bytes_b = 1 + (rng.next_u64() & ((1 << 30) - 1));
         let cluster = Cluster::homogeneous(GpuModel::V100_32GB, 1, gpus);
         let comm = CommModel::new(&cluster);
         let group: Vec<usize> = (0..gpus).collect();
-        let (lo, hi) = if bytes_a <= bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
+        let (lo, hi) = if bytes_a <= bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
         let t_lo = comm.allreduce(&group, lo).unwrap();
         let t_hi = comm.allreduce(&group, hi).unwrap();
-        prop_assert!(t_lo >= 0.0);
-        prop_assert!(t_hi >= t_lo);
+        assert!(t_lo >= 0.0);
+        assert!(t_hi >= t_lo);
         // Hierarchical never loses to flat by construction of best_allreduce.
         let best = comm.best_allreduce(&group, hi).unwrap();
-        prop_assert!(best <= t_hi + 1e-12);
+        assert!(best <= t_hi + 1e-12);
     }
+}
 
-    /// Algorithm 2 preserves the global batch for any feasible input.
-    #[test]
-    fn dp_partition_preserves_batch(
-        global in 1usize..2_000,
-        v100s in 1usize..6,
-        p100s in 1usize..6,
-        aware in any::<bool>(),
-    ) {
+/// Algorithm 2 preserves the global batch for any feasible input.
+#[test]
+fn dp_partition_preserves_batch() {
+    let g = models::resnet50(8).unwrap();
+    let profile = CostProfile::from_graph(&g, 8);
+    let cfg = TrainingConfig::default();
+    let mut rng = SplitMix64::seed_from_u64(0xD9);
+    for _ in 0..64 {
+        let global = rng.range_usize(1, 2_000);
+        let v100s = rng.range_usize(1, 6);
+        let p100s = rng.range_usize(1, 6);
+        let aware = rng.next_u64() & 1 == 1;
         let spec = format!("{v100s}xV100,{p100s}xP100");
         let cluster = Cluster::parse(&spec).unwrap();
-        let g = models::resnet50(8).unwrap();
-        let profile = CostProfile::from_graph(&g, 8);
-        let cfg = TrainingConfig::default();
         if let Ok(dp) = dp_partition(&profile, &cfg, cluster.gpus(), global, 1.0, aware) {
-            prop_assert_eq!(dp.batch_sizes.iter().sum::<usize>(), global);
-            prop_assert_eq!(dp.batch_sizes.len(), cluster.num_gpus());
+            assert_eq!(dp.batch_sizes.iter().sum::<usize>(), global);
+            assert_eq!(dp.batch_sizes.len(), cluster.num_gpus());
         }
     }
+}
 
-    /// Every (stage, micro, direction) task appears exactly once in any
-    /// schedule order, and backward-first emits B_{s,0} before the warmup
-    /// horizon closes.
-    #[test]
-    fn schedule_orders_are_permutations(
-        stages in 1usize..8,
-        micros in 1usize..24,
-        stage in 0usize..8,
-        gpipe in any::<bool>(),
-    ) {
-        prop_assume!(stage < stages);
-        let kind = if gpipe { ScheduleKind::GPipe } else { ScheduleKind::BackwardFirst };
+/// Every (stage, micro, direction) task appears exactly once in any schedule
+/// order.
+#[test]
+fn schedule_orders_are_permutations() {
+    let mut rng = SplitMix64::seed_from_u64(0x5EED);
+    for _ in 0..64 {
+        let stages = rng.range_usize(1, 8);
+        let micros = rng.range_usize(1, 24);
+        let stage = rng.index(stages);
+        let gpipe = rng.next_u64() & 1 == 1;
+        let kind = if gpipe {
+            ScheduleKind::GPipe
+        } else {
+            ScheduleKind::BackwardFirst
+        };
         let order = stage_order(stage, stages, micros, kind);
-        prop_assert_eq!(order.len(), 2 * micros);
+        assert_eq!(order.len(), 2 * micros);
         let mut seen = std::collections::HashSet::new();
         for t in &order {
-            prop_assert!(seen.insert(*t), "duplicate task {t:?}");
-            prop_assert_eq!(t.stage(), stage);
-            prop_assert!(t.micro() < micros);
+            assert!(seen.insert(*t), "duplicate task {t:?}");
+            assert_eq!(t.stage(), stage);
+            assert!(t.micro() < micros);
         }
     }
+}
 
-    /// Cluster spec strings round-trip through the census.
-    #[test]
-    fn cluster_census_counts_gpus(
-        nodes in 1usize..6,
-        v100s in 1usize..5,
-        p100s in 0usize..5,
-    ) {
+/// Cluster spec strings round-trip through the census.
+#[test]
+fn cluster_census_counts_gpus() {
+    let mut rng = SplitMix64::seed_from_u64(0xCE2505);
+    for _ in 0..64 {
+        let nodes = rng.range_usize(1, 6);
+        let v100s = rng.range_usize(1, 5);
+        let p100s = rng.index(5);
         let inner = if p100s > 0 {
             format!("{v100s}xV100,{p100s}xP100")
         } else {
             format!("{v100s}xV100")
         };
         let c = Cluster::parse(&format!("{nodes}x({inner})")).unwrap();
-        prop_assert_eq!(c.num_nodes(), nodes);
-        prop_assert_eq!(c.num_gpus(), nodes * (v100s + p100s));
+        assert_eq!(c.num_nodes(), nodes);
+        assert_eq!(c.num_gpus(), nodes * (v100s + p100s));
         let census = c.model_census();
-        prop_assert_eq!(census.get("V100-32GB").copied().unwrap_or(0), nodes * v100s);
-        prop_assert_eq!(census.get("P100-16GB").copied().unwrap_or(0), nodes * p100s);
+        assert_eq!(census.get("V100-32GB").copied().unwrap_or(0), nodes * v100s);
+        assert_eq!(census.get("P100-16GB").copied().unwrap_or(0), nodes * p100s);
     }
 }
 
-proptest! {
-    // The end-to-end property is slow; keep the case count small.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Planning + simulating pure DP succeeds for arbitrary small clusters
-    /// and batch sizes, is deterministic, and conserves samples.
-    #[test]
-    fn dp_end_to_end_deterministic(
-        gpus in 1usize..9,
-        batch_exp in 4u32..9,
-    ) {
-        let batch = 1usize << batch_exp;
+/// Planning + simulating pure DP succeeds for arbitrary small clusters and
+/// batch sizes, is deterministic, and conserves samples. The end-to-end
+/// property is slow; keep the case count small.
+#[test]
+fn dp_end_to_end_deterministic() {
+    let mut rng = SplitMix64::seed_from_u64(0xE2E);
+    for _ in 0..8 {
+        let gpus = rng.range_usize(1, 9);
+        let batch = 1usize << rng.range_usize(4, 9);
         let spec = format!("1x({gpus}xV100)");
         let session = Session::on_cluster(&spec).unwrap();
         let ir = strategies::data_parallel(models::resnet50(batch).unwrap(), batch).unwrap();
         let a = session.step(&ir).unwrap().stats;
         let b = session.step(&ir).unwrap().stats;
-        prop_assert_eq!(a.clone(), b, "simulation must be deterministic");
+        assert_eq!(a.clone(), b, "simulation must be deterministic");
         let plan = session.plan(&ir).unwrap();
-        let total: usize = plan.stages[0].devices.iter().map(|d| d.samples_per_step).sum();
-        prop_assert_eq!(total, batch);
-        prop_assert!(a.step_time > 0.0);
+        let total: usize = plan.stages[0]
+            .devices
+            .iter()
+            .map(|d| d.samples_per_step)
+            .sum();
+        assert_eq!(total, batch);
+        assert!(a.step_time > 0.0);
     }
 }

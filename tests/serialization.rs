@@ -1,64 +1,87 @@
-//! Serde round-trips: plans, IR, stats, and configs survive JSON — what a
-//! production deployment needs to ship plans between a planner service and
-//! runtime workers.
+//! JSON output: the dependency-free writer/parser pair in `whale_sim::json`
+//! is what ships step stats out of the CLI (`--json`) and the bench harness
+//! (`BENCH_planner.json`). These tests pin the field layout and verify that
+//! rendered documents parse back to the same values.
 
 use whale::{models, strategies, Session};
-use whale_graph::TrainingConfig;
-use whale_hardware::Cluster;
-use whale_planner::ExecutionPlan;
+use whale_sim::json::{self, JsonValue};
 
-#[test]
-fn execution_plan_round_trips_through_json() {
+fn sample_stats() -> whale::StepStats {
     let session = Session::on_cluster("2xV100,2xP100").unwrap();
     let ir = strategies::data_parallel(models::resnet50(64).unwrap(), 64).unwrap();
-    let plan = session.plan(&ir).unwrap();
-    let json = serde_json::to_string(&plan).unwrap();
-    let back: ExecutionPlan = serde_json::from_str(&json).unwrap();
-    assert_eq!(plan, back);
+    session.step(&ir).unwrap().stats
 }
 
 #[test]
-fn cluster_round_trips_through_json() {
-    let mut c = Cluster::parse("2x(2xV100,2xP100)").unwrap();
-    c.degrade_gpu(3, 0.5).unwrap();
-    let json = serde_json::to_string(&c).unwrap();
-    let back: Cluster = serde_json::from_str(&json).unwrap();
-    assert_eq!(c, back);
-    assert_eq!(back.gpu(3).unwrap().throughput_scale, 0.5);
+fn step_stats_json_exposes_documented_fields() {
+    let stats = sample_stats();
+    let text = stats.to_json().to_string_pretty();
+    for key in [
+        "step_time",
+        "compute_makespan",
+        "sync_time_total",
+        "sync_time_exposed",
+        "optimizer_time",
+        "throughput",
+        "per_gpu",
+        "oom_gpus",
+    ] {
+        assert!(
+            text.contains(&format!("\"{key}\"")),
+            "missing {key} in {text}"
+        );
+    }
+    let v = json::parse(&text).unwrap();
+    assert!(v.get("step_time").as_f64().unwrap() > 0.0);
+    assert_eq!(v.get("per_gpu").as_array().unwrap().len(), 4);
 }
 
 #[test]
-fn whale_ir_round_trips_through_json() {
-    let ir = strategies::moe_hybrid(
-        models::m6_moe(models::MoeConfig::tiny(), 16).unwrap(),
-        16,
-    )
-    .unwrap();
-    let json = serde_json::to_string(&ir).unwrap();
-    let back: whale::WhaleIr = serde_json::from_str(&json).unwrap();
-    assert_eq!(back.num_task_graphs(), ir.num_task_graphs());
-    assert_eq!(back.graph.len(), ir.graph.len());
-    assert_eq!(back.default_strategy, ir.default_strategy);
-    back.validate().unwrap();
+fn step_stats_json_round_trips_values_exactly() {
+    let stats = sample_stats();
+    let v = json::parse(&stats.to_json().to_string_compact()).unwrap();
+    assert_eq!(v.get("step_time").as_f64(), Some(stats.step_time));
+    assert_eq!(v.get("throughput").as_f64(), Some(stats.throughput));
+    for (got, want) in v
+        .get("per_gpu")
+        .as_array()
+        .unwrap()
+        .iter()
+        .zip(&stats.per_gpu)
+    {
+        assert_eq!(got.get("gpu").as_f64(), Some(want.gpu as f64));
+        assert_eq!(
+            got.get("model").as_str(),
+            Some(want.model.to_string().as_str())
+        );
+        assert_eq!(got.get("busy").as_f64(), Some(want.busy));
+        assert_eq!(got.get("mem_bytes").as_f64(), Some(want.mem_bytes as f64));
+        assert_eq!(
+            got.get("mem_capacity").as_f64(),
+            Some(want.mem_capacity as f64)
+        );
+    }
 }
 
 #[test]
-fn step_stats_round_trip_and_expose_fields() {
-    let session = Session::on_cluster("4xV100").unwrap();
-    let ir = strategies::data_parallel(models::resnet50(32).unwrap(), 32).unwrap();
-    let stats = session.step(&ir).unwrap().stats;
-    let json = serde_json::to_string(&stats).unwrap();
-    assert!(json.contains("step_time"));
-    assert!(json.contains("per_gpu"));
-    let back: whale::StepStats = serde_json::from_str(&json).unwrap();
-    assert_eq!(stats, back);
+fn pretty_and_compact_renderings_parse_to_the_same_value() {
+    let stats = sample_stats();
+    let j = stats.to_json();
+    let pretty = json::parse(&j.to_string_pretty()).unwrap();
+    let compact = json::parse(&j.to_string_compact()).unwrap();
+    assert_eq!(pretty, compact);
+    assert_eq!(pretty, j);
 }
 
 #[test]
-fn training_config_json_is_stable() {
-    let cfg = TrainingConfig::default();
-    let json = serde_json::to_string(&cfg).unwrap();
-    assert!(json.contains("\"optimizer\":\"Adam\""), "{json}");
-    let back: TrainingConfig = serde_json::from_str(&json).unwrap();
-    assert_eq!(cfg, back);
+fn gpu_memory_capacities_survive_as_exact_integers() {
+    // 32 GiB = 2^35 is well inside f64's exact-integer range; the writer
+    // must print it without a decimal point or exponent.
+    let stats = sample_stats();
+    let text = stats.to_json().to_string_compact();
+    assert!(text.contains("\"mem_capacity\":34359738368"), "{text}");
+    match json::parse(&text).unwrap().get("per_gpu") {
+        JsonValue::Array(items) => assert!(!items.is_empty()),
+        other => panic!("per_gpu should be an array, got {other:?}"),
+    }
 }

@@ -50,7 +50,9 @@ fn two_stage_pipeline_interleaves_under_1f1b() {
 #[test]
 fn gpipe_and_1f1b_agree_on_total_work() {
     let mk = |schedule| {
-        let session = Session::on_cluster("1x(4xV100)").unwrap().schedule(schedule);
+        let session = Session::on_cluster("1x(4xV100)")
+            .unwrap()
+            .schedule(schedule);
         let ir = strategies::pipeline_only(models::bert_base(32, 64).unwrap(), 32, 8).unwrap();
         session.step(&ir).unwrap().stats
     };
@@ -94,7 +96,12 @@ fn utilization_never_exceeds_one() {
         let ir = strategies::data_parallel(models::resnet50(64).unwrap(), 64).unwrap();
         let s = session.step(&ir).unwrap().stats;
         for g in &s.per_gpu {
-            assert!(g.utilization <= 1.0 + 1e-9, "{spec}: gpu{} {}", g.gpu, g.utilization);
+            assert!(
+                g.utilization <= 1.0 + 1e-9,
+                "{spec}: gpu{} {}",
+                g.gpu,
+                g.utilization
+            );
             assert!(g.utilization >= 0.0);
         }
     }

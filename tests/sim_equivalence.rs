@@ -1,0 +1,87 @@
+//! Golden equivalence: the event-driven heap scheduler must reproduce the
+//! polling reference scheduler's `StepOutcome` — timeline and stats —
+//! bit for bit, for every strategy shape in the model zoo and every
+//! pipeline schedule. The polling scheduler stays alive only as this
+//! oracle (and as `fastpath_bench`'s "before" arm) and is deleted once the
+//! heap engine has soaked for a few PRs.
+
+use whale::{models, strategies, ScheduleKind, Session, WhaleIr};
+
+/// Plan `ir` on `session`, then simulate it through both schedulers and
+/// demand identical outcomes.
+fn assert_schedulers_agree(session: &Session, ir: &WhaleIr, label: &str) {
+    let plan = session
+        .plan(ir)
+        .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+    let heap = session
+        .step_plan(&plan)
+        .unwrap_or_else(|e| panic!("{label}: heap sim failed: {e}"));
+    let polling = session
+        .step_plan_reference(&plan)
+        .unwrap_or_else(|e| panic!("{label}: polling sim failed: {e}"));
+    assert_eq!(
+        heap.timeline, polling.timeline,
+        "{label}: timelines diverge between heap and polling schedulers"
+    );
+    assert_eq!(
+        heap.stats, polling.stats,
+        "{label}: stats diverge between heap and polling schedulers"
+    );
+}
+
+#[test]
+fn data_parallel_plans_match() {
+    for aware in [true, false] {
+        let session = Session::on_cluster("8xV100+8xP100")
+            .unwrap()
+            .hardware_aware(aware);
+        let ir = strategies::data_parallel(models::resnet50(128).unwrap(), 128).unwrap();
+        assert_schedulers_agree(&session, &ir, &format!("dp resnet50 aware={aware}"));
+    }
+}
+
+#[test]
+fn pipeline_plans_match_under_every_schedule() {
+    for schedule in [
+        ScheduleKind::BackwardFirst,
+        ScheduleKind::GPipe,
+        ScheduleKind::AsyncNoFlush,
+    ] {
+        let session = Session::on_cluster("4xV100").unwrap().schedule(schedule);
+        let ir = strategies::pipeline_only(models::bert_base(32, 64).unwrap(), 32, 8).unwrap();
+        assert_schedulers_agree(&session, &ir, &format!("pipeline bert_base {schedule:?}"));
+    }
+}
+
+#[test]
+fn deep_heterogeneous_pipeline_matches() {
+    // Many stages × many micro batches is where the polling scheduler's
+    // rescan cost explodes — and where a subtle ordering bug would surface.
+    let session = Session::on_cluster("8xV100+8xP100").unwrap();
+    let ir = strategies::pipeline_only(models::bert_large(64, 128).unwrap(), 64, 32).unwrap();
+    assert_schedulers_agree(&session, &ir, "deep hetero pipeline bert_large");
+}
+
+#[test]
+fn hybrid_pipeline_with_outer_dp_matches() {
+    let session = Session::on_cluster("2x(4xV100)").unwrap().outer_dp(2);
+    let ir = strategies::pipeline_with_dp(models::bert_base(64, 64).unwrap(), 64, 4).unwrap();
+    assert_schedulers_agree(&session, &ir, "hybrid pipeline×DP bert_base");
+}
+
+#[test]
+fn moe_hybrid_matches() {
+    let session = Session::on_cluster("4xV100").unwrap();
+    let g = models::m6_moe(models::MoeConfig::tiny(), 16).unwrap();
+    let ir = strategies::moe_hybrid(g, 16).unwrap();
+    assert_schedulers_agree(&session, &ir, "moe hybrid m6_moe tiny");
+}
+
+#[test]
+fn vanilla_model_parallel_matches() {
+    let session = Session::on_cluster("2xV100").unwrap();
+    let g = models::bert_base(16, 64).unwrap();
+    let cut = g.len() / 2;
+    let ir = strategies::vanilla_model_parallel(g, 16, cut).unwrap();
+    assert_schedulers_agree(&session, &ir, "vanilla model parallel bert_base");
+}

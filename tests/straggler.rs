@@ -22,10 +22,7 @@ fn hardware_aware_dp_absorbs_a_straggler() {
     // Baseline is gated by the straggler: ~2x the healthy step. The aware
     // partition shrinks its batch instead.
     let speedup = base / aware;
-    assert!(
-        (1.3..2.0).contains(&speedup),
-        "straggler speedup {speedup}"
-    );
+    assert!((1.3..2.0).contains(&speedup), "straggler speedup {speedup}");
 }
 
 #[test]
