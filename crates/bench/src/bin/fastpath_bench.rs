@@ -75,7 +75,11 @@ fn main() {
         }),
         ("m6_10b", 32, || models::m6_10b(32).expect("build")),
     ];
-    let session = Session::on_cluster(AUTO_CLUSTER).expect("cluster");
+    // The content-addressed plan cache would serve iterations 2+ without
+    // planning at all; disable it so both arms measure cold planning.
+    let session = Session::on_cluster(AUTO_CLUSTER)
+        .expect("cluster")
+        .plan_cache(false);
     let mut auto_rows = Vec::new();
     let mut auto_speedups = Vec::new();
     for (name, batch, build) in zoo {
@@ -107,7 +111,9 @@ fn main() {
     row("auto_parallel median speedup", format!("{auto_median:.2}x"));
 
     // --- deep-pipeline simulate_step: heap vs polling scheduler ---
-    let pipe_session = Session::on_cluster(PIPE_CLUSTER).expect("cluster");
+    let pipe_session = Session::on_cluster(PIPE_CLUSTER)
+        .expect("cluster")
+        .plan_cache(false);
     let ir = strategies::pipeline_only(
         models::bert_large(256, 128).expect("build"),
         256,

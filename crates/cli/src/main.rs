@@ -15,10 +15,12 @@ mod zoo;
 
 use args::Args;
 use whale::{
-    auto_parallel, strategies, Optimizer, ScheduleKind, Session, TrainingConfig, WhaleIr, ZeroStage,
+    auto_parallel, strategies, ClusterDelta, Optimizer, ScheduleKind, Session, SimConfig,
+    TrainingConfig, WhaleIr, ZeroStage,
 };
 use whale_hardware::GpuModel;
-use whale_sim::ascii_timeline;
+use whale_planner::PlanKey;
+use whale_sim::{ascii_timeline, check_replan};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +41,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         Some("gpus") => cmd_gpus(),
         Some("plan") => cmd_plan(&args, false),
         Some("simulate") => cmd_plan(&args, true),
+        Some("compile") => cmd_compile(&args),
         Some("auto") => cmd_auto(&args),
         Some("dot") => cmd_dot(&args),
         Some("inspect") => cmd_inspect(&args),
@@ -62,6 +65,7 @@ COMMANDS:
   gpus       list the GPU catalog
   plan       build and print a distributed execution plan
   simulate   plan, then simulate one training step (adds a timeline)
+  compile    run the staged compile pipeline, show cache keys and counters
   auto       explore strategies automatically and pick the fastest
   dot        emit the annotated IR as Graphviz DOT (Fig. 6 style)
   inspect    print a model's op/parameter/FLOP statistics
@@ -79,6 +83,12 @@ COMMON OPTIONS:
   --gpipe            GPipe flush schedule instead of 1F1B
   --amp --recompute --offload
   --json             (simulate) emit step stats as JSON
+
+COMPILE OPTIONS:
+  --repeat N         plan N times through the cache (default 2)
+  --degrade ID:S     then degrade GPU ID to throughput scale S and replan,
+                     re-running only the invalidated passes
+  --cache-stats      print plan-cache hit/miss/partial-hit counters
 "
     );
 }
@@ -212,6 +222,67 @@ fn cmd_plan(args: &Args, simulate: bool) -> Result<(), String> {
         if plan.stages.len() > 1 && plan.num_micro_batches <= 16 {
             println!("\ntimeline (F = forward, B = backward):");
             print!("{}", ascii_timeline(&out, 100));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_compile(args: &Args) -> Result<(), String> {
+    let mut session = session_from(args)?;
+    let ir = ir_from(args)?;
+    let repeat = args.get_num("repeat", 2usize)?.max(1);
+
+    let key = PlanKey::new(&ir, session.cluster(), session.planner_config());
+    println!("cache key (ir/cluster/config): {key}");
+
+    let mut plan = session.plan(&ir).map_err(|e| e.to_string())?;
+    for _ in 1..repeat {
+        plan = session.plan(&ir).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "plan: {} stage(s) x {} micro batch(es) on {} GPU(s), global batch {}",
+        plan.stages.len(),
+        plan.num_micro_batches,
+        plan.all_gpus().len(),
+        plan.global_batch
+    );
+
+    if let Some(spec) = args.get("degrade") {
+        let (id, scale) = spec
+            .split_once(':')
+            .and_then(|(id, s)| Some((id.parse::<usize>().ok()?, s.parse::<f64>().ok()?)))
+            .ok_or_else(|| format!("--degrade expects GPU:SCALE (e.g. 0:0.5), got '{spec}'"))?;
+        let old = plan.clone();
+        let new = session
+            .replan(&ir, ClusterDelta::GpuDegraded { id, scale })
+            .map_err(|e| e.to_string())?;
+        let report = check_replan(&old, &new, session.cluster(), &SimConfig::default());
+        println!("\nreplan after degrading gpu {id} to {scale:.2}x:");
+        let moved = old
+            .stages
+            .iter()
+            .zip(&new.stages)
+            .flat_map(|(o, n)| o.devices.iter().zip(&n.devices))
+            .filter(|(o, n)| o.gpu == n.gpu && o.samples_per_step != n.samples_per_step)
+            .count();
+        println!("  rebalanced samples on {moved} GPU(s)");
+        match &report.outcome {
+            Some(out) => println!(
+                "  consistency: OK ({:.1} samples/s on the degraded cluster)",
+                out.stats.throughput
+            ),
+            None => {
+                for issue in &report.issues {
+                    println!("  consistency: {issue}");
+                }
+            }
+        }
+    }
+
+    if args.flag("cache-stats") {
+        match session.cache_stats() {
+            Some(stats) => println!("\ncache: {stats}"),
+            None => println!("\ncache: disabled"),
         }
     }
     Ok(())

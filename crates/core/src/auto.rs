@@ -234,7 +234,7 @@ pub fn auto_parallel_opts(
             None => build(),
         };
         let plan = graph
-            .and_then(|g| mk_ir(g))
+            .and_then(&mk_ir)
             .and_then(|ir| session.plan(&ir))
             .map_err(|e| e.to_string());
         (name, plan)

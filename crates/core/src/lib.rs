@@ -55,9 +55,11 @@ pub use whale_sim as sim;
 
 // Frequently used items at the crate root.
 pub use whale_graph::{models, CostProfile, Graph, Optimizer, TrainingConfig, ZeroStage};
-pub use whale_hardware::{Cluster, CommModel, GpuModel, VirtualDevice};
+pub use whale_hardware::{Cluster, ClusterDelta, CommModel, GpuModel, VirtualDevice};
 pub use whale_ir::{Annotator, PipelineSpec, Primitive, ScopedBuilder, TaskGraph, WhaleIr};
-pub use whale_planner::{DeviceAssignment, ExecutionPlan, PlannerConfig, ScheduleKind};
+pub use whale_planner::{
+    CacheStats, DeviceAssignment, ExecutionPlan, PassId, PlanCache, PlannerConfig, ScheduleKind,
+};
 pub use whale_sim::{
     ascii_timeline, simulate_step, simulate_training, LossModel, SimConfig, StepOutcome, StepStats,
 };

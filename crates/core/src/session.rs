@@ -5,10 +5,14 @@
 //! configuration, and the simulator configuration, and drives the
 //! annotate → plan → transform → execute path of Fig. 5.
 
+use std::sync::{Arc, Mutex, MutexGuard};
+
 use whale_graph::TrainingConfig;
-use whale_hardware::Cluster;
+use whale_hardware::{Cluster, ClusterDelta};
 use whale_ir::WhaleIr;
-use whale_planner::{plan, DeviceAssignment, ExecutionPlan, PlannerConfig, ScheduleKind};
+use whale_planner::{
+    plan, CacheStats, DeviceAssignment, ExecutionPlan, PlanCache, PlannerConfig, ScheduleKind,
+};
 use whale_sim::{
     simulate_step, simulate_step_reference, simulate_training, LossModel, SimConfig, StepOutcome,
     TrainingRun,
@@ -17,11 +21,27 @@ use whale_sim::{
 use crate::error::{Result, WhaleError};
 
 /// A configured training session over one cluster.
+///
+/// Repeated [`Session::plan`] calls for the same (model, cluster, config)
+/// triple are served from a shared content-addressed [`PlanCache`]; clones
+/// of a session (e.g. the per-candidate sessions of the auto-parallel
+/// search) share the same cache. [`Session::replan`] reacts to a
+/// [`ClusterDelta`] by re-running only the invalidated compile passes.
 #[derive(Debug, Clone)]
 pub struct Session {
     cluster: Cluster,
     planner: PlannerConfig,
     sim: SimConfig,
+    cache: Option<Arc<Mutex<PlanCache>>>,
+}
+
+fn lock(cache: &Arc<Mutex<PlanCache>>) -> MutexGuard<'_, PlanCache> {
+    // The cache holds no invariants a panicking planner could break
+    // half-way (entries are inserted whole), so a poisoned lock is safe to
+    // enter.
+    cache
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Session {
@@ -31,6 +51,7 @@ impl Session {
             cluster,
             planner: PlannerConfig::default(),
             sim: SimConfig::default(),
+            cache: Some(Arc::new(Mutex::new(PlanCache::default()))),
         }
     }
 
@@ -97,14 +118,63 @@ impl Session {
         self
     }
 
+    /// Toggle the content-addressed plan cache (on by default). `off`
+    /// exists for benchmarks that must measure cold planning on every call.
+    pub fn plan_cache(mut self, on: bool) -> Session {
+        self.cache = if on {
+            Some(Arc::new(Mutex::new(PlanCache::default())))
+        } else {
+            None
+        };
+        self
+    }
+
     /// The active planner configuration.
     pub fn planner_config(&self) -> &PlannerConfig {
         &self.planner
     }
 
+    /// Plan-cache counters (`None` when the cache is disabled). Clones of a
+    /// session share one cache, so auto-parallel searches report here too.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| lock(c).stats())
+    }
+
+    /// Zero the plan-cache counters, keeping cached entries.
+    pub fn reset_cache_stats(&self) {
+        if let Some(c) = &self.cache {
+            lock(c).reset_stats();
+        }
+    }
+
     /// Produce the distributed execution plan for `ir`.
+    ///
+    /// With the cache enabled (default), a repeated request for the same
+    /// (model, cluster, config) content returns the stored plan without
+    /// running any compile pass.
     pub fn plan(&self, ir: &WhaleIr) -> Result<ExecutionPlan> {
-        Ok(plan(ir, &self.cluster, &self.planner)?)
+        match &self.cache {
+            Some(cache) => Ok(lock(cache).plan(ir, &self.cluster, &self.planner)?),
+            None => Ok(plan(ir, &self.cluster, &self.planner)?),
+        }
+    }
+
+    /// Apply a cluster change and re-plan, re-running only the compile
+    /// passes the delta invalidates (see `whale_planner::invalidation_start`
+    /// for the matrix). The session's cluster is updated to the post-delta
+    /// topology.
+    pub fn replan(&mut self, ir: &WhaleIr, delta: ClusterDelta) -> Result<ExecutionPlan> {
+        match &self.cache {
+            Some(cache) => {
+                let (p, after) = lock(cache).replan(ir, &self.cluster, &self.planner, delta)?;
+                self.cluster = after;
+                Ok(p)
+            }
+            None => {
+                self.cluster.apply_delta(delta)?;
+                Ok(plan(ir, &self.cluster, &self.planner)?)
+            }
+        }
     }
 
     /// Plan and simulate one training step.
@@ -198,6 +268,52 @@ mod tests {
         assert!(!s.planner_config().hardware_aware);
         assert_eq!(s.planner_config().efficiency, 0.6);
         assert_eq!(s.planner_config().outer_dp, 2);
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_cache() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let s = Session::on_cluster("4xV100").unwrap();
+        let a = s.plan(&ir).unwrap();
+        let b = s.plan(&ir).unwrap();
+        assert_eq!(a, b);
+        let stats = s.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Clones share the cache.
+        let clone = s.clone();
+        clone.plan(&ir).unwrap();
+        assert_eq!(s.cache_stats().unwrap().hits, 2);
+        // Disabling the cache reports no stats.
+        assert!(s.plan_cache(false).cache_stats().is_none());
+    }
+
+    #[test]
+    fn replan_rebalances_on_degradation() {
+        use whale_hardware::ClusterDelta;
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut s = Session::on_cluster("4xV100").unwrap();
+        let cold = s.plan(&ir).unwrap();
+        let replanned = s
+            .replan(&ir, ClusterDelta::GpuDegraded { id: 0, scale: 0.4 })
+            .unwrap();
+        // Session cluster tracks the delta; the slow GPU sheds samples.
+        assert_eq!(s.cluster().gpu(0).unwrap().throughput_scale, 0.4);
+        assert!(
+            replanned.stages[0].devices[0].samples_per_step
+                < cold.stages[0].devices[0].samples_per_step
+        );
+        let stats = s.cache_stats().unwrap();
+        assert_eq!(stats.partial_hits, 1);
     }
 
     #[test]

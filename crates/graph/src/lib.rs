@@ -27,6 +27,7 @@
 
 pub mod autodiff;
 pub mod builder;
+pub mod fingerprint;
 pub mod graph;
 pub mod models;
 pub mod op;

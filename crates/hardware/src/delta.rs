@@ -1,0 +1,274 @@
+//! Cluster change events for elastic replanning.
+//!
+//! Production clusters drift while a job runs: a device throttles thermally,
+//! a co-tenant steals bandwidth, a node is drained or returned. Rather than
+//! forcing callers to rebuild a [`Cluster`] by hand and replan from scratch,
+//! each kind of drift is named by a [`ClusterDelta`] that can be applied to a
+//! cluster in place — and, planner-side, mapped to the earliest compile pass
+//! it invalidates, so a degradation rebalances the cached plan instead of
+//! re-deriving parallelism degrees and placement.
+
+use crate::cluster::{Cluster, ClusterBuilder};
+use crate::error::{HardwareError, Result};
+use crate::gpu::GpuModel;
+use crate::interconnect::LinkKind;
+
+/// One observed change to a running cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterDelta {
+    /// GPU `id` now runs at `scale` of peak throughput (thermal throttling,
+    /// noisy co-tenant). `scale` must be in `(0, 1]`.
+    GpuDegraded { id: usize, scale: f64 },
+    /// GPU `id` is back at full throughput.
+    GpuRestored { id: usize },
+    /// GPU `id` left the cluster (drained, failed). Remaining GPUs are
+    /// renumbered to keep global ids dense; a node losing its last GPU is
+    /// dropped.
+    GpuRemoved { id: usize },
+    /// A new GPU of `model` joined `node`. `node == num_nodes` appends a new
+    /// single-GPU node.
+    GpuAdded { node: usize, model: GpuModel },
+    /// A link class changed effective bandwidth (congestion, fabric
+    /// reconfiguration). `bytes_per_sec` must be positive and finite.
+    LinkBandwidth { kind: LinkKind, bytes_per_sec: f64 },
+}
+
+impl ClusterDelta {
+    /// Whether the delta changes cluster *structure* (device set or
+    /// topology) rather than per-device or per-link rates. Structural deltas
+    /// invalidate every compile pass; rate deltas keep placement and bridges.
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            ClusterDelta::GpuRemoved { .. } | ClusterDelta::GpuAdded { .. }
+        )
+    }
+}
+
+impl Cluster {
+    /// Apply a [`ClusterDelta`] in place.
+    ///
+    /// Rate deltas (`GpuDegraded`, `GpuRestored`, `LinkBandwidth`) mutate the
+    /// existing cluster; structural deltas (`GpuRemoved`, `GpuAdded`) rebuild
+    /// the topology with dense global ids, preserving the degradation state
+    /// of every surviving device.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whale_hardware::{Cluster, ClusterDelta};
+    /// let mut c = Cluster::parse("2x(4xV100)").unwrap();
+    /// c.apply_delta(ClusterDelta::GpuDegraded { id: 5, scale: 0.5 }).unwrap();
+    /// assert_eq!(c.gpu(5).unwrap().throughput_scale, 0.5);
+    /// c.apply_delta(ClusterDelta::GpuRemoved { id: 0 }).unwrap();
+    /// assert_eq!(c.num_gpus(), 7);
+    /// // The degraded device survives renumbering (id 5 -> 4).
+    /// assert_eq!(c.gpu(4).unwrap().throughput_scale, 0.5);
+    /// ```
+    pub fn apply_delta(&mut self, delta: ClusterDelta) -> Result<()> {
+        match delta {
+            ClusterDelta::GpuDegraded { id, scale } => self.degrade_gpu(id, scale),
+            ClusterDelta::GpuRestored { id } => self.degrade_gpu(id, 1.0),
+            ClusterDelta::GpuRemoved { id } => {
+                if self.gpu(id).is_err() {
+                    return Err(HardwareError::UnknownDevice(id));
+                }
+                if self.num_gpus() == 1 {
+                    return Err(HardwareError::ParseError(
+                        "cannot remove the last GPU of a cluster".into(),
+                    ));
+                }
+                let survivors: Vec<Vec<(GpuModel, f64)>> = self
+                    .nodes()
+                    .iter()
+                    .map(|n| {
+                        n.gpu_ids
+                            .iter()
+                            .filter(|&&g| g != id)
+                            .map(|&g| (self.gpus()[g].model, self.gpus()[g].throughput_scale))
+                            .collect::<Vec<_>>()
+                    })
+                    .filter(|node| !node.is_empty())
+                    .collect();
+                self.rebuild(survivors)
+            }
+            ClusterDelta::GpuAdded { node, model } => {
+                if node > self.num_nodes() {
+                    return Err(HardwareError::ParseError(format!(
+                        "cannot add GPU to node {node}: cluster has {} nodes",
+                        self.num_nodes()
+                    )));
+                }
+                let mut layout: Vec<Vec<(GpuModel, f64)>> = self
+                    .nodes()
+                    .iter()
+                    .map(|n| {
+                        n.gpu_ids
+                            .iter()
+                            .map(|&g| (self.gpus()[g].model, self.gpus()[g].throughput_scale))
+                            .collect()
+                    })
+                    .collect();
+                if node == layout.len() {
+                    layout.push(vec![(model, 1.0)]);
+                } else {
+                    layout[node].push((model, 1.0));
+                }
+                self.rebuild(layout)
+            }
+            ClusterDelta::LinkBandwidth {
+                kind,
+                bytes_per_sec,
+            } => {
+                if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
+                    return Err(HardwareError::ParseError(format!(
+                        "link bandwidth must be positive and finite, got {bytes_per_sec}"
+                    )));
+                }
+                match kind {
+                    LinkKind::NvLink => self.interconnect.nvlink_bw = bytes_per_sec,
+                    LinkKind::Pcie => self.interconnect.pcie_bw = bytes_per_sec,
+                    LinkKind::Network => self.interconnect.network_bw = bytes_per_sec,
+                    LinkKind::Local => {
+                        return Err(HardwareError::ParseError(
+                            "loopback links have no configurable bandwidth".into(),
+                        ))
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Replace this cluster's topology with `layout` (per-node lists of
+    /// `(model, throughput_scale)`), keeping the interconnect.
+    fn rebuild(&mut self, layout: Vec<Vec<(GpuModel, f64)>>) -> Result<()> {
+        let mut b = ClusterBuilder::new().interconnect(self.interconnect.clone());
+        for node in &layout {
+            b = b.add_node(node.iter().map(|&(m, _)| m).collect());
+        }
+        let mut rebuilt = b.build();
+        let scales = layout.into_iter().flatten().map(|(_, s)| s);
+        for (id, scale) in scales.enumerate() {
+            if scale < 1.0 {
+                rebuilt.degrade_gpu(id, scale)?;
+            }
+        }
+        *self = rebuilt;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_and_restore_round_trip() {
+        let mut c = Cluster::parse("8xV100").unwrap();
+        let before = c.fingerprint();
+        c.apply_delta(ClusterDelta::GpuDegraded { id: 2, scale: 0.6 })
+            .unwrap();
+        assert_eq!(c.gpu(2).unwrap().throughput_scale, 0.6);
+        assert_ne!(c.fingerprint(), before);
+        c.apply_delta(ClusterDelta::GpuRestored { id: 2 }).unwrap();
+        assert_eq!(c.fingerprint(), before);
+    }
+
+    #[test]
+    fn remove_renumbers_and_drops_empty_nodes() {
+        let mut c = Cluster::parse("1xV100+4xP100").unwrap();
+        c.apply_delta(ClusterDelta::GpuRemoved { id: 0 }).unwrap();
+        assert_eq!(c.num_gpus(), 4);
+        assert_eq!(c.num_nodes(), 1, "emptied node is dropped");
+        for (i, g) in c.gpus().iter().enumerate() {
+            assert_eq!(g.id, i);
+            assert_eq!(g.model, GpuModel::P100_16GB);
+        }
+    }
+
+    #[test]
+    fn remove_preserves_degradation_of_survivors() {
+        let mut c = Cluster::parse("4xV100").unwrap();
+        c.degrade_gpu(3, 0.7).unwrap();
+        c.apply_delta(ClusterDelta::GpuRemoved { id: 1 }).unwrap();
+        assert_eq!(c.gpu(2).unwrap().throughput_scale, 0.7);
+        assert_eq!(c.gpu(0).unwrap().throughput_scale, 1.0);
+    }
+
+    #[test]
+    fn remove_validates() {
+        let mut c = Cluster::parse("2xV100").unwrap();
+        assert!(c.apply_delta(ClusterDelta::GpuRemoved { id: 9 }).is_err());
+        c.apply_delta(ClusterDelta::GpuRemoved { id: 0 }).unwrap();
+        assert!(
+            c.apply_delta(ClusterDelta::GpuRemoved { id: 0 }).is_err(),
+            "cannot empty the cluster"
+        );
+    }
+
+    #[test]
+    fn add_to_existing_and_new_node() {
+        let mut c = Cluster::parse("2xV100").unwrap();
+        c.apply_delta(ClusterDelta::GpuAdded {
+            node: 0,
+            model: GpuModel::P100_16GB,
+        })
+        .unwrap();
+        assert_eq!(c.num_gpus(), 3);
+        assert_eq!(c.num_nodes(), 1);
+        assert_eq!(c.gpu(2).unwrap().model, GpuModel::P100_16GB);
+        c.apply_delta(ClusterDelta::GpuAdded {
+            node: 1,
+            model: GpuModel::T4,
+        })
+        .unwrap();
+        assert_eq!(c.num_nodes(), 2);
+        assert!(c
+            .apply_delta(ClusterDelta::GpuAdded {
+                node: 5,
+                model: GpuModel::T4,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn link_bandwidth_updates_interconnect() {
+        let mut c = Cluster::parse("2x(2xV100)").unwrap();
+        c.apply_delta(ClusterDelta::LinkBandwidth {
+            kind: LinkKind::Network,
+            bytes_per_sec: 1.25e9,
+        })
+        .unwrap();
+        assert_eq!(c.interconnect.network_bw, 1.25e9);
+        assert!(c
+            .apply_delta(ClusterDelta::LinkBandwidth {
+                kind: LinkKind::Local,
+                bytes_per_sec: 1.0,
+            })
+            .is_err());
+        assert!(c
+            .apply_delta(ClusterDelta::LinkBandwidth {
+                kind: LinkKind::Pcie,
+                bytes_per_sec: -1.0,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn structural_classification() {
+        assert!(ClusterDelta::GpuRemoved { id: 0 }.is_structural());
+        assert!(ClusterDelta::GpuAdded {
+            node: 0,
+            model: GpuModel::T4
+        }
+        .is_structural());
+        assert!(!ClusterDelta::GpuDegraded { id: 0, scale: 0.5 }.is_structural());
+        assert!(!ClusterDelta::GpuRestored { id: 0 }.is_structural());
+        assert!(!ClusterDelta::LinkBandwidth {
+            kind: LinkKind::Pcie,
+            bytes_per_sec: 1e9
+        }
+        .is_structural());
+    }
+}

@@ -30,13 +30,16 @@
 
 pub mod cluster;
 pub mod comm;
+pub mod delta;
 pub mod error;
+pub mod fingerprint;
 pub mod gpu;
 pub mod interconnect;
 pub mod virtual_device;
 
 pub use cluster::{Cluster, ClusterBuilder, Node};
 pub use comm::{Collective, CommModel};
+pub use delta::ClusterDelta;
 pub use error::{HardwareError, Result};
 pub use gpu::{Gpu, GpuModel, GIB, TFLOPS};
 pub use interconnect::{Interconnect, LinkKind};

@@ -33,6 +33,7 @@
 
 pub mod annotate;
 pub mod error;
+pub mod fingerprint;
 pub mod primitive;
 pub mod scope;
 pub mod taskgraph;

@@ -1,0 +1,358 @@
+//! Content-addressed plan cache.
+//!
+//! A production plan service answers many repeated requests: the same model
+//! on the same cluster with the same options must not re-run the planner.
+//! [`PlanCache`] keys full [`CompileState`]s (not just plans — so cached
+//! artifacts can seed a delta-replan) on [`PlanKey`], the triple of content
+//! fingerprints of the planner's inputs. Hit/miss/pass counters are exposed
+//! for the Session, CLI, and auto-parallel search to report.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use whale_fp::Fingerprint;
+use whale_hardware::{Cluster, ClusterDelta};
+use whale_ir::WhaleIr;
+
+use crate::error::Result;
+use crate::pipeline::{
+    compile, invalidation_start, CompilePipeline, CompileState, PassContext, PassId,
+};
+use crate::plan::ExecutionPlan;
+use crate::planner::PlannerConfig;
+
+/// Cache key: content fingerprints of the three planner inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`WhaleIr::fingerprint`] of the annotated model.
+    pub ir: Fingerprint,
+    /// [`Cluster::fingerprint`] of the target cluster.
+    pub cluster: Fingerprint,
+    /// [`PlannerConfig::fingerprint`] of the options.
+    pub config: Fingerprint,
+}
+
+impl PlanKey {
+    /// Fingerprint all three planner inputs.
+    pub fn new(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> PlanKey {
+        PlanKey {
+            ir: ir.fingerprint(),
+            cluster: cluster.fingerprint(),
+            config: config.fingerprint(),
+        }
+    }
+}
+
+impl std::fmt::Display for PlanKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}/{}", self.ir, self.cluster, self.config)
+    }
+}
+
+/// Cumulative cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered entirely from cache (zero passes run).
+    pub hits: u64,
+    /// Requests that ran the full pipeline from scratch.
+    pub misses: u64,
+    /// Delta-replans that reused cached artifacts and re-ran only the
+    /// invalidated suffix of the pipeline.
+    pub partial_hits: u64,
+    /// Total compile passes executed on behalf of this cache.
+    pub passes_run: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups (full hits only), 0.0 when idle.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses + self.partial_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits {} · misses {} · partial {} · passes {} · evictions {}",
+            self.hits, self.misses, self.partial_hits, self.passes_run, self.evictions
+        )
+    }
+}
+
+/// Bounded FIFO cache of compile states keyed by content fingerprints.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: HashMap<PlanKey, CompileState>,
+    order: VecDeque<PlanKey>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(PlanCache::DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// Default entry bound; a CompileState is a few hundred KB at most, so
+    /// this keeps the cache well under typical service memory budgets.
+    pub const DEFAULT_CAPACITY: usize = 512;
+
+    /// Create a cache bounded to `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Plan through the cache: a key hit returns the stored plan without
+    /// running any pass; a miss compiles, stores the full artifact state,
+    /// and returns the fresh plan.
+    pub fn plan(
+        &mut self,
+        ir: &WhaleIr,
+        cluster: &Cluster,
+        config: &PlannerConfig,
+    ) -> Result<ExecutionPlan> {
+        let key = PlanKey::new(ir, cluster, config);
+        if let Some(state) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(state
+                .plan
+                .clone()
+                .expect("cached states always hold a finished plan"));
+        }
+        let state = compile(ir, cluster, config)?;
+        self.stats.misses += 1;
+        self.stats.passes_run += state.passes_run.len() as u64;
+        let plan = state
+            .plan
+            .clone()
+            .expect("compile() runs Schedule, which sets `plan`");
+        self.insert(key, state);
+        Ok(plan)
+    }
+
+    /// Re-plan after `delta`, reusing cached artifacts where possible.
+    ///
+    /// `cluster` is the **pre-delta** cluster (the one prior plans were
+    /// keyed on); the updated cluster is returned alongside the new plan.
+    /// If the pre-delta state is cached, only the passes invalidated by the
+    /// delta re-run (a degradation re-runs Balance + Schedule); otherwise
+    /// this degenerates to a cold compile on the post-delta cluster. The
+    /// result is stored under the post-delta key, so a later `plan()`
+    /// against the updated cluster is a pure hit.
+    pub fn replan(
+        &mut self,
+        ir: &WhaleIr,
+        cluster: &Cluster,
+        config: &PlannerConfig,
+        delta: ClusterDelta,
+    ) -> Result<(ExecutionPlan, Cluster)> {
+        let old_key = PlanKey::new(ir, cluster, config);
+        let mut after = cluster.clone();
+        after.apply_delta(delta)?;
+        let new_key = PlanKey::new(ir, &after, config);
+
+        if let Some(state) = self.entries.get(&new_key) {
+            self.stats.hits += 1;
+            let plan = state
+                .plan
+                .clone()
+                .expect("cached states always hold a finished plan");
+            return Ok((plan, after));
+        }
+
+        let (mut state, start) = match self.entries.get(&old_key) {
+            Some(cached) => (cached.clone(), invalidation_start(&delta)),
+            None => (CompileState::default(), PassId::DegreeInference),
+        };
+        let passes_before = state.passes_run.len();
+        let cx = PassContext {
+            ir,
+            cluster: &after,
+            config,
+        };
+        CompilePipeline::standard().run_from(&cx, &mut state, start)?;
+        let plan = state
+            .plan
+            .clone()
+            .expect("run_from re-runs Schedule, which sets `plan`");
+        let ran = state.passes_run.len() - passes_before;
+        self.stats.passes_run += ran as u64;
+        if start > PassId::DegreeInference {
+            self.stats.partial_hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.insert(new_key, state);
+        Ok((plan, after))
+    }
+
+    /// Direct lookup of a cached state (no counters touched).
+    pub fn peek(&self, key: &PlanKey) -> Option<&CompileState> {
+        self.entries.get(key)
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the counters, keeping entries.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (counters survive).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    fn insert(&mut self, key: PlanKey, state: CompileState) {
+        if self.entries.insert(key, state).is_none() {
+            self.order.push_back(key);
+        }
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                    self.stats.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    fn resnet_ir(batch: usize) -> WhaleIr {
+        let g = models::resnet50(batch).unwrap();
+        Annotator::new(g, batch)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn hit_runs_no_passes() {
+        let ir = resnet_ir(64);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut cache = PlanCache::default();
+
+        let first = cache.plan(&ir, &cluster, &cfg).unwrap();
+        let after_miss = cache.stats();
+        assert_eq!((after_miss.hits, after_miss.misses), (0, 1));
+        assert_eq!(after_miss.passes_run, PassId::ALL.len() as u64);
+
+        let second = cache.plan(&ir, &cluster, &cfg).unwrap();
+        let after_hit = cache.stats();
+        assert_eq!((after_hit.hits, after_hit.misses), (1, 1));
+        assert_eq!(
+            after_hit.passes_run, after_miss.passes_run,
+            "a hit must not run any pass"
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_inputs_are_different_entries() {
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut cache = PlanCache::default();
+        cache.plan(&resnet_ir(64), &cluster, &cfg).unwrap();
+        cache.plan(&resnet_ir(32), &cluster, &cfg).unwrap();
+        let other = Cluster::parse("2xV100").unwrap();
+        cache.plan(&resnet_ir(64), &other, &cfg).unwrap();
+        let hw_off = PlannerConfig {
+            hardware_aware: false,
+            ..PlannerConfig::default()
+        };
+        cache.plan(&resnet_ir(64), &cluster, &hw_off).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn replan_is_a_partial_hit_and_seeds_the_new_key() {
+        let ir = resnet_ir(64);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut cache = PlanCache::default();
+        cache.plan(&ir, &cluster, &cfg).unwrap();
+
+        let delta = ClusterDelta::GpuDegraded { id: 0, scale: 0.5 };
+        let (replanned, after) = cache.replan(&ir, &cluster, &cfg, delta).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.partial_hits, 1);
+        // Balance + Schedule only, on top of the 5 cold passes.
+        assert_eq!(s.passes_run, 5 + 2);
+        // Degraded GPU 0 now gets the smallest share.
+        let dev = &replanned.stages[0].devices;
+        assert!(dev[0].samples_per_step < dev[1].samples_per_step);
+
+        // The post-delta key is now hot.
+        let again = cache.plan(&ir, &after, &cfg).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(again, replanned);
+    }
+
+    #[test]
+    fn replan_without_cached_state_degenerates_to_cold() {
+        let ir = resnet_ir(64);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut cache = PlanCache::default();
+        let delta = ClusterDelta::GpuDegraded { id: 0, scale: 0.5 };
+        let (plan, after) = cache.replan(&ir, &cluster, &cfg, delta).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().partial_hits, 0);
+        assert_eq!(plan, crate::planner::plan(&ir, &after, &cfg).unwrap());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut cache = PlanCache::new(2);
+        cache.plan(&resnet_ir(16), &cluster, &cfg).unwrap();
+        cache.plan(&resnet_ir(32), &cluster, &cfg).unwrap();
+        cache.plan(&resnet_ir(64), &cluster, &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The oldest entry (batch 16) was evicted → miss again.
+        cache.plan(&resnet_ir(16), &cluster, &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+}

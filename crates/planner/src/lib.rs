@@ -31,23 +31,30 @@
 //! ```
 
 pub mod bridge;
+pub mod cache;
 pub mod dp_balance;
 pub mod error;
 pub mod estimate;
 pub mod partition;
 pub mod pipe_balance;
+pub mod pipeline;
 pub mod plan;
 pub mod planner;
 pub mod psvf;
 pub mod render;
 pub mod shard;
 
+pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use dp_balance::{dp_partition, DpPartition};
 pub use error::{PlanError, Result};
 pub use estimate::{estimate_step, estimate_step_cached, EstimateCache, StepEstimate};
 pub use pipe_balance::{
     in_flight_micro_batches, pipeline_partition, pipeline_partition_opts, stage_flops,
     PipePartition,
+};
+pub use pipeline::{
+    compile, invalidation_start, replan, BalancedStages, BridgedPlan, CompilePipeline,
+    CompileState, InferredDegrees, PassContext, PassId, PlacedTaskGraphs, PlannerPass,
 };
 pub use plan::{CollectiveTask, DeviceWork, ExecutionPlan, PlannedStage};
 pub use planner::{plan, DeviceAssignment, PlannerConfig, ScheduleKind};

@@ -1,0 +1,863 @@
+//! The staged compile pipeline: `DegreeInference → Placement →
+//! BridgeInsertion → Balance → Schedule`.
+//!
+//! Whale's Fig. 5 describes planning as a sequence of distinct phases; this
+//! module makes that sequence explicit. Each phase is a [`PlannerPass`] that
+//! consumes earlier typed artifacts from a [`CompileState`] blackboard and
+//! deposits its own:
+//!
+//! | pass              | artifact             | contents |
+//! |-------------------|----------------------|----------|
+//! | `DegreeInference` | [`InferredDegrees`]  | plan-level DP groups + per-group batches |
+//! | `Placement`       | [`PlacedTaskGraphs`] | stage cuts, virtual devices, boundary bytes |
+//! | `BridgeInsertion` | [`BridgedPlan`]      | inter-stage send bytes + bridge collectives |
+//! | `Balance`         | [`BalancedStages`]   | per-device work + gradient-sync groups |
+//! | `Schedule`        | `ExecutionPlan`      | assembled, validated plan |
+//!
+//! The decomposition is **bit-identical** to the retained monolith
+//! ([`crate::planner::plan_reference`]): every pass body is transplanted
+//! code, and the only reordering — computing bridge collectives *before*
+//! per-device balancing instead of after — is sound because bridges read
+//! only placement artifacts, and the Schedule pass appends them to the
+//! per-stage collective lists in the monolith's exact `(source stage, plan
+//! replica)` order.
+//!
+//! Why bother: passes become individually cacheable and re-runnable. A
+//! [`crate::cache::PlanCache`] stores the whole [`CompileState`] keyed on
+//! content fingerprints, and [`replan`] re-runs only the passes a
+//! [`ClusterDelta`] invalidates — a GPU degradation keeps degrees, placement
+//! and bridges, re-running just Balance + Schedule on the new device rates.
+
+use whale_graph::CostProfile;
+use whale_hardware::{Cluster, ClusterDelta, Collective, VirtualDevice};
+use whale_ir::{Primitive, TaskGraph, WhaleIr};
+
+use crate::bridge::{chain_bytes, connect};
+use crate::error::{PlanError, Result};
+use crate::plan::{CollectiveTask, ExecutionPlan, PlannedStage};
+use crate::planner::{
+    auto_stages, build_grad_groups, plan_taskgraph, resolve_devices, stage_boundary_bytes,
+    PlanTgArgs, PlannerConfig, ScheduleKind,
+};
+
+/// Identity of one compile pass, in pipeline order.
+///
+/// The derived `Ord` follows declaration order, which **is** the execution
+/// order — [`CompilePipeline::run_from`] relies on it to decide which passes
+/// to (re-)run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PassId {
+    /// Infer plan-level DP degree and split the batch across plan replicas.
+    DegreeInference,
+    /// Resolve stage cuts (auto-partition) and per-TaskGraph virtual devices.
+    Placement,
+    /// Compute inter-stage activation traffic and bridge collectives.
+    BridgeInsertion,
+    /// Hardware-aware per-device load balancing + gradient-sync groups.
+    Balance,
+    /// Assemble and validate the final [`ExecutionPlan`].
+    Schedule,
+}
+
+impl PassId {
+    /// All passes in execution order.
+    pub const ALL: [PassId; 5] = [
+        PassId::DegreeInference,
+        PassId::Placement,
+        PassId::BridgeInsertion,
+        PassId::Balance,
+        PassId::Schedule,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::DegreeInference => "degree-inference",
+            PassId::Placement => "placement",
+            PassId::BridgeInsertion => "bridge-insertion",
+            PassId::Balance => "balance",
+            PassId::Schedule => "schedule",
+        }
+    }
+}
+
+/// Artifact of [`PassId::DegreeInference`]: how many plan replicas exist and
+/// how the global batch divides among them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferredDegrees {
+    /// Plan-level data-parallel degree (1 without `outer_replica`).
+    pub outer_dp: usize,
+    /// GPU ids of each plan replica, contiguous slices of the cluster.
+    pub groups: Vec<Vec<usize>>,
+    /// Per-replica mini-batch (flops-weighted when hardware-aware).
+    pub group_batches: Vec<usize>,
+    /// Micro batches per mini batch (1 without a pipeline).
+    pub num_micro: usize,
+    /// Whether the schedule is GPipe-style (affects in-flight accounting).
+    pub gpipe: bool,
+}
+
+/// Artifact of [`PassId::Placement`]: concrete TaskGraphs and their device
+/// mapping inside plan replica 0.
+#[derive(Debug, Clone)]
+pub struct PlacedTaskGraphs {
+    /// Stage TaskGraphs in execution order (auto-partitioned if requested).
+    pub task_graphs: Vec<TaskGraph>,
+    /// Per-stage cost profiles handed back by the memoized auto-partition
+    /// (`None` when stages were given explicitly — Balance re-profiles).
+    pub stage_profiles: Option<Vec<CostProfile>>,
+    /// Virtual device of each TaskGraph within plan replica 0.
+    pub vds0: Vec<VirtualDevice>,
+    /// Memoized per-stage exit-tensor byte totals (`None` when memoization
+    /// is off or TaskGraphs overlap; consumers fall back to `exit_tensors`).
+    pub boundary_sums: Option<Vec<u64>>,
+}
+
+/// Artifact of [`PassId::BridgeInsertion`]: everything that crosses a stage
+/// boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BridgedPlan {
+    /// Per-stage activation bytes sent to the next stage per micro batch
+    /// (0 for the last stage).
+    pub send_bytes: Vec<u64>,
+    /// Bridge collectives as `(target stage, task)`, in the monolith's
+    /// insertion order: outer loop over source stage, inner over plan
+    /// replica.
+    pub bridges: Vec<(usize, CollectiveTask)>,
+}
+
+/// Artifact of [`PassId::Balance`]: fully balanced stages (device work and
+/// in-stage collectives) plus raw gradient-sync groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalancedStages {
+    /// Planned stages, one per TaskGraph. Bridge collectives are *not* yet
+    /// appended — that is the Schedule pass's job, keeping this artifact
+    /// reusable when only scheduling is invalidated.
+    pub stages: Vec<PlannedStage>,
+    /// Gradient-sync groups as `(label, gpu ids, bytes, stage)`; groups of
+    /// one GPU are dropped at schedule time.
+    pub grad_groups: Vec<(String, Vec<usize>, u64, usize)>,
+}
+
+/// Blackboard of per-pass artifacts. Each slot is `None` until its pass has
+/// run; invalidating a pass clears its slot and every later one.
+#[derive(Debug, Clone, Default)]
+pub struct CompileState {
+    /// [`PassId::DegreeInference`] output.
+    pub degrees: Option<InferredDegrees>,
+    /// [`PassId::Placement`] output.
+    pub placement: Option<PlacedTaskGraphs>,
+    /// [`PassId::BridgeInsertion`] output.
+    pub bridged: Option<BridgedPlan>,
+    /// [`PassId::Balance`] output.
+    pub balanced: Option<BalancedStages>,
+    /// [`PassId::Schedule`] output: the finished plan.
+    pub plan: Option<ExecutionPlan>,
+    /// Every pass executed on this state, in order, across all (re-)runs.
+    /// Cache hits return states without growing this log — tests use it to
+    /// prove that a hit runs zero passes.
+    pub passes_run: Vec<PassId>,
+}
+
+impl CompileState {
+    /// Drop the artifacts of `start` and every later pass, keeping earlier
+    /// ones for reuse.
+    pub fn invalidate_from(&mut self, start: PassId) {
+        if start <= PassId::DegreeInference {
+            self.degrees = None;
+        }
+        if start <= PassId::Placement {
+            self.placement = None;
+        }
+        if start <= PassId::BridgeInsertion {
+            self.bridged = None;
+        }
+        if start <= PassId::Balance {
+            self.balanced = None;
+        }
+        self.plan = None;
+    }
+
+    fn missing(dep: PassId, of: PassId) -> PlanError {
+        PlanError::BadConfig(format!(
+            "compile pipeline ran `{}` without the `{}` artifact (pass ordering bug)",
+            of.name(),
+            dep.name()
+        ))
+    }
+}
+
+/// Immutable inputs shared by every pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PassContext<'a> {
+    /// The annotated model.
+    pub ir: &'a WhaleIr,
+    /// The target cluster. During [`replan`] this is the *post-delta*
+    /// cluster, so re-run passes see the new device rates.
+    pub cluster: &'a Cluster,
+    /// Planner options.
+    pub config: &'a PlannerConfig,
+}
+
+/// One compile pass: reads earlier artifacts from the state, writes its own.
+pub trait PlannerPass {
+    /// Which pipeline slot this pass fills.
+    fn id(&self) -> PassId;
+    /// Execute, depositing this pass's artifact into `state`.
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()>;
+}
+
+/// Pass 1: validate the IR, infer the plan-level DP degree, and split the
+/// global batch across plan replicas (flops-weighted when hardware-aware).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegreeInference;
+
+impl PlannerPass for DegreeInference {
+    fn id(&self) -> PassId {
+        PassId::DegreeInference
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let (ir, cluster, config) = (cx.ir, cx.cluster, cx.config);
+        ir.validate()?;
+        let num_gpus = cluster.num_gpus();
+        if num_gpus == 0 {
+            return Err(PlanError::BadConfig("empty cluster".into()));
+        }
+
+        // Plan-level data parallelism: split the cluster into `outer_dp`
+        // contiguous groups.
+        let outer_dp = if ir.outer_replica {
+            let r = if config.outer_dp == 0 {
+                cluster.num_nodes()
+            } else {
+                config.outer_dp
+            };
+            if r == 0 || !num_gpus.is_multiple_of(r) {
+                return Err(PlanError::BadConfig(format!(
+                    "{num_gpus} GPUs not divisible into {r} plan replicas"
+                )));
+            }
+            r
+        } else {
+            1
+        };
+        let group_size = num_gpus / outer_dp;
+        let groups: Vec<Vec<usize>> = (0..outer_dp)
+            .map(|g| (g * group_size..(g + 1) * group_size).collect())
+            .collect();
+
+        // Split the global batch across plan replicas.
+        let group_weights: Vec<f64> = if config.hardware_aware {
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&id| cluster.gpus()[id].flops()).sum())
+                .collect()
+        } else {
+            vec![1.0; outer_dp]
+        };
+        let group_batches = crate::partition::proportional_split(ir.global_batch, &group_weights)?;
+
+        state.degrees = Some(InferredDegrees {
+            outer_dp,
+            groups,
+            group_batches,
+            num_micro: ir.pipeline.map(|p| p.num_micro_batches).unwrap_or(1),
+            gpipe: config.schedule == ScheduleKind::GPipe,
+        });
+        Ok(())
+    }
+}
+
+/// Pass 2: resolve TaskGraphs (auto-partition pipelines with the
+/// hardware-aware balanced cut) and map each to a virtual device.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Placement;
+
+impl PlannerPass for Placement {
+    fn id(&self) -> PassId {
+        PassId::Placement
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let (ir, cluster, config) = (cx.ir, cx.cluster, cx.config);
+        let d = state
+            .degrees
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::DegreeInference, self.id()))?;
+
+        // The memoized partition hands back the per-stage profiles it
+        // already computed for the final cuts; Balance then skips its own
+        // re-profiling pass (bit-identical: same op ranges, same reference
+        // batch).
+        let (task_graphs, stage_profiles): (Vec<TaskGraph>, Option<Vec<CostProfile>>) =
+            if ir.auto_partition && ir.task_graphs.is_empty() {
+                auto_stages(
+                    ir,
+                    cluster,
+                    config,
+                    &d.groups[0],
+                    d.group_batches[0],
+                    d.num_micro,
+                    d.gpipe,
+                )?
+            } else {
+                (ir.task_graphs.clone(), None)
+            };
+        if task_graphs.is_empty() {
+            return Err(PlanError::BadIr("no TaskGraphs to plan".into()));
+        }
+
+        let vds0 = resolve_devices(config, &d.groups[0], &task_graphs, ir.pipeline.is_some())?;
+
+        // Boundary bytes: `exit_tensors` rescans the whole graph per
+        // TaskGraph, an O(stages × ops) term that dominates deep-pipeline
+        // planning. The memoized path replaces those scans with one pass
+        // over the graph's edges; per-producer byte sums are u64, so the two
+        // computations are exactly equal, not just approximately.
+        let boundary_sums = if config.memoize {
+            stage_boundary_bytes(&ir.graph, &task_graphs)
+        } else {
+            None
+        };
+
+        state.placement = Some(PlacedTaskGraphs {
+            task_graphs,
+            stage_profiles,
+            vds0,
+            boundary_sums,
+        });
+        Ok(())
+    }
+}
+
+/// Pass 3: compute inter-stage activation traffic and the bridge
+/// collectives between TaskGraphs of different parallelism (Figs. 7-9).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BridgeInsertion;
+
+impl PlannerPass for BridgeInsertion {
+    fn id(&self) -> PassId {
+        PassId::BridgeInsertion
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let ir = cx.ir;
+        let d = state
+            .degrees
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::DegreeInference, self.id()))?;
+        let p = state
+            .placement
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::Placement, self.id()))?;
+        let num_stages = p.task_graphs.len();
+
+        // Inter-stage boundary bytes per micro batch (at the first group's
+        // batch; groups are symmetric by construction).
+        let mut send_bytes = Vec::with_capacity(num_stages);
+        for (tg_idx, tg) in p.task_graphs.iter().enumerate() {
+            let boundary: u64 = match &p.boundary_sums {
+                Some(v) => v[tg_idx],
+                None => tg
+                    .exit_tensors(&ir.graph)
+                    .iter()
+                    .map(|(_, bytes)| bytes)
+                    .sum(),
+            };
+            let micro_scale = if ir.global_batch > 0 {
+                d.group_batches[0] as f64 / (d.num_micro as f64 * ir.global_batch as f64)
+            } else {
+                0.0
+            };
+            send_bytes.push(if tg_idx + 1 < num_stages {
+                (boundary as f64 * micro_scale) as u64
+            } else {
+                0
+            });
+        }
+
+        // Bridges between consecutive TaskGraphs (only meaningful outside
+        // strict stage→stage pipelines, where the pattern is Identity
+        // anyway).
+        let mut bridges = Vec::new();
+        for i in 0..num_stages.saturating_sub(1) {
+            let (a, b) = (&p.task_graphs[i], &p.task_graphs[i + 1]);
+            let deg_a = p.vds0[i].num_gpus();
+            let deg_b = p.vds0[i + 1].num_gpus();
+            // Same virtual device at equal degree: the tensor is already
+            // distributed exactly as the consumer expects (the MoE layout —
+            // replica output feeds the co-located shard directly; the split
+            // pattern's own AllToAll performs any redistribution), so the
+            // Gather/Partition pair fuses away entirely (Fig. 8).
+            if deg_a == deg_b && p.vds0[i] == p.vds0[i + 1] {
+                continue;
+            }
+            let chain = connect(a.innermost(), deg_a, b.innermost(), deg_b);
+            if chain.is_empty() {
+                continue;
+            }
+            let boundary: u64 = match &p.boundary_sums {
+                Some(v) => v[i],
+                None => a.exit_tensors(&ir.graph).iter().map(|(_, b)| b).sum(),
+            };
+            let micro_scale =
+                d.group_batches[0] as f64 / (d.num_micro as f64 * ir.global_batch.max(1) as f64);
+            let moved = (chain_bytes(&chain, boundary) as f64 * micro_scale) as u64;
+            if moved == 0 {
+                continue;
+            }
+            for (g, group) in d.groups.iter().enumerate() {
+                let offset = group[0] - d.groups[0][0];
+                let mut union: Vec<usize> = p.vds0[i]
+                    .gpu_ids()
+                    .iter()
+                    .chain(p.vds0[i + 1].gpu_ids())
+                    .map(|&id| id + offset)
+                    .collect();
+                union.sort_unstable();
+                union.dedup();
+                bridges.push((
+                    i + 1,
+                    CollectiveTask {
+                        kind: Collective::Broadcast,
+                        group: union,
+                        bytes: moved,
+                        label: format!("bridge tg{i}→tg{} (replica {g})", i + 1),
+                        stage: Some(i + 1),
+                    },
+                ));
+            }
+        }
+
+        state.bridged = Some(BridgedPlan {
+            send_bytes,
+            bridges,
+        });
+        Ok(())
+    }
+}
+
+/// Pass 4: hardware-aware load balancing — per-device batch/shard
+/// assignment for every TaskGraph on every plan replica, plus gradient-sync
+/// groups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Balance;
+
+impl PlannerPass for Balance {
+    fn id(&self) -> PassId {
+        PassId::Balance
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let (ir, cluster, config) = (cx.ir, cx.cluster, cx.config);
+        let d = state
+            .degrees
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::DegreeInference, self.id()))?;
+        let p = state
+            .placement
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::Placement, self.id()))?;
+        let br = state
+            .bridged
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::BridgeInsertion, self.id()))?;
+        let num_stages = p.task_graphs.len();
+
+        let mut stages: Vec<PlannedStage> = Vec::with_capacity(num_stages);
+        let mut grad_groups: Vec<(String, Vec<usize>, u64, usize)> = Vec::new();
+
+        for (tg_idx, tg) in p.task_graphs.iter().enumerate() {
+            let profile = match &p.stage_profiles {
+                Some(ps) => ps[tg_idx].clone(),
+                None => tg.profile(&ir.graph, ir.global_batch.max(1)),
+            };
+            let mut devices = Vec::new();
+            let mut collectives = Vec::new();
+
+            for (g, group) in d.groups.iter().enumerate() {
+                let offset = group[0];
+                let vd_gpus: Vec<usize> = p.vds0[tg_idx]
+                    .gpu_ids()
+                    .iter()
+                    .map(|&id| id - d.groups[0][0] + offset)
+                    .collect();
+                for &id in &vd_gpus {
+                    if !group.contains(&id) {
+                        return Err(PlanError::BadDeviceAssignment(format!(
+                            "virtual device GPU {id} outside plan replica {g}"
+                        )));
+                    }
+                }
+                plan_taskgraph(
+                    PlanTgArgs {
+                        ir,
+                        cluster,
+                        config,
+                        tg,
+                        profile: &profile,
+                        vd_gpus: &vd_gpus,
+                        group_batch: d.group_batches[g],
+                        num_micro: d.num_micro,
+                        stage_index: tg_idx,
+                        num_stages,
+                        gpipe: d.gpipe,
+                        outer_dp: d.outer_dp,
+                    },
+                    &mut devices,
+                    &mut collectives,
+                )?;
+            }
+
+            // Gradient-sync groups: GPUs at the same (replica/shard)
+            // position across plan replicas, or across DP replicas within a
+            // group.
+            build_grad_groups(
+                tg,
+                &profile,
+                &p.vds0[tg_idx],
+                &d.groups,
+                config,
+                &mut grad_groups,
+            );
+
+            let dp_degree = match tg.strategies.as_slice() {
+                [] | [Primitive::Replica] => p.vds0[tg_idx].num_gpus() * d.outer_dp,
+                [Primitive::Split] => d.outer_dp,
+                _ => d.outer_dp,
+            }
+            .max(1);
+            stages.push(PlannedStage {
+                index: tg_idx,
+                devices,
+                send_bytes_per_micro: br.send_bytes[tg_idx],
+                collectives_per_micro: collectives,
+                param_bytes: profile.param_bytes,
+                dp_degree,
+            });
+        }
+
+        state.balanced = Some(BalancedStages {
+            stages,
+            grad_groups,
+        });
+        Ok(())
+    }
+}
+
+/// Pass 5: assemble the final [`ExecutionPlan`] — append bridge collectives
+/// to their target stages, materialize gradient syncs, validate against the
+/// cluster.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Schedule;
+
+impl PlannerPass for Schedule {
+    fn id(&self) -> PassId {
+        PassId::Schedule
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let d = state
+            .degrees
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::DegreeInference, self.id()))?;
+        let br = state
+            .bridged
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::BridgeInsertion, self.id()))?;
+        let bal = state
+            .balanced
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::Balance, self.id()))?;
+
+        // Clone rather than drain: the Balance artifact stays intact so a
+        // later Schedule-only re-run (e.g. a link-bandwidth delta) can
+        // reschedule from it.
+        let mut stages = bal.stages.clone();
+        for (target, task) in &br.bridges {
+            stages[*target].collectives_per_micro.push(task.clone());
+        }
+
+        let grad_syncs = bal
+            .grad_groups
+            .iter()
+            .filter(|(_, group, _, _)| group.len() > 1)
+            .map(|(label, group, bytes, stage)| CollectiveTask {
+                kind: Collective::AllReduce,
+                group: group.clone(),
+                bytes: *bytes,
+                label: label.clone(),
+                stage: Some(*stage),
+            })
+            .collect();
+
+        let plan = ExecutionPlan {
+            name: cx.ir.graph.name().to_string(),
+            global_batch: cx.ir.global_batch,
+            num_micro_batches: d.num_micro,
+            stages,
+            grad_syncs,
+            training: cx.config.training,
+            efficiency: cx.config.efficiency,
+        };
+        plan.validate(cx.cluster)?;
+        state.plan = Some(plan);
+        Ok(())
+    }
+}
+
+/// An ordered sequence of [`PlannerPass`]es.
+pub struct CompilePipeline {
+    passes: Vec<Box<dyn PlannerPass + Send + Sync>>,
+}
+
+impl CompilePipeline {
+    /// The standard five-pass Whale pipeline.
+    pub fn standard() -> CompilePipeline {
+        CompilePipeline {
+            passes: vec![
+                Box::new(DegreeInference),
+                Box::new(Placement),
+                Box::new(BridgeInsertion),
+                Box::new(Balance),
+                Box::new(Schedule),
+            ],
+        }
+    }
+
+    /// Build a pipeline from an explicit pass list (for swapping or
+    /// instrumenting individual passes). Passes must be in strictly
+    /// ascending [`PassId`] order.
+    pub fn with_passes(passes: Vec<Box<dyn PlannerPass + Send + Sync>>) -> Result<CompilePipeline> {
+        for w in passes.windows(2) {
+            if w[0].id() >= w[1].id() {
+                return Err(PlanError::BadConfig(format!(
+                    "pipeline passes out of order: `{}` before `{}`",
+                    w[0].id().name(),
+                    w[1].id().name()
+                )));
+            }
+        }
+        Ok(CompilePipeline { passes })
+    }
+
+    /// Pass ids in execution order.
+    pub fn pass_ids(&self) -> Vec<PassId> {
+        self.passes.iter().map(|p| p.id()).collect()
+    }
+
+    /// Run every pass from scratch on a fresh state.
+    pub fn run(&self, cx: &PassContext<'_>) -> Result<CompileState> {
+        let mut state = CompileState::default();
+        self.run_from(cx, &mut state, PassId::DegreeInference)?;
+        Ok(state)
+    }
+
+    /// Invalidate `start` and everything after it, then re-run those passes
+    /// on `state`, reusing every earlier artifact as-is.
+    pub fn run_from(
+        &self,
+        cx: &PassContext<'_>,
+        state: &mut CompileState,
+        start: PassId,
+    ) -> Result<()> {
+        state.invalidate_from(start);
+        for pass in &self.passes {
+            if pass.id() >= start {
+                pass.run(cx, state)?;
+                state.passes_run.push(pass.id());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CompilePipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompilePipeline")
+            .field("passes", &self.pass_ids())
+            .finish()
+    }
+}
+
+/// Compile `ir` onto `cluster` with the standard pipeline, returning the
+/// full artifact state (use [`crate::plan`] if only the plan is needed).
+pub fn compile(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<CompileState> {
+    CompilePipeline::standard().run(&PassContext {
+        ir,
+        cluster,
+        config,
+    })
+}
+
+/// The earliest pass a [`ClusterDelta`] invalidates.
+///
+/// The matrix (see DESIGN.md §8):
+///
+/// * **structural** deltas (GPU added/removed) change the device set, so
+///   degree inference, placement — everything — must re-run;
+/// * **rate** deltas (degrade/restore) keep the device set; the elastic
+///   approximation keeps stage cuts and bridges and re-runs Balance so
+///   batch/shard assignments track the new throughput, then Schedule;
+/// * **link-bandwidth** deltas change no quantity the planner writes into
+///   the plan (bandwidth is consumed by the simulator/cost models), so only
+///   the final assembly+validation re-runs.
+pub fn invalidation_start(delta: &ClusterDelta) -> PassId {
+    match delta {
+        ClusterDelta::GpuAdded { .. } | ClusterDelta::GpuRemoved { .. } => PassId::DegreeInference,
+        ClusterDelta::GpuDegraded { .. } | ClusterDelta::GpuRestored { .. } => PassId::Balance,
+        ClusterDelta::LinkBandwidth { .. } => PassId::Schedule,
+    }
+}
+
+/// Re-plan after a cluster change, re-running only the invalidated passes.
+///
+/// `state` must come from a prior [`compile`]/[`replan`] of the same `ir`
+/// and `config`; `cluster` is the **post-delta** cluster (apply the delta
+/// with [`Cluster::apply_delta`] first). For a degradation this re-runs
+/// Balance + Schedule on the cached bridged plan — measurably cheaper than
+/// a cold plan (see `replan_bench`).
+pub fn replan(
+    ir: &WhaleIr,
+    cluster: &Cluster,
+    config: &PlannerConfig,
+    state: &mut CompileState,
+    delta: &ClusterDelta,
+) -> Result<ExecutionPlan> {
+    let cx = PassContext {
+        ir,
+        cluster,
+        config,
+    };
+    CompilePipeline::standard().run_from(&cx, state, invalidation_start(delta))?;
+    Ok(state
+        .plan
+        .clone()
+        .expect("run_from always re-runs Schedule, which sets `plan`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan_reference;
+    use whale_graph::models;
+    use whale_ir::Annotator;
+
+    fn bert_ir() -> WhaleIr {
+        let g = models::bert_base(32, 64).unwrap();
+        Annotator::new(g, 32)
+            .auto_pipeline(4)
+            .unwrap()
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn pipeline_matches_reference_plan() {
+        let ir = bert_ir();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let a = crate::planner::plan(&ir, &cluster, &cfg).unwrap();
+        let b = plan_reference(&ir, &cluster, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compile_exposes_all_artifacts() {
+        let ir = bert_ir();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let state = compile(&ir, &cluster, &cfg).unwrap();
+        assert!(state.degrees.is_some());
+        assert!(state.placement.is_some());
+        assert!(state.bridged.is_some());
+        assert!(state.balanced.is_some());
+        assert!(state.plan.is_some());
+        assert_eq!(state.passes_run, PassId::ALL.to_vec());
+        let p = state.placement.as_ref().unwrap();
+        assert_eq!(p.task_graphs.len(), 4);
+        assert_eq!(p.vds0.len(), 4);
+    }
+
+    #[test]
+    fn degradation_replan_matches_cold_plan_structure() {
+        let ir = bert_ir();
+        let mut cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut state = compile(&ir, &cluster, &cfg).unwrap();
+        let cold_stages = state.plan.as_ref().unwrap().stages.len();
+
+        let delta = ClusterDelta::GpuDegraded { id: 1, scale: 0.5 };
+        cluster.apply_delta(delta).unwrap();
+        let replanned = replan(&ir, &cluster, &cfg, &mut state, &delta).unwrap();
+
+        // Structure is kept (elastic approximation), only Balance+Schedule
+        // re-ran.
+        assert_eq!(replanned.stages.len(), cold_stages);
+        assert_eq!(
+            &state.passes_run[PassId::ALL.len()..],
+            &[PassId::Balance, PassId::Schedule]
+        );
+        replanned.validate(&cluster).unwrap();
+    }
+
+    #[test]
+    fn structural_delta_reruns_everything() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let mut cluster = Cluster::parse("1x(4xV100)").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut state = compile(&ir, &cluster, &cfg).unwrap();
+
+        let delta = ClusterDelta::GpuRemoved { id: 3 };
+        cluster.apply_delta(delta).unwrap();
+        let replanned = replan(&ir, &cluster, &cfg, &mut state, &delta).unwrap();
+        assert_eq!(replanned.stages[0].devices.len(), 3);
+        assert_eq!(&state.passes_run[PassId::ALL.len()..], &PassId::ALL);
+        // A full re-run equals a cold plan on the new cluster exactly.
+        assert_eq!(
+            replanned,
+            crate::planner::plan(&ir, &cluster, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn link_delta_reruns_schedule_only() {
+        let ir = bert_ir();
+        let mut cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let mut state = compile(&ir, &cluster, &cfg).unwrap();
+        let before = state.plan.clone().unwrap();
+
+        let delta = ClusterDelta::LinkBandwidth {
+            kind: whale_hardware::LinkKind::Network,
+            bytes_per_sec: 1.25e9,
+        };
+        cluster.apply_delta(delta).unwrap();
+        let after = replan(&ir, &cluster, &cfg, &mut state, &delta).unwrap();
+        assert_eq!(&state.passes_run[PassId::ALL.len()..], &[PassId::Schedule]);
+        // The plan itself carries no bandwidths — identical output; the
+        // simulator picks the new rates up from the cluster.
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn out_of_order_pipeline_rejected() {
+        let err =
+            CompilePipeline::with_passes(vec![Box::new(Placement), Box::new(DegreeInference)])
+                .unwrap_err();
+        assert!(matches!(err, PlanError::BadConfig(_)));
+    }
+
+    #[test]
+    fn pass_order_is_total() {
+        for w in PassId::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

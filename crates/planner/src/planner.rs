@@ -90,8 +90,61 @@ impl Default for PlannerConfig {
     }
 }
 
-/// Plan `ir` onto `cluster`.
+impl PlannerConfig {
+    /// Stable content fingerprint over every option, for plan-cache keys.
+    pub fn fingerprint(&self) -> whale_fp::Fingerprint {
+        let mut fp = whale_fp::Fingerprinter::new("planner-config");
+        fp.push_fingerprint(self.training.fingerprint())
+            .push_f64(self.efficiency)
+            .push_bool(self.hardware_aware)
+            .push_usize(self.outer_dp)
+            .push_tag(match self.schedule {
+                ScheduleKind::BackwardFirst => 0,
+                ScheduleKind::GPipe => 1,
+                ScheduleKind::AsyncNoFlush => 2,
+            });
+        match &self.devices {
+            DeviceAssignment::Auto => {
+                fp.push_tag(0);
+            }
+            DeviceAssignment::PerTaskGraph(vds) => {
+                fp.push_tag(1).push_len(vds.len());
+                for vd in vds {
+                    fp.push_len(vd.num_gpus());
+                    for &id in vd.gpu_ids() {
+                        fp.push_usize(id);
+                    }
+                }
+            }
+        }
+        fp.push_bool(self.memoize);
+        fp.finish()
+    }
+}
+
+/// Plan `ir` onto `cluster` by running the staged compile pipeline
+/// (`DegreeInference → Placement → BridgeInsertion → Balance → Schedule`).
+///
+/// Produces output bit-identical to the retained monolithic
+/// [`plan_reference`]; the pipeline exists so passes can be cached and
+/// selectively re-run (see [`crate::pipeline`] and [`crate::cache`]).
 pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<ExecutionPlan> {
+    let state = crate::pipeline::compile(ir, cluster, config)?;
+    Ok(state
+        .plan
+        .expect("compile() runs the Schedule pass, which always sets `plan`"))
+}
+
+/// The pre-pipeline monolithic planner, retained verbatim as the golden
+/// reference for the pass decomposition: `plan()` must produce bit-identical
+/// output (asserted by the `pipeline_goldens` integration test across the
+/// model zoo × cluster matrix). Not part of the public API surface.
+#[doc(hidden)]
+pub fn plan_reference(
+    ir: &WhaleIr,
+    cluster: &Cluster,
+    config: &PlannerConfig,
+) -> Result<ExecutionPlan> {
     ir.validate()?;
     let num_gpus = cluster.num_gpus();
     if num_gpus == 0 {
@@ -346,7 +399,10 @@ pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<E
 /// order-independent. Returns `None` when TaskGraphs share ops (the
 /// per-TaskGraph scan is then not expressible as one labeling) so the
 /// caller falls back to the direct computation.
-fn stage_boundary_bytes(graph: &whale_graph::Graph, task_graphs: &[TaskGraph]) -> Option<Vec<u64>> {
+pub(crate) fn stage_boundary_bytes(
+    graph: &whale_graph::Graph,
+    task_graphs: &[TaskGraph],
+) -> Option<Vec<u64>> {
     const UNASSIGNED: u32 = u32::MAX;
     let mut stage_of = vec![UNASSIGNED; graph.len()];
     for (tg_idx, tg) in task_graphs.iter().enumerate() {
@@ -378,7 +434,7 @@ fn stage_boundary_bytes(graph: &whale_graph::Graph, task_graphs: &[TaskGraph]) -
 
 /// Auto-partition a pipeline into one stage per GPU of a plan replica
 /// (Example 4: "the stage number is set to the number of virtual devices").
-fn auto_stages(
+pub(crate) fn auto_stages(
     ir: &WhaleIr,
     cluster: &Cluster,
     config: &PlannerConfig,
@@ -410,7 +466,7 @@ fn auto_stages(
 }
 
 /// Resolve per-TaskGraph virtual devices inside plan replica 0.
-fn resolve_devices(
+pub(crate) fn resolve_devices(
     config: &PlannerConfig,
     group: &[usize],
     task_graphs: &[TaskGraph],
@@ -460,25 +516,25 @@ fn resolve_devices(
     }
 }
 
-struct PlanTgArgs<'a> {
-    ir: &'a WhaleIr,
-    cluster: &'a Cluster,
-    config: &'a PlannerConfig,
-    tg: &'a TaskGraph,
-    profile: &'a CostProfile,
-    vd_gpus: &'a [usize],
-    group_batch: usize,
-    num_micro: usize,
-    stage_index: usize,
-    num_stages: usize,
-    gpipe: bool,
+pub(crate) struct PlanTgArgs<'a> {
+    pub(crate) ir: &'a WhaleIr,
+    pub(crate) cluster: &'a Cluster,
+    pub(crate) config: &'a PlannerConfig,
+    pub(crate) tg: &'a TaskGraph,
+    pub(crate) profile: &'a CostProfile,
+    pub(crate) vd_gpus: &'a [usize],
+    pub(crate) group_batch: usize,
+    pub(crate) num_micro: usize,
+    pub(crate) stage_index: usize,
+    pub(crate) num_stages: usize,
+    pub(crate) gpipe: bool,
     /// Plan-level DP degree (number of plan replicas) — combined with the
     /// in-group replica count it gives ZeRO its shard count.
-    outer_dp: usize,
+    pub(crate) outer_dp: usize,
 }
 
 /// Plan one TaskGraph on one plan replica's virtual device.
-fn plan_taskgraph(
+pub(crate) fn plan_taskgraph(
     a: PlanTgArgs<'_>,
     devices: &mut Vec<DeviceWork>,
     collectives: &mut Vec<CollectiveTask>,
@@ -598,7 +654,7 @@ fn plan_taskgraph(
 }
 
 /// Shard one TaskGraph over `shard_gpus` processing `batch` samples.
-fn shard_onto(
+pub(crate) fn shard_onto(
     a: &PlanTgArgs<'_>,
     shard_gpus: &[usize],
     batch: usize,
@@ -653,7 +709,7 @@ fn shard_onto(
 
 /// Pick nesting degrees `(split, replica)` with `split·replica = k`,
 /// preferring the most balanced divisor pair.
-fn nested_degrees(k: usize) -> (usize, usize) {
+pub(crate) fn nested_degrees(k: usize) -> (usize, usize) {
     let mut best = (k, 1);
     let mut best_gap = k;
     for s in 1..=k {
@@ -670,7 +726,7 @@ fn nested_degrees(k: usize) -> (usize, usize) {
 }
 
 /// Assemble gradient-sync groups for one TaskGraph.
-fn build_grad_groups(
+pub(crate) fn build_grad_groups(
     tg: &TaskGraph,
     profile: &CostProfile,
     vd0: &VirtualDevice,

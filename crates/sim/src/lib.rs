@@ -36,6 +36,7 @@ pub mod error;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod replan;
 pub mod rng;
 pub mod schedule;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use error::{Result, SimError};
 pub use json::JsonValue;
 pub use metrics::{GpuStat, StepStats};
 pub use queue::{replay, synthetic_trace, AllocPolicy, Job, JobOutcome, QueueStats};
+pub use replan::{check_replan, ReplanReport};
 pub use rng::SplitMix64;
 pub use schedule::{data_deps, stage_order, TaskKind};
 pub use trace::{ascii_timeline, chrome_trace, memory_profile};

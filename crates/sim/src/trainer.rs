@@ -106,8 +106,15 @@ impl TrainingRun {
     }
 }
 
-/// Simulate training until `total_samples`, recording `checkpoints`
+/// Simulate training until `total_samples`, recording up to `checkpoints`
 /// log-spaced curve points. Deterministic for a fixed `seed`.
+///
+/// Checkpoint steps are strictly increasing: when the run is short enough
+/// that log spacing rounds several checkpoints onto the same step (e.g.
+/// 16 checkpoints over 10 steps), the duplicates are skipped rather than
+/// emitted twice, so `points` may be shorter than `checkpoints`. Noise is
+/// drawn only for emitted points, keeping a given `(seed, curve)` pair
+/// stable regardless of how many candidates collapsed.
 pub fn simulate_training(
     plan: &ExecutionPlan,
     cluster: &Cluster,
@@ -128,6 +135,9 @@ pub fn simulate_training(
         // Log-spaced steps from 1 to total_steps.
         let frac = i as f64 / (n - 1) as f64;
         let s = (total_steps as f64).powf(frac).round().max(1.0) as u64;
+        if points.last().is_some_and(|p: &TrainPoint| p.step >= s) {
+            continue;
+        }
         let samples = s as f64 * per_step;
         let noise: f64 = rng.range_f64(-1.0, 1.0) * loss.noise;
         points.push(TrainPoint {
@@ -187,5 +197,32 @@ mod tests {
             assert!(w[1].samples >= w[0].samples);
         }
         assert!(run1.final_loss() < run1.points[0].loss);
+    }
+
+    #[test]
+    fn short_runs_deduplicate_checkpoints() {
+        let g = models::resnet50(64).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("8xV100").unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let lm = LossModel::for_params(25e6);
+        // 10 steps (640 samples / batch 64) but 16 requested checkpoints:
+        // log spacing rounds several onto the same step.
+        let run =
+            simulate_training(&p, &cluster, &SimConfig::default(), &lm, 640.0, 16, 7).unwrap();
+        assert!(run.points.len() <= 16);
+        for w in run.points.windows(2) {
+            assert!(w[1].step > w[0].step, "duplicate checkpoint: {w:?}");
+        }
+        assert_eq!(run.points.first().unwrap().step, 1);
+        assert_eq!(run.points.last().unwrap().step, 10);
+        // Dedup keeps determinism.
+        let again =
+            simulate_training(&p, &cluster, &SimConfig::default(), &lm, 640.0, 16, 7).unwrap();
+        assert_eq!(run, again);
     }
 }

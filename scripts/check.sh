@@ -8,3 +8,4 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
+cargo clippy --workspace --all-targets --offline -- -D warnings

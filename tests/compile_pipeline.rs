@@ -1,0 +1,242 @@
+//! The staged compile pipeline against the monolithic reference planner.
+//!
+//! The PR that introduced the pass pipeline (DegreeInference → Placement →
+//! BridgeInsertion → Balance → Schedule) kept the original single-function
+//! planner as `plan_reference`; these goldens pin bit-identical output
+//! across the model zoo × cluster matrix. The cache/replan tests pin the
+//! operational claims: a content hit runs zero passes, and a delta-replan
+//! re-runs only the invalidated suffix while agreeing with a cold plan
+//! wherever the elastic approximation promises it.
+
+use whale::{models, strategies, Cluster, ClusterDelta, PlannerConfig, ScheduleKind, Session};
+use whale_planner::{digest, plan, planner::plan_reference, CompilePipeline, PassId, PlanCache};
+use whale_sim::{check_replan, SimConfig};
+
+type IrCase = (&'static str, whale::WhaleIr);
+
+fn model_zoo() -> Vec<IrCase> {
+    vec![
+        (
+            "resnet50/dp",
+            strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap(),
+        ),
+        (
+            "bert_base/dp",
+            strategies::data_parallel(models::bert_base(128, 64).unwrap(), 128).unwrap(),
+        ),
+        (
+            "bert_large/pipeline_dp",
+            strategies::pipeline_with_dp(models::bert_large(64, 64).unwrap(), 64, 8).unwrap(),
+        ),
+        (
+            "gpt2_xl/pipeline",
+            strategies::pipeline_only(models::gpt2_xl(32, 64).unwrap(), 32, 8).unwrap(),
+        ),
+        (
+            "t5_large/pipeline_dp",
+            strategies::pipeline_with_dp(models::t5_large(32, 64, 64).unwrap(), 32, 8).unwrap(),
+        ),
+        (
+            "m6_10b/pipeline_dp",
+            strategies::pipeline_with_dp(models::m6_10b(16).unwrap(), 16, 4).unwrap(),
+        ),
+        (
+            "moe_hybrid",
+            strategies::moe_hybrid(models::m6_moe(models::MoeConfig::tiny(), 64).unwrap(), 64)
+                .unwrap(),
+        ),
+        (
+            "imagenet/split_classifier",
+            strategies::feature_dp_classifier_split(
+                models::imagenet_100k(64).unwrap(),
+                64,
+                "fc_big",
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+const CLUSTERS: &[&str] = &[
+    "4xV100",
+    "8xV100+8xP100",
+    "2x(8xV100)+2x(8xP100)",
+    "2x(4xV100)",
+];
+
+fn configs() -> Vec<(&'static str, PlannerConfig)> {
+    let base = PlannerConfig::default();
+    vec![
+        ("default", base.clone()),
+        (
+            "baseline",
+            PlannerConfig {
+                hardware_aware: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "gpipe",
+            PlannerConfig {
+                schedule: ScheduleKind::GPipe,
+                ..base.clone()
+            },
+        ),
+        (
+            "unmemoized",
+            PlannerConfig {
+                memoize: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn pipeline_matches_reference_planner_bit_for_bit() {
+    let mut compared = 0;
+    for cluster_spec in CLUSTERS {
+        let cluster = Cluster::parse(cluster_spec).unwrap();
+        for (name, ir) in &model_zoo() {
+            for (cfg_name, config) in &configs() {
+                let label = format!("{name} @ {cluster_spec} [{cfg_name}]");
+                let reference = plan_reference(ir, &cluster, config);
+                let staged = plan(ir, &cluster, config);
+                match (reference, staged) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "{label}: staged pipeline diverged");
+                        assert_eq!(digest(&a), digest(&b), "{label}: digest diverged");
+                        compared += 1;
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.to_string(), b.to_string(), "{label}: errors diverged");
+                    }
+                    (a, b) => panic!("{label}: one planner failed: ref {a:?} vs staged {b:?}"),
+                }
+            }
+        }
+    }
+    assert!(compared >= 100, "matrix shrank: only {compared} plans");
+}
+
+#[test]
+fn pass_order_is_declared_and_enforced() {
+    let ids = CompilePipeline::standard().pass_ids();
+    assert_eq!(
+        ids,
+        vec![
+            PassId::DegreeInference,
+            PassId::Placement,
+            PassId::BridgeInsertion,
+            PassId::Balance,
+            PassId::Schedule,
+        ]
+    );
+}
+
+#[test]
+fn cache_hit_runs_zero_passes_across_the_zoo() {
+    let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+    let config = PlannerConfig::default();
+    let mut cache = PlanCache::default();
+    for (name, ir) in &model_zoo() {
+        let cold = cache.plan(ir, &cluster, &config).unwrap();
+        let passes_after_miss = cache.stats().passes_run;
+        let hit = cache.plan(ir, &cluster, &config).unwrap();
+        assert_eq!(cold, hit, "{name}: cache returned a different plan");
+        assert_eq!(
+            cache.stats().passes_run,
+            passes_after_miss,
+            "{name}: a cache hit ran compile passes"
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.hits as usize, model_zoo().len());
+    assert_eq!(stats.misses as usize, model_zoo().len());
+}
+
+#[test]
+fn structural_replan_equals_cold_plan_on_the_new_cluster() {
+    let cluster = Cluster::parse("8xV100+8xP100").unwrap();
+    let config = PlannerConfig::default();
+    let ir = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+
+    let mut cache = PlanCache::default();
+    cache.plan(&ir, &cluster, &config).unwrap();
+    let (replanned, after) = cache
+        .replan(&ir, &cluster, &config, ClusterDelta::GpuRemoved { id: 15 })
+        .unwrap();
+    assert_eq!(after.num_gpus(), 15);
+    let cold = plan(&ir, &after, &config).unwrap();
+    assert_eq!(replanned, cold, "structural replan must re-run everything");
+}
+
+#[test]
+fn link_bandwidth_replan_keeps_the_plan_and_moves_the_simulation() {
+    use whale_hardware::LinkKind;
+    let ir = strategies::pipeline_with_dp(models::bert_large(64, 64).unwrap(), 64, 8).unwrap();
+    let mut s = Session::on_cluster("2x(4xV100)").unwrap();
+    let before_plan = s.plan(&ir).unwrap();
+    let before_sim = s.step_plan(&before_plan).unwrap();
+    let after_plan = s
+        .replan(
+            &ir,
+            ClusterDelta::LinkBandwidth {
+                kind: LinkKind::Network,
+                bytes_per_sec: 1e9,
+            },
+        )
+        .unwrap();
+    // Plans carry no bandwidths: the plan is unchanged, but simulating it on
+    // the updated cluster sees the slower network.
+    assert_eq!(before_plan, after_plan);
+    let after_sim = s.step_plan(&after_plan).unwrap();
+    assert!(
+        after_sim.stats.step_time > before_sim.stats.step_time,
+        "slower cross-node link must slow the simulated step"
+    );
+}
+
+#[test]
+fn session_replan_chain_stays_consistent() {
+    let ir = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+    let mut s = Session::on_cluster("8xV100+8xP100").unwrap();
+    let mut prev = s.plan(&ir).unwrap();
+    let deltas = vec![
+        ClusterDelta::GpuDegraded { id: 3, scale: 0.5 },
+        ClusterDelta::GpuDegraded { id: 9, scale: 0.7 },
+        ClusterDelta::GpuRestored { id: 3 },
+    ];
+    for delta in deltas {
+        let next = s.replan(&ir, delta).unwrap();
+        let report = check_replan(&prev, &next, s.cluster(), &SimConfig::default());
+        assert!(
+            report.is_consistent(),
+            "after {delta:?}: {:?}",
+            report.issues
+        );
+        prev = next;
+    }
+    let stats = s.cache_stats().unwrap();
+    assert_eq!(stats.misses, 1);
+    assert!(
+        stats.partial_hits >= 2,
+        "degradations should be partial hits"
+    );
+}
+
+#[test]
+fn replanned_cluster_state_is_a_pure_hit_afterwards() {
+    let ir = strategies::data_parallel(models::resnet50(256).unwrap(), 256).unwrap();
+    let mut s = Session::on_cluster("4xV100").unwrap();
+    s.plan(&ir).unwrap();
+    let replanned = s
+        .replan(&ir, ClusterDelta::GpuDegraded { id: 0, scale: 0.5 })
+        .unwrap();
+    // The replan seeded the cache under the post-delta key: planning again
+    // on the (now updated) session cluster is a pure hit.
+    let hits_before = s.cache_stats().unwrap().hits;
+    let again = s.plan(&ir).unwrap();
+    assert_eq!(replanned, again);
+    assert_eq!(s.cache_stats().unwrap().hits, hits_before + 1);
+}
