@@ -1,0 +1,162 @@
+//! Resilient runtime vs restart-from-scratch under injected faults.
+//!
+//! Scenario: the paper's heterogeneous testbed scaled to 32 GPUs
+//! (2×(8×V100) + 2×(8×P100)) trains through a deterministic fault trace —
+//! degradations, crashes, congestion, restores, joins — generated from
+//! MTBF/MTTR parameters and a fixed seed. Two runtimes consume the *same*
+//! trace:
+//!
+//! * **resilient** — `Session::train_resilient`: periodic checkpoints,
+//!   rollback to the last one, delta replanning through the plan cache's
+//!   invalidation fast path, full recompile only when verification fails;
+//! * **naive** — `Session::train_restart_baseline`: a static plan that
+//!   straggles through rate faults and restarts from sample zero on any
+//!   membership change.
+//!
+//! Both runs are pure simulation, so the comparison is deterministic and
+//! the metric is *goodput*: committed samples per wall-clock second. The
+//! acceptance target (resilient ≥ 1.5× naive, median across the model set)
+//! is asserted; the binary exits non-zero if it is missed. Writes
+//! `BENCH_faults.json` so later PRs can track the numbers.
+
+use whale::{
+    models, strategies, Cluster, LossModel, RecoveryPolicy, ResilientRun, Session, WhaleIr,
+};
+use whale_bench::{header, row};
+use whale_sim::json::{num, obj, s, JsonValue};
+use whale_sim::{FaultModel, FaultTrace};
+
+const CLUSTER: &str = "2x(8xV100)+2x(8xP100)";
+const TARGET_RATIO: f64 = 1.5;
+const TOTAL_SAMPLES: f64 = 2e6;
+
+fn run_json(r: &ResilientRun) -> JsonValue {
+    let st = &r.stats;
+    obj(vec![
+        ("goodput", num(st.goodput)),
+        ("raw_throughput", num(st.raw_throughput)),
+        ("availability", num(st.availability)),
+        ("wall_seconds", num(st.wall_seconds)),
+        ("downtime_seconds", num(st.downtime_seconds)),
+        ("samples_lost", num(st.samples_lost)),
+        ("replans_cached", num(st.replans_cached as f64)),
+        ("replans_full", num(st.replans_full as f64)),
+        ("faults", num(st.faults.len() as f64)),
+    ])
+}
+
+fn main() {
+    header(
+        "fault_bench",
+        "resilient (checkpoint + delta replan) vs restart-from-scratch goodput",
+    );
+
+    let cluster = Cluster::parse(CLUSTER).expect("cluster");
+    let model = FaultModel {
+        mtbf_samples: 3e5,
+        mttr_samples: 1e5,
+        seed: 42,
+    };
+    let policy = RecoveryPolicy {
+        checkpoint_interval: 5e4,
+        ..RecoveryPolicy::default()
+    };
+    // Horizon past the target: rollbacks push the processed-samples axis
+    // beyond the committed total, and the naive baseline re-earns far more.
+    let trace = FaultTrace::generate(&cluster, &model, TOTAL_SAMPLES * 4.0);
+    row("cluster", CLUSTER);
+    row(
+        "trace",
+        format!(
+            "{} event(s), mtbf {:.0}, mttr {:.0}, seed {}",
+            trace.len(),
+            model.mtbf_samples,
+            model.mttr_samples,
+            model.seed
+        ),
+    );
+
+    // Strategies must stay plannable on *any* surviving GPU count — crashes
+    // and joins change the fleet size, and `pipeline_with_dp` pins a replica
+    // count that 31 GPUs cannot satisfy. dp and pipeline adapt.
+    type Case = (&'static str, f64, fn() -> WhaleIr);
+    let zoo: Vec<Case> = vec![
+        ("resnet50/dp", 25e6, || {
+            strategies::data_parallel(models::resnet50(256).expect("build"), 256).expect("annotate")
+        }),
+        ("bert_large/dp", 340e6, || {
+            strategies::data_parallel(models::bert_large(128, 128).expect("build"), 128)
+                .expect("annotate")
+        }),
+        ("gpt2_xl/pipeline", 1.5e9, || {
+            strategies::pipeline_only(models::gpt2_xl(64, 128).expect("build"), 64, 8)
+                .expect("annotate")
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for (name, params, build) in &zoo {
+        let ir = build();
+        let loss = LossModel::for_params(*params);
+
+        let mut resilient_session = Session::new(cluster.clone());
+        let resilient = resilient_session
+            .train_resilient(&ir, &loss, TOTAL_SAMPLES, &trace, &policy)
+            .expect("resilient run");
+        let mut naive_session = Session::new(cluster.clone());
+        let naive = naive_session
+            .train_restart_baseline(&ir, &loss, TOTAL_SAMPLES, &trace, &policy)
+            .expect("baseline run");
+
+        let ratio = resilient.stats.goodput / naive.stats.goodput;
+        row(
+            name,
+            format!(
+                "resilient {:.0} vs naive {:.0} samples/s  ({ratio:.2}x, lost {:.0} vs {:.0})",
+                resilient.stats.goodput,
+                naive.stats.goodput,
+                resilient.stats.samples_lost,
+                naive.stats.samples_lost
+            ),
+        );
+        ratios.push(ratio);
+        rows.push(obj(vec![
+            ("name", s(*name)),
+            ("resilient", run_json(&resilient)),
+            ("naive", run_json(&naive)),
+            ("goodput_ratio", num(ratio)),
+        ]));
+    }
+
+    let mut sorted = ratios.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let met = median >= TARGET_RATIO;
+    row(
+        "median goodput ratio",
+        format!("{median:.2}x{}", if met { "" } else { "  << below target" }),
+    );
+
+    let doc = obj(vec![
+        ("bench", s("fault_bench")),
+        ("cluster", s(CLUSTER)),
+        ("total_samples", num(TOTAL_SAMPLES)),
+        ("mtbf_samples", num(model.mtbf_samples)),
+        ("mttr_samples", num(model.mttr_samples)),
+        ("seed", num(model.seed as f64)),
+        ("trace_events", num(trace.len() as f64)),
+        ("models", JsonValue::Array(rows)),
+        ("median_goodput_ratio", num(median)),
+        ("target_ratio", num(TARGET_RATIO)),
+        ("targets_met", JsonValue::Bool(met)),
+    ]);
+    let path = "BENCH_faults.json";
+    std::fs::write(path, doc.to_string_pretty() + "\n").expect("write BENCH_faults.json");
+    row("artifact", path);
+
+    assert!(
+        met,
+        "resilient goodput must be >= {TARGET_RATIO}x the restart baseline (median {median:.2}x)"
+    );
+}

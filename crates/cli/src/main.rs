@@ -15,12 +15,12 @@ mod zoo;
 
 use args::Args;
 use whale::{
-    auto_parallel, strategies, ClusterDelta, Optimizer, ScheduleKind, Session, SimConfig,
-    TrainingConfig, WhaleIr, ZeroStage,
+    auto_parallel, strategies, ClusterDelta, Optimizer, RecoveryPolicy, ScheduleKind, Session,
+    SimConfig, TrainingConfig, WhaleIr, ZeroStage,
 };
 use whale_hardware::GpuModel;
 use whale_planner::PlanKey;
-use whale_sim::{ascii_timeline, check_replan};
+use whale_sim::{ascii_timeline, check_replan, FaultModel, FaultTrace, LossModel};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +42,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         Some("plan") => cmd_plan(&args, false),
         Some("simulate") => cmd_plan(&args, true),
         Some("compile") => cmd_compile(&args),
+        Some("faults") => cmd_faults(&args),
         Some("auto") => cmd_auto(&args),
         Some("dot") => cmd_dot(&args),
         Some("inspect") => cmd_inspect(&args),
@@ -66,6 +67,7 @@ COMMANDS:
   plan       build and print a distributed execution plan
   simulate   plan, then simulate one training step (adds a timeline)
   compile    run the staged compile pipeline, show cache keys and counters
+  faults     train under injected faults, printing the recovery timeline
   auto       explore strategies automatically and pick the fastest
   dot        emit the annotated IR as Graphviz DOT (Fig. 6 style)
   inspect    print a model's op/parameter/FLOP statistics
@@ -87,8 +89,18 @@ COMMON OPTIONS:
 COMPILE OPTIONS:
   --repeat N         plan N times through the cache (default 2)
   --degrade ID:S     then degrade GPU ID to throughput scale S and replan,
-                     re-running only the invalidated passes
+                     re-running only the invalidated passes; exits non-zero
+                     if the replanned plan fails the consistency check
   --cache-stats      print plan-cache hit/miss/partial-hit counters
+
+FAULTS OPTIONS:
+  --samples N          committed samples to train to                 [1e6]
+  --mtbf N             mean samples between faults                   [2e5]
+  --mttr N             mean samples until a transient fault heals    [5e4]
+  --seed N             fault-trace seed (same seed = same timeline)  [0]
+  --checkpoint-every N committed samples between checkpoints         [5e4]
+  --min-capacity F     abort below this fraction of starting FLOPS   [0.25]
+  --json               emit RecoveryStats as JSON instead of text
 "
     );
 }
@@ -266,16 +278,14 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
             .filter(|(o, n)| o.gpu == n.gpu && o.samples_per_step != n.samples_per_step)
             .count();
         println!("  rebalanced samples on {moved} GPU(s)");
-        match &report.outcome {
-            Some(out) => println!(
-                "  consistency: OK ({:.1} samples/s on the degraded cluster)",
-                out.stats.throughput
-            ),
-            None => {
-                for issue in &report.issues {
-                    println!("  consistency: {issue}");
-                }
-            }
+        for line in report.to_string().lines() {
+            println!("  {line}");
+        }
+        if !report.is_consistent() {
+            return Err(format!(
+                "replan after degrading gpu {id} is inconsistent ({} issue(s))",
+                report.issues.len()
+            ));
         }
     }
 
@@ -285,6 +295,88 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
             None => println!("\ncache: disabled"),
         }
     }
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let mut session = session_from(args)?;
+    let ir = ir_from(args)?;
+    let samples = args.get_num("samples", 1e6)?;
+    let model = FaultModel {
+        mtbf_samples: args.get_num("mtbf", 2e5)?,
+        mttr_samples: args.get_num("mttr", 5e4)?,
+        seed: args.get_num("seed", 0u64)?,
+    };
+    let policy = RecoveryPolicy {
+        checkpoint_interval: args.get_num("checkpoint-every", 5e4)?,
+        min_capacity: args.get_num("min-capacity", 0.25)?,
+        ..RecoveryPolicy::default()
+    };
+    // The horizon covers re-earned samples too: a rollback pushes processed
+    // past `samples`, so leave headroom for late faults.
+    let trace = FaultTrace::generate(session.cluster(), &model, samples * 1.5);
+    let params = {
+        let batch = args.get_num("batch", 64usize)?;
+        let seq = args.get_num("seq", 128usize)?;
+        let graph = zoo::build(args.get_or("model", "resnet50"), batch, seq)?;
+        whale_graph::graph_stats(&graph).params as f64
+    };
+    let loss = LossModel::for_params(params);
+
+    println!(
+        "fault injection: mtbf {:.0} mttr {:.0} seed {} over {} event(s)",
+        model.mtbf_samples,
+        model.mttr_samples,
+        model.seed,
+        trace.len()
+    );
+    let run = session
+        .train_resilient(&ir, &loss, samples, &trace, &policy)
+        .map_err(|e| e.to_string())?;
+
+    if args.flag("json") {
+        println!("{}", run.stats.to_json().to_string_pretty());
+        return Ok(());
+    }
+
+    println!("\nrecovery timeline:");
+    if run.stats.faults.is_empty() {
+        println!("  (no faults struck before the run completed)");
+    }
+    for f in &run.stats.faults {
+        println!(
+            "  @{:>10.0}  {:<10}  lost {:>8.0}  down {:>6.1}s  recover {:>7.1}s  {} replan{}",
+            f.at_samples,
+            f.kind.name(),
+            f.samples_lost,
+            f.downtime_s,
+            f.time_to_recover_s,
+            f.replan.name(),
+            if f.retries > 0 {
+                format!(" ({} retries)", f.retries)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let s = &run.stats;
+    println!("\nrun summary:");
+    println!("  committed    {:.0} samples", s.committed_samples);
+    println!(
+        "  lost         {:.0} samples rolled back ({:.0} processed)",
+        s.samples_lost, s.processed_samples
+    );
+    println!(
+        "  wall clock   {:.1} s ({:.1} s downtime)",
+        s.wall_seconds, s.downtime_seconds
+    );
+    println!("  goodput      {:.1} samples/s", s.goodput);
+    println!("  raw rate     {:.1} samples/s while up", s.raw_throughput);
+    println!("  availability {:.1} %", s.availability * 100.0);
+    println!(
+        "  replans      {} cached-suffix, {} full",
+        s.replans_cached, s.replans_full
+    );
     Ok(())
 }
 

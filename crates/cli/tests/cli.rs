@@ -19,7 +19,7 @@ fn help_lists_commands() {
     let (stdout, _, ok) = run(&["help"]);
     assert!(ok);
     for cmd in [
-        "models", "gpus", "plan", "simulate", "auto", "dot", "inspect",
+        "models", "gpus", "plan", "simulate", "auto", "dot", "inspect", "faults",
     ] {
         assert!(stdout.contains(cmd), "help missing '{cmd}'");
     }
@@ -101,6 +101,83 @@ fn bad_inputs_fail_with_messages() {
     let (_, stderr, ok) = run(&["plan", "--zero", "7"]);
     assert!(!ok);
     assert!(stderr.contains("zero"));
+}
+
+#[test]
+fn faults_prints_timeline_and_summary() {
+    let args = [
+        "faults",
+        "--cluster",
+        "8xV100",
+        "--model",
+        "resnet50",
+        "--batch",
+        "128",
+        "--samples",
+        "300000",
+        "--mtbf",
+        "80000",
+        "--seed",
+        "11",
+    ];
+    let (stdout, _, ok) = run(&args);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("recovery timeline:"));
+    assert!(stdout.contains("goodput"));
+    assert!(stdout.contains("replans"));
+    // Same seed reproduces the run verbatim.
+    let (again, _, ok) = run(&args);
+    assert!(ok);
+    assert_eq!(stdout, again, "fault runs must be deterministic");
+}
+
+#[test]
+fn faults_json_reports_recovery_stats() {
+    let (stdout, _, ok) = run(&[
+        "faults",
+        "--cluster",
+        "4xV100,4xP100",
+        "--model",
+        "resnet50",
+        "--batch",
+        "128",
+        "--samples",
+        "200000",
+        "--mtbf",
+        "60000",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    assert!(ok, "{stdout}");
+    let json_start = stdout.find('{').expect("json in output");
+    let v = whale_sim::json::parse(stdout[json_start..].trim()).expect("valid json");
+    assert_eq!(v.get("committed_samples").as_f64().unwrap(), 200000.0);
+    assert!(v.get("goodput").as_f64().unwrap() > 0.0);
+    assert!(v.get("faults").as_array().is_some());
+}
+
+#[test]
+fn compile_degrade_checks_consistency() {
+    let (stdout, _, ok) = run(&[
+        "compile",
+        "--cluster",
+        "4xV100",
+        "--model",
+        "resnet50",
+        "--batch",
+        "64",
+        "--degrade",
+        "0:0.5",
+        "--cache-stats",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("OK ("), "{stdout}");
+    assert!(stdout.contains("partial 1"), "{stdout}");
+    // Degrading a GPU that does not exist fails with a non-zero exit.
+    let (_, stderr, ok) = run(&["compile", "--cluster", "4xV100", "--degrade", "17:0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown device"), "{stderr}");
 }
 
 #[test]

@@ -19,6 +19,14 @@ pub enum WhaleError {
     OutOfMemory(Vec<usize>),
     /// Auto-parallel found no feasible strategy.
     NoFeasibleStrategy,
+    /// A fault-recovery run aborted: surviving cluster capacity (as a
+    /// fraction of the starting capacity) fell below the policy floor.
+    InsufficientCapacity {
+        /// Surviving capacity fraction.
+        available: f64,
+        /// The [`crate::resilient::RecoveryPolicy::min_capacity`] floor.
+        required: f64,
+    },
 }
 
 impl fmt::Display for WhaleError {
@@ -31,6 +39,15 @@ impl fmt::Display for WhaleError {
             WhaleError::Sim(s) => write!(f, "simulation: {s}"),
             WhaleError::OutOfMemory(gpus) => write!(f, "out of memory on GPUs {gpus:?}"),
             WhaleError::NoFeasibleStrategy => write!(f, "auto-parallel found no feasible strategy"),
+            WhaleError::InsufficientCapacity {
+                available,
+                required,
+            } => write!(
+                f,
+                "cluster capacity fell to {:.0}% of the starting fleet, below the {:.0}% floor",
+                available * 100.0,
+                required * 100.0
+            ),
         }
     }
 }

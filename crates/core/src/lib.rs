@@ -39,11 +39,13 @@
 
 pub mod auto;
 pub mod error;
+pub mod resilient;
 pub mod session;
 pub mod strategies;
 
 pub use auto::{auto_parallel, auto_parallel_opts, AutoOptions, AutoReport, Candidate};
 pub use error::{Result, WhaleError};
+pub use resilient::{RecoveryEvent, RecoveryPolicy, RecoveryStats, ReplanPath, ResilientRun};
 pub use session::Session;
 
 // Re-export the substrate crates under stable names.

@@ -134,6 +134,17 @@ impl Session {
         &self.planner
     }
 
+    /// The active simulator configuration (for the resilient runtime).
+    pub(crate) fn sim_config(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// Mutate the cluster directly, bypassing the replan path — the
+    /// restart-from-scratch baseline needs a runtime that *doesn't* replan.
+    pub(crate) fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
     /// Plan-cache counters (`None` when the cache is disabled). Clones of a
     /// session share one cache, so auto-parallel searches report here too.
     pub fn cache_stats(&self) -> Option<CacheStats> {

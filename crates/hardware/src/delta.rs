@@ -43,6 +43,59 @@ impl ClusterDelta {
             ClusterDelta::GpuRemoved { .. } | ClusterDelta::GpuAdded { .. }
         )
     }
+
+    /// Check that the delta can legally be applied to `cluster`, without
+    /// mutating anything. [`Cluster::apply_delta`] runs this first, so a
+    /// rejected delta leaves the cluster exactly as it was — callers (the
+    /// resilient training loop, the CLI) can retry or skip a bad event
+    /// without re-validating their own state.
+    pub fn validate(&self, cluster: &Cluster) -> Result<()> {
+        match *self {
+            ClusterDelta::GpuDegraded { id, scale } => {
+                if !scale.is_finite() || !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+                    return Err(HardwareError::ParseError(format!(
+                        "degradation scale must be in (0, 1], got {scale}"
+                    )));
+                }
+                cluster.gpu(id).map(|_| ())
+            }
+            ClusterDelta::GpuRestored { id } => cluster.gpu(id).map(|_| ()),
+            ClusterDelta::GpuRemoved { id } => {
+                cluster.gpu(id)?;
+                if cluster.num_gpus() == 1 {
+                    return Err(HardwareError::ParseError(
+                        "cannot remove the last GPU of a cluster".into(),
+                    ));
+                }
+                Ok(())
+            }
+            ClusterDelta::GpuAdded { node, .. } => {
+                if node > cluster.num_nodes() {
+                    return Err(HardwareError::ParseError(format!(
+                        "cannot add GPU to node {node}: cluster has {} nodes",
+                        cluster.num_nodes()
+                    )));
+                }
+                Ok(())
+            }
+            ClusterDelta::LinkBandwidth {
+                kind,
+                bytes_per_sec,
+            } => {
+                if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
+                    return Err(HardwareError::ParseError(format!(
+                        "link bandwidth must be positive and finite, got {bytes_per_sec}"
+                    )));
+                }
+                if kind == LinkKind::Local {
+                    return Err(HardwareError::ParseError(
+                        "loopback links have no configurable bandwidth".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 impl Cluster {
@@ -66,18 +119,11 @@ impl Cluster {
     /// assert_eq!(c.gpu(4).unwrap().throughput_scale, 0.5);
     /// ```
     pub fn apply_delta(&mut self, delta: ClusterDelta) -> Result<()> {
+        delta.validate(self)?;
         match delta {
             ClusterDelta::GpuDegraded { id, scale } => self.degrade_gpu(id, scale),
             ClusterDelta::GpuRestored { id } => self.degrade_gpu(id, 1.0),
             ClusterDelta::GpuRemoved { id } => {
-                if self.gpu(id).is_err() {
-                    return Err(HardwareError::UnknownDevice(id));
-                }
-                if self.num_gpus() == 1 {
-                    return Err(HardwareError::ParseError(
-                        "cannot remove the last GPU of a cluster".into(),
-                    ));
-                }
                 let survivors: Vec<Vec<(GpuModel, f64)>> = self
                     .nodes()
                     .iter()
@@ -93,12 +139,6 @@ impl Cluster {
                 self.rebuild(survivors)
             }
             ClusterDelta::GpuAdded { node, model } => {
-                if node > self.num_nodes() {
-                    return Err(HardwareError::ParseError(format!(
-                        "cannot add GPU to node {node}: cluster has {} nodes",
-                        self.num_nodes()
-                    )));
-                }
                 let mut layout: Vec<Vec<(GpuModel, f64)>> = self
                     .nodes()
                     .iter()
@@ -120,20 +160,12 @@ impl Cluster {
                 kind,
                 bytes_per_sec,
             } => {
-                if !(bytes_per_sec.is_finite() && bytes_per_sec > 0.0) {
-                    return Err(HardwareError::ParseError(format!(
-                        "link bandwidth must be positive and finite, got {bytes_per_sec}"
-                    )));
-                }
                 match kind {
                     LinkKind::NvLink => self.interconnect.nvlink_bw = bytes_per_sec,
                     LinkKind::Pcie => self.interconnect.pcie_bw = bytes_per_sec,
                     LinkKind::Network => self.interconnect.network_bw = bytes_per_sec,
-                    LinkKind::Local => {
-                        return Err(HardwareError::ParseError(
-                            "loopback links have no configurable bandwidth".into(),
-                        ))
-                    }
+                    // `validate` rejected Local above.
+                    LinkKind::Local => unreachable!("validate rejects loopback links"),
                 }
                 Ok(())
             }
@@ -253,6 +285,104 @@ mod tests {
                 bytes_per_sec: -1.0,
             })
             .is_err());
+    }
+
+    #[test]
+    fn degrade_rejects_bad_scales_without_mutating() {
+        let mut c = Cluster::parse("2xV100").unwrap();
+        let before = c.fingerprint();
+        for scale in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.5, 1.5] {
+            assert!(
+                c.apply_delta(ClusterDelta::GpuDegraded { id: 0, scale })
+                    .is_err(),
+                "scale {scale} must be rejected"
+            );
+        }
+        assert!(c
+            .apply_delta(ClusterDelta::GpuDegraded { id: 7, scale: 0.5 })
+            .is_err());
+        assert_eq!(c.fingerprint(), before, "rejected deltas must not mutate");
+    }
+
+    #[test]
+    fn restore_rejects_unknown_gpu() {
+        let mut c = Cluster::parse("2xV100").unwrap();
+        assert_eq!(
+            c.apply_delta(ClusterDelta::GpuRestored { id: 2 }),
+            Err(HardwareError::UnknownDevice(2))
+        );
+    }
+
+    #[test]
+    fn add_rejects_node_beyond_cluster() {
+        let mut c = Cluster::parse("2x(2xV100)").unwrap();
+        let before = c.fingerprint();
+        assert!(c
+            .apply_delta(ClusterDelta::GpuAdded {
+                node: 3,
+                model: GpuModel::T4,
+            })
+            .is_err());
+        assert_eq!(c.fingerprint(), before);
+    }
+
+    #[test]
+    fn link_bandwidth_rejects_non_finite_before_mutating() {
+        let mut c = Cluster::parse("2x(2xV100)").unwrap();
+        let before = c.interconnect.network_bw;
+        for bw in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1e9] {
+            assert!(
+                c.apply_delta(ClusterDelta::LinkBandwidth {
+                    kind: LinkKind::Network,
+                    bytes_per_sec: bw,
+                })
+                .is_err(),
+                "bandwidth {bw} must be rejected"
+            );
+        }
+        assert_eq!(c.interconnect.network_bw, before);
+    }
+
+    #[test]
+    fn validate_matches_apply_delta_on_every_error_path() {
+        let c = Cluster::parse("2xV100").unwrap();
+        let cases = [
+            ClusterDelta::GpuDegraded {
+                id: 0,
+                scale: f64::NAN,
+            },
+            ClusterDelta::GpuDegraded { id: 9, scale: 0.5 },
+            ClusterDelta::GpuRestored { id: 9 },
+            ClusterDelta::GpuRemoved { id: 9 },
+            ClusterDelta::GpuAdded {
+                node: 5,
+                model: GpuModel::T4,
+            },
+            ClusterDelta::LinkBandwidth {
+                kind: LinkKind::Local,
+                bytes_per_sec: 1e9,
+            },
+            ClusterDelta::LinkBandwidth {
+                kind: LinkKind::Pcie,
+                bytes_per_sec: f64::NAN,
+            },
+        ];
+        for delta in cases {
+            let validated = delta.validate(&c);
+            let mut clone = c.clone();
+            assert_eq!(
+                validated,
+                clone.apply_delta(delta),
+                "validate and apply_delta disagree on {delta:?}"
+            );
+            assert!(validated.is_err(), "{delta:?} should be invalid");
+        }
+        // Removing either GPU of a 2-GPU cluster is fine; removing the last
+        // one is not.
+        let mut one = Cluster::parse("1xV100").unwrap();
+        let remove = ClusterDelta::GpuRemoved { id: 0 };
+        assert!(remove.validate(&one).is_err());
+        assert!(one.apply_delta(remove).is_err());
     }
 
     #[test]

@@ -682,7 +682,8 @@ impl std::fmt::Debug for CompilePipeline {
 }
 
 /// Compile `ir` onto `cluster` with the standard pipeline, returning the
-/// full artifact state (use [`crate::plan`] if only the plan is needed).
+/// full artifact state (use [`plan()`](crate::plan()) if only the plan is
+/// needed).
 pub fn compile(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<CompileState> {
     CompilePipeline::standard().run(&PassContext {
         ir,

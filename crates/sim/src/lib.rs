@@ -33,6 +33,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod json;
 pub mod metrics;
 pub mod queue;
@@ -44,6 +45,7 @@ pub mod trainer;
 
 pub use engine::{simulate_step, simulate_step_reference, SimConfig, StepOutcome, TaskRecord};
 pub use error::{Result, SimError};
+pub use faults::{FaultEvent, FaultKind, FaultModel, FaultTrace};
 pub use json::JsonValue;
 pub use metrics::{GpuStat, StepStats};
 pub use queue::{replay, synthetic_trace, AllocPolicy, Job, JobOutcome, QueueStats};

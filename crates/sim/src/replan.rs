@@ -40,6 +40,27 @@ impl ReplanReport {
     }
 }
 
+impl std::fmt::Display for ReplanReport {
+    /// One line per finding: `issue: …` / `warning: …`, or a single `OK`
+    /// line (with the simulated throughput) for a clean report. The CLI and
+    /// tests print this instead of formatting `issues` by hand.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut lines: Vec<String> = self
+            .issues
+            .iter()
+            .map(|i| format!("issue: {i}"))
+            .chain(self.warnings.iter().map(|w| format!("warning: {w}")))
+            .collect();
+        if let (Some(out), true) = (&self.outcome, self.issues.is_empty()) {
+            lines.push(format!(
+                "OK ({:.1} samples/s after replan)",
+                out.stats.throughput
+            ));
+        }
+        write!(f, "{}", lines.join("\n"))
+    }
+}
+
 /// Verify that `new` (a replanned plan) is semantically consistent with
 /// `old` (the pre-delta plan) and executable on `cluster` (the post-delta
 /// topology). Never fails: every problem becomes an entry in
@@ -203,5 +224,33 @@ mod tests {
         assert!(!report.is_consistent());
         assert!(report.outcome.is_none());
         assert!(report.issues.iter().any(|i| i.contains("invalid")));
+    }
+
+    #[test]
+    fn report_display_covers_issues_warnings_and_ok() {
+        let ir = dp_ir(64);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let config = PlannerConfig::default();
+        let old = plan(&ir, &cluster, &config).unwrap();
+
+        let clean = check_replan(&old, &old, &cluster, &SimConfig::default());
+        assert!(clean.to_string().starts_with("OK ("), "{clean}");
+
+        let mut shrunk = old.clone();
+        shrunk.global_batch = 32;
+        let report = check_replan(&old, &shrunk, &cluster, &SimConfig::default());
+        let text = report.to_string();
+        assert!(
+            text.contains("issue: replan changed the global batch"),
+            "{text}"
+        );
+        assert!(!text.contains("OK ("), "{text}");
+
+        let synthetic = ReplanReport {
+            issues: vec![],
+            warnings: vec!["plan exceeds device memory".into()],
+            outcome: None,
+        };
+        assert_eq!(synthetic.to_string(), "warning: plan exceeds device memory");
     }
 }

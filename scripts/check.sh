@@ -9,3 +9,4 @@ cargo build --release --offline
 cargo test -q --offline
 cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline

@@ -1,0 +1,169 @@
+//! Consecutive delta replans on one session, and the determinism /
+//! verification guarantees of the fault-injection stack:
+//!
+//! * a degrade → restore → remove sequence drives the plan cache through a
+//!   partial hit, a pure hit (restoring returns to an already-cached
+//!   state), and a structural miss — the pass counters prove which compile
+//!   work actually ran, and the final plan equals a cold compile of the
+//!   final cluster;
+//! * the same fault seed yields a bit-identical `FaultTrace` AND a
+//!   bit-identical `RecoveryStats`;
+//! * every recovery a generated trace induces passes `check_replan`.
+
+use whale::{models, strategies, Cluster, ClusterDelta, RecoveryPolicy, Session, SimConfig};
+use whale_sim::{check_replan, FaultModel, FaultTrace, LossModel};
+
+fn dp_ir(batch: usize) -> whale::WhaleIr {
+    strategies::data_parallel(models::resnet50(batch).unwrap(), batch).unwrap()
+}
+
+#[test]
+fn consecutive_deltas_reuse_the_cache_as_promised() {
+    let ir = dp_ir(64);
+    let mut session = Session::on_cluster("4xV100").unwrap();
+
+    // Cold plan: one miss, all five passes.
+    session.plan(&ir).unwrap();
+    let s0 = session.cache_stats().unwrap();
+    assert_eq!((s0.misses, s0.passes_run), (1, 5));
+
+    // Degrade: a rate delta invalidates only Balance + Schedule.
+    session
+        .replan(&ir, ClusterDelta::GpuDegraded { id: 0, scale: 0.5 })
+        .unwrap();
+    let s1 = session.cache_stats().unwrap();
+    assert_eq!(s1.partial_hits, s0.partial_hits + 1);
+    assert_eq!(s1.passes_run, s0.passes_run + 2, "Balance + Schedule only");
+
+    // Restore: the post-delta cluster is the *original* cluster, whose plan
+    // is already cached — a pure hit, zero passes.
+    session
+        .replan(&ir, ClusterDelta::GpuRestored { id: 0 })
+        .unwrap();
+    let s2 = session.cache_stats().unwrap();
+    assert_eq!(s2.hits, s1.hits + 1, "restore returns to a cached state");
+    assert_eq!(s2.passes_run, s1.passes_run, "no compile work at all");
+
+    // Remove: structural, the whole pipeline re-runs as a miss.
+    let replanned = session
+        .replan(&ir, ClusterDelta::GpuRemoved { id: 3 })
+        .unwrap();
+    let s3 = session.cache_stats().unwrap();
+    assert_eq!(s3.misses, s2.misses + 1);
+    assert_eq!(s3.passes_run, s2.passes_run + 5, "full pipeline");
+
+    // After the whole sequence the session's plan is exactly what a cold
+    // compile of the final cluster produces.
+    let cold = whale_planner::plan(&ir, session.cluster(), session.planner_config()).unwrap();
+    assert_eq!(replanned, cold, "delta path diverged from a cold compile");
+    assert_eq!(session.cluster().num_gpus(), 3);
+}
+
+#[test]
+fn unseen_intermediate_states_still_take_the_fast_path() {
+    let ir = dp_ir(64);
+    let mut session = Session::on_cluster("4xV100").unwrap();
+    session.plan(&ir).unwrap();
+
+    // degrade(0) → degrade(1) → restore(0): the final state (only GPU 1
+    // degraded) was never planned before, so it cannot be a pure hit — but
+    // each step still reuses the structural prefix.
+    let before = session.cache_stats().unwrap();
+    session
+        .replan(&ir, ClusterDelta::GpuDegraded { id: 0, scale: 0.5 })
+        .unwrap();
+    session
+        .replan(&ir, ClusterDelta::GpuDegraded { id: 1, scale: 0.7 })
+        .unwrap();
+    let replanned = session
+        .replan(&ir, ClusterDelta::GpuRestored { id: 0 })
+        .unwrap();
+    let after = session.cache_stats().unwrap();
+    assert_eq!(after.partial_hits, before.partial_hits + 3);
+    assert_eq!(after.passes_run, before.passes_run + 6, "2 passes each");
+
+    let cold = whale_planner::plan(&ir, session.cluster(), session.planner_config()).unwrap();
+    assert_eq!(replanned, cold);
+    assert_eq!(session.cluster().gpu(0).unwrap().throughput_scale, 1.0);
+    assert_eq!(session.cluster().gpu(1).unwrap().throughput_scale, 0.7);
+}
+
+#[test]
+fn fault_traces_and_recovery_stats_are_seed_deterministic() {
+    let ir = dp_ir(128);
+    let cluster = Cluster::parse("2x(8xV100)+2x(8xP100)").unwrap();
+    let model = FaultModel {
+        mtbf_samples: 1e5,
+        mttr_samples: 4e4,
+        seed: 2024,
+    };
+    let loss = LossModel::for_params(25e6);
+    let policy = RecoveryPolicy::default();
+
+    let trace_a = FaultTrace::generate(&cluster, &model, 1e6);
+    let trace_b = FaultTrace::generate(&cluster, &model, 1e6);
+    assert_eq!(
+        trace_a, trace_b,
+        "same seed must give a bit-identical trace"
+    );
+    assert!(!trace_a.events.is_empty());
+
+    let run = |trace: &FaultTrace| {
+        let mut s = Session::new(cluster.clone());
+        s.train_resilient(&ir, &loss, 8e5, trace, &policy).unwrap()
+    };
+    let a = run(&trace_a);
+    let b = run(&trace_b);
+    assert_eq!(a.stats, b.stats, "same trace must give identical stats");
+    assert_eq!(a.points, b.points);
+    assert!(!a.stats.faults.is_empty(), "the trace must actually strike");
+
+    // A different seed diverges.
+    let other = FaultTrace::generate(
+        &cluster,
+        &FaultModel {
+            seed: 2025,
+            ..model
+        },
+        1e6,
+    );
+    assert_ne!(trace_a, other);
+}
+
+#[test]
+fn every_injected_recovery_passes_check_replan() {
+    let ir = dp_ir(128);
+    let cluster = Cluster::parse("2x(8xV100)+2x(8xP100)").unwrap();
+    let trace = FaultTrace::generate(
+        &cluster,
+        &FaultModel {
+            mtbf_samples: 8e4,
+            mttr_samples: 3e4,
+            seed: 7,
+        },
+        1e6,
+    );
+    assert!(trace.len() >= 5, "want a rich trace, got {}", trace.len());
+
+    let mut session = Session::new(cluster);
+    let mut old = session.plan(&ir).unwrap();
+    for event in &trace.events {
+        let new = session.replan(&ir, event.delta).unwrap();
+        // Structural deltas legitimately change stage shapes; they are
+        // verified for executability on the new topology. Rate deltas must
+        // preserve the old plan's semantics exactly.
+        let reference = if event.delta.is_structural() {
+            &new
+        } else {
+            &old
+        };
+        let report = check_replan(reference, &new, session.cluster(), &SimConfig::default());
+        assert!(
+            report.is_consistent(),
+            "{:?} at {:.0} failed verification:\n{report}",
+            event.kind,
+            event.at_samples
+        );
+        old = new;
+    }
+}
