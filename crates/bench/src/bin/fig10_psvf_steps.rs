@@ -9,7 +9,7 @@
 use whale_bench::header;
 use whale_graph::{models, CostProfile, TrainingConfig};
 use whale_hardware::Cluster;
-use whale_planner::{dp_partition, partition::proportional_split};
+use whale_planner::{dp_partition_traced, partition::proportional_split};
 
 fn main() {
     header(
@@ -47,7 +47,9 @@ fn main() {
         ratios.iter().map(|r| format!("{r:.2}")).collect::<Vec<_>>()
     );
 
-    let dp = dp_partition(&profile, &cfg, cluster.gpus(), global, 1.0, true)
+    // The traced variant records every step's per-device ratio snapshot —
+    // exactly the walk the figure plots (the planner's own PSVF runs lean).
+    let dp = dp_partition_traced(&profile, &cfg, cluster.gpus(), global, 1.0, true)
         .expect("PSVF must find a feasible layout");
     let report = dp.psvf.expect("PSVF should have engaged");
     println!("\n  PSVF steps (peak → valley, memory ratios after):");

@@ -6,6 +6,8 @@
 //! nodes), plans each, discards memory-infeasible ones, simulates the rest,
 //! and returns the plan with the highest throughput.
 
+use std::sync::Arc;
+
 use whale_graph::Graph;
 use whale_planner::ExecutionPlan;
 use whale_sim::StepStats;
@@ -19,8 +21,8 @@ use crate::strategies;
 pub struct Candidate {
     /// Human-readable strategy name.
     pub name: String,
-    /// The plan, if planning succeeded.
-    pub plan: Option<ExecutionPlan>,
+    /// The plan, if planning succeeded (shared with the plan cache).
+    pub plan: Option<Arc<ExecutionPlan>>,
     /// Step statistics, if simulation succeeded and memory fit.
     pub stats: Option<StepStats>,
     /// Why the candidate was rejected, if it was.
@@ -32,8 +34,8 @@ pub struct Candidate {
 pub struct AutoReport {
     /// Winning strategy name.
     pub chosen: String,
-    /// Winning plan.
-    pub plan: ExecutionPlan,
+    /// Winning plan (shared with the plan cache and the winning candidate).
+    pub plan: Arc<ExecutionPlan>,
     /// Winning step stats.
     pub stats: StepStats,
     /// All candidates in evaluation order.
@@ -225,20 +227,18 @@ pub fn auto_parallel_opts(
     // `search_threads` workers; the merge is by candidate index, so the
     // report is independent of worker scheduling.
     let threads = opts.effective_threads(specs.len());
-    let planned: Vec<(
-        String,
-        std::result::Result<whale_planner::ExecutionPlan, String>,
-    )> = fan_out(threads, specs, |(name, mk_ir)| {
-        let graph = match &template {
-            Some(g) => Ok(g.clone()),
-            None => build(),
-        };
-        let plan = graph
-            .and_then(&mk_ir)
-            .and_then(|ir| session.plan(&ir))
-            .map_err(|e| e.to_string());
-        (name, plan)
-    });
+    let planned: Vec<(String, std::result::Result<Arc<ExecutionPlan>, String>)> =
+        fan_out(threads, specs, |(name, mk_ir)| {
+            let graph = match &template {
+                Some(g) => Ok(g.clone()),
+                None => build(),
+            };
+            let plan = graph
+                .and_then(&mk_ir)
+                .and_then(|ir| session.plan(&ir))
+                .map_err(|e| e.to_string());
+            (name, plan)
+        });
 
     // The estimator is cheap; it runs serially so every candidate can share
     // one memoized cache (stages repeated across candidates are priced
@@ -266,7 +266,7 @@ pub fn auto_parallel_opts(
     // phase), again fanned out and merged by index.
     enum Pending {
         Done(Candidate),
-        Simulate(String, whale_planner::ExecutionPlan),
+        Simulate(String, Arc<ExecutionPlan>),
     }
     let pending: Vec<Pending> = planned
         .into_iter()
@@ -298,29 +298,39 @@ pub fn auto_parallel_opts(
         Pending::Simulate(name, plan) => evaluate_plan(session, &name, plan, opts.reference_sim),
     });
 
+    // Pick the winner by index, then clone exactly one candidate's fields
+    // (cloning every candidate's name/plan/stats just to run `max_by` would
+    // copy the whole field even for losers).
     let best = candidates
         .iter()
-        .filter_map(|c| {
-            c.stats
-                .as_ref()
-                .map(|s| (c.name.clone(), c.plan.clone(), s.clone()))
+        .enumerate()
+        .filter(|(_, c)| c.stats.is_some())
+        .max_by(|(_, a), (_, b)| {
+            let (sa, sb) = (a.stats.as_ref().unwrap(), b.stats.as_ref().unwrap());
+            sa.throughput.total_cmp(&sb.throughput)
         })
-        .max_by(|a, b| a.2.throughput.total_cmp(&b.2.throughput));
+        .map(|(i, _)| i);
     match best {
-        Some((chosen, Some(plan), stats)) => Ok(AutoReport {
-            chosen,
-            plan,
-            stats,
-            candidates,
-        }),
-        _ => Err(WhaleError::NoFeasibleStrategy),
+        Some(i) => {
+            let winner = &candidates[i];
+            match (&winner.plan, &winner.stats) {
+                (Some(plan), Some(stats)) => Ok(AutoReport {
+                    chosen: winner.name.clone(),
+                    plan: plan.clone(),
+                    stats: stats.clone(),
+                    candidates,
+                }),
+                _ => Err(WhaleError::NoFeasibleStrategy),
+            }
+        }
+        None => Err(WhaleError::NoFeasibleStrategy),
     }
 }
 
 fn evaluate_plan(
     session: &Session,
     name: &str,
-    plan: whale_planner::ExecutionPlan,
+    plan: Arc<ExecutionPlan>,
     reference_sim: bool,
 ) -> Candidate {
     let outcome = if reference_sim {

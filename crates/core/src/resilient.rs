@@ -34,6 +34,8 @@
 //! can — restart from scratch, losing all progress. `fault_bench` compares
 //! the two on goodput.
 
+use std::sync::Arc;
+
 use whale_ir::WhaleIr;
 use whale_planner::{plan as cold_plan, CacheStats, ExecutionPlan};
 use whale_sim::json::{num, obj, s, JsonValue};
@@ -412,7 +414,7 @@ impl Session {
         event: &FaultEvent,
         policy: &RecoveryPolicy,
         state: &mut LoopState,
-    ) -> Result<ExecutionPlan> {
+    ) -> Result<Arc<ExecutionPlan>> {
         let old_plan = self.plan(ir)?;
         let mut downtime = policy.detection_latency_s;
 
@@ -461,7 +463,7 @@ impl Session {
                 report.outcome.expect("consistent reports simulate"),
             )
         } else {
-            let cold = cold_plan(ir, self.cluster(), self.planner_config())?;
+            let cold = Arc::new(cold_plan(ir, self.cluster(), self.planner_config())?);
             let audit = check_replan(&cold, &cold, self.cluster(), self.sim_config());
             if !audit.is_consistent() {
                 state.wall_s += downtime;
@@ -497,11 +499,11 @@ impl Session {
     fn react_static(
         &mut self,
         ir: &WhaleIr,
-        current: ExecutionPlan,
+        current: Arc<ExecutionPlan>,
         event: &FaultEvent,
         policy: &RecoveryPolicy,
         state: &mut LoopState,
-    ) -> Result<ExecutionPlan> {
+    ) -> Result<Arc<ExecutionPlan>> {
         if !event.delta.is_structural() {
             // The static runtime never even notices: the plan stays, the
             // cluster slows underneath it and the fast GPUs wait on the
@@ -517,7 +519,7 @@ impl Session {
         state.wall_s += policy.detection_latency_s;
         state.downtime_s += policy.detection_latency_s;
         self.cluster_mut().apply_delta(event.delta)?;
-        let plan = cold_plan(ir, self.cluster(), self.planner_config())?;
+        let plan = Arc::new(cold_plan(ir, self.cluster(), self.planner_config())?);
         let audit = check_replan(&plan, &plan, self.cluster(), self.sim_config());
         let throughput = audit
             .outcome

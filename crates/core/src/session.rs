@@ -5,13 +5,13 @@
 //! configuration, and the simulator configuration, and drives the
 //! annotate → plan → transform → execute path of Fig. 5.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use whale_graph::TrainingConfig;
 use whale_hardware::{Cluster, ClusterDelta};
 use whale_ir::WhaleIr;
 use whale_planner::{
-    plan, CacheStats, DeviceAssignment, ExecutionPlan, PlanCache, PlannerConfig, ScheduleKind,
+    plan, CacheStats, DeviceAssignment, ExecutionPlan, PlanService, PlannerConfig, ScheduleKind,
 };
 use whale_sim::{
     simulate_step, simulate_step_reference, simulate_training, LossModel, SimConfig, StepOutcome,
@@ -23,25 +23,19 @@ use crate::error::{Result, WhaleError};
 /// A configured training session over one cluster.
 ///
 /// Repeated [`Session::plan`] calls for the same (model, cluster, config)
-/// triple are served from a shared content-addressed [`PlanCache`]; clones
-/// of a session (e.g. the per-candidate sessions of the auto-parallel
-/// search) share the same cache. [`Session::replan`] reacts to a
-/// [`ClusterDelta`] by re-running only the invalidated compile passes.
+/// triple are served from a shared content-addressed [`PlanService`] — a
+/// sharded, single-flight plan cache. Clones of a session (e.g. the
+/// per-candidate sessions of the auto-parallel search, or per-thread clones
+/// of a serving loop) share the same service, so a hit anywhere in the
+/// clone family is an `Arc` refcount bump, never a plan copy, and
+/// concurrent misses for one key compile once. [`Session::replan`] reacts
+/// to a [`ClusterDelta`] by re-running only the invalidated compile passes.
 #[derive(Debug, Clone)]
 pub struct Session {
     cluster: Cluster,
     planner: PlannerConfig,
     sim: SimConfig,
-    cache: Option<Arc<Mutex<PlanCache>>>,
-}
-
-fn lock(cache: &Arc<Mutex<PlanCache>>) -> MutexGuard<'_, PlanCache> {
-    // The cache holds no invariants a panicking planner could break
-    // half-way (entries are inserted whole), so a poisoned lock is safe to
-    // enter.
-    cache
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+    cache: Option<Arc<PlanService>>,
 }
 
 impl Session {
@@ -51,7 +45,7 @@ impl Session {
             cluster,
             planner: PlannerConfig::default(),
             sim: SimConfig::default(),
-            cache: Some(Arc::new(Mutex::new(PlanCache::default()))),
+            cache: Some(Arc::new(PlanService::default())),
         }
     }
 
@@ -122,11 +116,18 @@ impl Session {
     /// exists for benchmarks that must measure cold planning on every call.
     pub fn plan_cache(mut self, on: bool) -> Session {
         self.cache = if on {
-            Some(Arc::new(Mutex::new(PlanCache::default())))
+            Some(Arc::new(PlanService::default()))
         } else {
             None
         };
         self
+    }
+
+    /// The shared plan service behind this session's clone family (`None`
+    /// when the cache is disabled). Exposed so serving front ends can issue
+    /// keyed requests or inspect shard occupancy directly.
+    pub fn plan_service(&self) -> Option<&Arc<PlanService>> {
+        self.cache.as_ref()
     }
 
     /// The active planner configuration.
@@ -148,25 +149,25 @@ impl Session {
     /// Plan-cache counters (`None` when the cache is disabled). Clones of a
     /// session share one cache, so auto-parallel searches report here too.
     pub fn cache_stats(&self) -> Option<CacheStats> {
-        self.cache.as_ref().map(|c| lock(c).stats())
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Zero the plan-cache counters, keeping cached entries.
     pub fn reset_cache_stats(&self) {
         if let Some(c) = &self.cache {
-            lock(c).reset_stats();
+            c.reset_stats();
         }
     }
 
     /// Produce the distributed execution plan for `ir`.
     ///
     /// With the cache enabled (default), a repeated request for the same
-    /// (model, cluster, config) content returns the stored plan without
-    /// running any compile pass.
-    pub fn plan(&self, ir: &WhaleIr) -> Result<ExecutionPlan> {
+    /// (model, cluster, config) content returns a shared handle to the
+    /// stored plan — an `Arc` refcount bump, no compile pass and no copy.
+    pub fn plan(&self, ir: &WhaleIr) -> Result<Arc<ExecutionPlan>> {
         match &self.cache {
-            Some(cache) => Ok(lock(cache).plan(ir, &self.cluster, &self.planner)?),
-            None => Ok(plan(ir, &self.cluster, &self.planner)?),
+            Some(service) => Ok(service.plan(ir, &self.cluster, &self.planner)?),
+            None => Ok(Arc::new(plan(ir, &self.cluster, &self.planner)?)),
         }
     }
 
@@ -174,16 +175,16 @@ impl Session {
     /// passes the delta invalidates (see `whale_planner::invalidation_start`
     /// for the matrix). The session's cluster is updated to the post-delta
     /// topology.
-    pub fn replan(&mut self, ir: &WhaleIr, delta: ClusterDelta) -> Result<ExecutionPlan> {
+    pub fn replan(&mut self, ir: &WhaleIr, delta: ClusterDelta) -> Result<Arc<ExecutionPlan>> {
         match &self.cache {
-            Some(cache) => {
-                let (p, after) = lock(cache).replan(ir, &self.cluster, &self.planner, delta)?;
+            Some(service) => {
+                let (p, after) = service.replan(ir, &self.cluster, &self.planner, delta)?;
                 self.cluster = after;
                 Ok(p)
             }
             None => {
                 self.cluster.apply_delta(delta)?;
-                Ok(plan(ir, &self.cluster, &self.planner)?)
+                Ok(Arc::new(plan(ir, &self.cluster, &self.planner)?))
             }
         }
     }

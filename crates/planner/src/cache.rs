@@ -4,11 +4,19 @@
 //! on the same cluster with the same options must not re-run the planner.
 //! [`PlanCache`] keys full [`CompileState`]s (not just plans — so cached
 //! artifacts can seed a delta-replan) on [`PlanKey`], the triple of content
-//! fingerprints of the planner's inputs. Hit/miss/pass counters are exposed
-//! for the Session, CLI, and auto-parallel search to report.
+//! fingerprints of the planner's inputs. Entries are stored behind [`Arc`],
+//! so a hit is an O(1) refcount bump — no artifact or plan is ever deep-
+//! cloned on the read path. Hit/miss/pass counters are exposed for the
+//! Session, CLI, and auto-parallel search to report.
+//!
+//! `PlanCache` itself is single-threaded (`&mut self`); the concurrent
+//! front end — sharding and single-flight miss deduplication — lives in
+//! [`crate::service::PlanService`], which composes one `PlanCache` per
+//! shard.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use whale_fp::Fingerprint;
 use whale_hardware::{Cluster, ClusterDelta};
@@ -41,6 +49,18 @@ impl PlanKey {
             config: config.fingerprint(),
         }
     }
+
+    /// Stable 64-bit mix of the three fingerprints, used to pick a
+    /// [`crate::service::PlanService`] shard. FNV-style multiply-xor so
+    /// keys differing in any one input land on uncorrelated shards.
+    pub fn shard_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for part in [self.ir.0, self.cluster.0, self.config.0] {
+            h ^= part;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
 }
 
 impl std::fmt::Display for PlanKey {
@@ -54,11 +74,18 @@ impl std::fmt::Display for PlanKey {
 pub struct CacheStats {
     /// Requests answered entirely from cache (zero passes run).
     pub hits: u64,
-    /// Requests that ran the full pipeline from scratch.
+    /// Requests that ran the full pipeline from scratch (a compile that
+    /// *fails* still counts as a miss — the passes were attempted — but
+    /// stores no entry).
     pub misses: u64,
     /// Delta-replans that reused cached artifacts and re-ran only the
     /// invalidated suffix of the pipeline.
     pub partial_hits: u64,
+    /// Requests that arrived while another request was already compiling
+    /// the same key and blocked on that in-flight result instead of
+    /// compiling themselves (single-flight deduplication; see
+    /// [`crate::service::PlanService`]). Always 0 for a plain `PlanCache`.
+    pub coalesced: u64,
     /// Total compile passes executed on behalf of this cache.
     pub passes_run: u64,
     /// Entries evicted to respect the capacity bound.
@@ -66,13 +93,38 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hit ratio over all lookups (full hits only), 0.0 when idle.
+    /// Total requests accounted: every lookup lands in exactly one of
+    /// `hits`, `misses`, `partial_hits`, or `coalesced`.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses + self.partial_hits + self.coalesced
+    }
+
+    /// Hit ratio over all requests (full hits only, coalesced requests
+    /// count toward the denominator — they did not hit the cache, they
+    /// drafted behind a miss).
+    ///
+    /// Defined as exactly `0.0` when no request has been recorded: an idle
+    /// cache has no hit rate, and returning `0.0` (rather than the `NaN` a
+    /// bare float division would produce) keeps the value safe to plot,
+    /// serialize, and compare.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses + self.partial_hits;
+        let total = self.requests();
         if total == 0 {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum, for aggregating per-shard counters.
+    pub fn merge(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            partial_hits: self.partial_hits + other.partial_hits,
+            coalesced: self.coalesced + other.coalesced,
+            passes_run: self.passes_run + other.passes_run,
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -81,8 +133,13 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "hits {} · misses {} · partial {} · passes {} · evictions {}",
-            self.hits, self.misses, self.partial_hits, self.passes_run, self.evictions
+            "hits {} · misses {} · partial {} · coalesced {} · passes {} · evictions {}",
+            self.hits,
+            self.misses,
+            self.partial_hits,
+            self.coalesced,
+            self.passes_run,
+            self.evictions
         )
     }
 }
@@ -90,7 +147,7 @@ impl std::fmt::Display for CacheStats {
 /// Bounded FIFO cache of compile states keyed by content fingerprints.
 #[derive(Debug)]
 pub struct PlanCache {
-    entries: HashMap<PlanKey, CompileState>,
+    entries: HashMap<PlanKey, Arc<CompileState>>,
     order: VecDeque<PlanKey>,
     capacity: usize,
     stats: CacheStats,
@@ -118,30 +175,41 @@ impl PlanCache {
     }
 
     /// Plan through the cache: a key hit returns the stored plan without
-    /// running any pass; a miss compiles, stores the full artifact state,
-    /// and returns the fresh plan.
+    /// running any pass (a shared handle, not a copy); a miss compiles,
+    /// stores the full artifact state, and returns the fresh plan.
     pub fn plan(
         &mut self,
         ir: &WhaleIr,
         cluster: &Cluster,
         config: &PlannerConfig,
-    ) -> Result<ExecutionPlan> {
+    ) -> Result<Arc<ExecutionPlan>> {
         let key = PlanKey::new(ir, cluster, config);
-        if let Some(state) = self.entries.get(&key) {
-            self.stats.hits += 1;
-            return Ok(state
-                .plan
-                .clone()
-                .expect("cached states always hold a finished plan"));
+        self.plan_keyed(key, ir, cluster, config)
+    }
+
+    /// [`PlanCache::plan`] with a caller-computed key. The key must equal
+    /// `PlanKey::new(ir, cluster, config)`; services that admit requests by
+    /// key use this to fingerprint once per request instead of once per
+    /// lookup.
+    pub fn plan_keyed(
+        &mut self,
+        key: PlanKey,
+        ir: &WhaleIr,
+        cluster: &Cluster,
+        config: &PlannerConfig,
+    ) -> Result<Arc<ExecutionPlan>> {
+        if let Some(state) = self.lookup(&key) {
+            return Ok(state.plan_arc());
         }
-        let state = compile(ir, cluster, config)?;
-        self.stats.misses += 1;
-        self.stats.passes_run += state.passes_run.len() as u64;
-        let plan = state
-            .plan
-            .clone()
-            .expect("compile() runs Schedule, which sets `plan`");
-        self.insert(key, state);
+        let state = match compile(ir, cluster, config) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                self.stats.misses += 1;
+                return Err(e);
+            }
+        };
+        let plan = state.plan_arc();
+        self.admit_miss(key, state);
         Ok(plan)
     }
 
@@ -160,50 +228,73 @@ impl PlanCache {
         cluster: &Cluster,
         config: &PlannerConfig,
         delta: ClusterDelta,
-    ) -> Result<(ExecutionPlan, Cluster)> {
+    ) -> Result<(Arc<ExecutionPlan>, Cluster)> {
         let old_key = PlanKey::new(ir, cluster, config);
         let mut after = cluster.clone();
         after.apply_delta(delta)?;
         let new_key = PlanKey::new(ir, &after, config);
 
-        if let Some(state) = self.entries.get(&new_key) {
-            self.stats.hits += 1;
-            let plan = state
-                .plan
-                .clone()
-                .expect("cached states always hold a finished plan");
-            return Ok((plan, after));
+        if let Some(state) = self.lookup(&new_key) {
+            return Ok((state.plan_arc(), after));
         }
 
-        let (mut state, start) = match self.entries.get(&old_key) {
-            Some(cached) => (cached.clone(), invalidation_start(&delta)),
-            None => (CompileState::default(), PassId::DegreeInference),
-        };
-        let passes_before = state.passes_run.len();
-        let cx = PassContext {
-            ir,
-            cluster: &after,
-            config,
-        };
-        CompilePipeline::standard().run_from(&cx, &mut state, start)?;
-        let plan = state
-            .plan
-            .clone()
-            .expect("run_from re-runs Schedule, which sets `plan`");
-        let ran = state.passes_run.len() - passes_before;
+        let seed = self.peek(&old_key).cloned();
+        let (state, ran, partial) = replan_from_seed(seed, ir, &after, config, &delta)?;
+        let plan = state.plan_arc();
+        self.admit_replan(new_key, state, ran, partial);
+        Ok((plan, after))
+    }
+
+    /// Look `key` up, counting a hit when present. Returns a shared handle;
+    /// absent keys record nothing (the caller decides whether the miss is
+    /// compiled here or coalesced onto an in-flight compile).
+    pub fn lookup(&mut self, key: &PlanKey) -> Option<Arc<CompileState>> {
+        let found = self.entries.get(key).cloned();
+        if found.is_some() {
+            self.stats.hits += 1;
+        }
+        found
+    }
+
+    /// Direct lookup of a cached state (no counters touched).
+    pub fn peek(&self, key: &PlanKey) -> Option<&Arc<CompileState>> {
+        self.entries.get(key)
+    }
+
+    /// Store a freshly compiled state and account the miss.
+    pub fn admit_miss(&mut self, key: PlanKey, state: Arc<CompileState>) {
+        self.stats.misses += 1;
+        self.stats.passes_run += state.passes_run.len() as u64;
+        self.insert(key, state);
+    }
+
+    /// Account a miss whose compile failed (no entry to store).
+    pub fn note_failed_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Account a request that coalesced onto an in-flight compile of the
+    /// same key instead of compiling itself (single-flight deduplication).
+    pub fn note_coalesced(&mut self) {
+        self.stats.coalesced += 1;
+    }
+
+    /// Store a replanned state: `ran` passes executed, `partial` when a
+    /// cached prefix was reused (otherwise the replan was a cold compile).
+    pub fn admit_replan(
+        &mut self,
+        key: PlanKey,
+        state: Arc<CompileState>,
+        ran: usize,
+        partial: bool,
+    ) {
         self.stats.passes_run += ran as u64;
-        if start > PassId::DegreeInference {
+        if partial {
             self.stats.partial_hits += 1;
         } else {
             self.stats.misses += 1;
         }
-        self.insert(new_key, state);
-        Ok((plan, after))
-    }
-
-    /// Direct lookup of a cached state (no counters touched).
-    pub fn peek(&self, key: &PlanKey) -> Option<&CompileState> {
-        self.entries.get(key)
+        self.insert(key, state);
     }
 
     /// Counters so far.
@@ -232,7 +323,7 @@ impl PlanCache {
         self.order.clear();
     }
 
-    fn insert(&mut self, key: PlanKey, state: CompileState) {
+    fn insert(&mut self, key: PlanKey, state: Arc<CompileState>) {
         if self.entries.insert(key, state).is_none() {
             self.order.push_back(key);
         }
@@ -246,6 +337,34 @@ impl PlanCache {
             }
         }
     }
+}
+
+/// Run the delta-replan pipeline outside any cache lock: clone the cached
+/// pre-delta artifacts (or start cold), re-run the invalidated suffix on
+/// the **post-delta** cluster, and report `(state, passes_ran, partial)`.
+/// Shared by [`PlanCache::replan`] and the single-flight leaders of
+/// [`crate::service::PlanService`].
+pub fn replan_from_seed(
+    seed: Option<Arc<CompileState>>,
+    ir: &WhaleIr,
+    after: &Cluster,
+    config: &PlannerConfig,
+    delta: &ClusterDelta,
+) -> Result<(Arc<CompileState>, usize, bool)> {
+    let (mut state, start) = match seed {
+        Some(cached) => ((*cached).clone(), invalidation_start(delta)),
+        None => (CompileState::default(), PassId::DegreeInference),
+    };
+    let passes_before = state.passes_run.len();
+    let cx = PassContext {
+        ir,
+        cluster: after,
+        config,
+    };
+    CompilePipeline::standard().run_from(&cx, &mut state, start)?;
+    let ran = state.passes_run.len() - passes_before;
+    let partial = start > PassId::DegreeInference;
+    Ok((Arc::new(state), ran, partial))
 }
 
 #[cfg(test)]
@@ -283,6 +402,8 @@ mod tests {
             "a hit must not run any pass"
         );
         assert_eq!(first, second);
+        // Zero-copy: the hit returned the same allocation, not a clone.
+        assert!(Arc::ptr_eq(&first, &second));
     }
 
     #[test]
@@ -338,7 +459,7 @@ mod tests {
         let (plan, after) = cache.replan(&ir, &cluster, &cfg, delta).unwrap();
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().partial_hits, 0);
-        assert_eq!(plan, crate::planner::plan(&ir, &after, &cfg).unwrap());
+        assert_eq!(*plan, crate::planner::plan(&ir, &after, &cfg).unwrap());
     }
 
     #[test]
@@ -354,5 +475,55 @@ mod tests {
         // The oldest entry (batch 16) was evicted → miss again.
         cache.plan(&resnet_ir(16), &cluster, &cfg).unwrap();
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_requests_and_counts_coalesced() {
+        let idle = CacheStats::default();
+        assert_eq!(idle.requests(), 0);
+        assert_eq!(idle.hit_ratio(), 0.0, "idle cache must report 0.0, not NaN");
+        assert!(idle.hit_ratio().is_finite());
+
+        let busy = CacheStats {
+            hits: 6,
+            misses: 2,
+            partial_hits: 1,
+            coalesced: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(busy.requests(), 12);
+        assert!((busy.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            partial_hits: 3,
+            coalesced: 4,
+            passes_run: 5,
+            evictions: 6,
+        };
+        let sum = a.merge(&a);
+        assert_eq!(sum.hits, 2);
+        assert_eq!(sum.misses, 4);
+        assert_eq!(sum.partial_hits, 6);
+        assert_eq!(sum.coalesced, 8);
+        assert_eq!(sum.passes_run, 10);
+        assert_eq!(sum.evictions, 12);
+        assert_eq!(sum.requests(), 20);
+    }
+
+    #[test]
+    fn shard_hash_spreads_distinct_keys() {
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let keys: Vec<PlanKey> = [16, 32, 64, 128]
+            .iter()
+            .map(|&b| PlanKey::new(&resnet_ir(b), &cluster, &cfg))
+            .collect();
+        let hashes: std::collections::HashSet<u64> = keys.iter().map(|k| k.shard_hash()).collect();
+        assert_eq!(hashes.len(), keys.len(), "distinct keys, distinct hashes");
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::error::Result;
 use crate::partition::proportional_split;
-use crate::psvf::{psvf, PsvfReport, Workload};
+use crate::psvf::{psvf, psvf_traced, PsvfReport, Workload};
 use whale_graph::{CostProfile, TrainingConfig};
 use whale_hardware::Gpu;
 
@@ -132,6 +132,48 @@ pub fn dp_partition(
     act_multiplier: f64,
     hardware_aware: bool,
 ) -> Result<DpPartition> {
+    partition(
+        profile,
+        cfg,
+        gpus,
+        global_batch,
+        act_multiplier,
+        hardware_aware,
+        false,
+    )
+}
+
+/// [`dp_partition`] with full per-step PSVF memory-ratio snapshots
+/// ([`psvf_traced`]), for Fig. 10's step-by-step walk. Batch sizes are
+/// identical to the untraced run — only the report's `mem_ratios` differ.
+pub fn dp_partition_traced(
+    profile: &CostProfile,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    global_batch: usize,
+    act_multiplier: f64,
+    hardware_aware: bool,
+) -> Result<DpPartition> {
+    partition(
+        profile,
+        cfg,
+        gpus,
+        global_batch,
+        act_multiplier,
+        hardware_aware,
+        true,
+    )
+}
+
+fn partition(
+    profile: &CostProfile,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    global_batch: usize,
+    act_multiplier: f64,
+    hardware_aware: bool,
+    traced: bool,
+) -> Result<DpPartition> {
     let weights: Vec<f64> = if hardware_aware {
         gpus.iter().map(|g| g.flops()).collect()
     } else {
@@ -147,7 +189,15 @@ pub fn dp_partition(
     let mut w = DpWorkload::new(batch_sizes, profile, cfg, gpus, act_multiplier);
     // Lines 9-10: PSVF only when some replica overflows.
     let overflow = (0..w.len()).any(|i| w.mem_bytes(i) > w.mem_capacity(i));
-    let report = if overflow { Some(psvf(&mut w)?) } else { None };
+    let report = if overflow {
+        Some(if traced {
+            psvf_traced(&mut w)?
+        } else {
+            psvf(&mut w)?
+        })
+    } else {
+        None
+    };
     Ok(DpPartition {
         batch_sizes: w.batch_sizes,
         psvf: report,

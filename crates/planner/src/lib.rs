@@ -42,10 +42,11 @@ pub mod plan;
 pub mod planner;
 pub mod psvf;
 pub mod render;
+pub mod service;
 pub mod shard;
 
-pub use cache::{CacheStats, PlanCache, PlanKey};
-pub use dp_balance::{dp_partition, DpPartition};
+pub use cache::{replan_from_seed, CacheStats, PlanCache, PlanKey};
+pub use dp_balance::{dp_partition, dp_partition_traced, DpPartition};
 pub use error::{PlanError, Result};
 pub use estimate::{estimate_step, estimate_step_cached, EstimateCache, StepEstimate};
 pub use pipe_balance::{
@@ -58,6 +59,7 @@ pub use pipeline::{
 };
 pub use plan::{CollectiveTask, DeviceWork, ExecutionPlan, PlannedStage};
 pub use planner::{plan, DeviceAssignment, PlannerConfig, ScheduleKind};
-pub use psvf::{psvf, PsvfReport, PsvfStep, Workload};
+pub use psvf::{psvf, psvf_traced, PsvfReport, PsvfStep, Workload};
 pub use render::{digest, render_plan};
+pub use service::PlanService;
 pub use shard::{match_split_pattern, SplitPattern, SplitPlan};

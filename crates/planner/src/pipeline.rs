@@ -28,6 +28,8 @@
 //! [`ClusterDelta`] invalidates — a GPU degradation keeps degrees, placement
 //! and bridges, re-running just Balance + Schedule on the new device rates.
 
+use std::sync::Arc;
+
 use whale_graph::CostProfile;
 use whale_hardware::{Cluster, ClusterDelta, Collective, VirtualDevice};
 use whale_ir::{Primitive, TaskGraph, WhaleIr};
@@ -151,8 +153,9 @@ pub struct CompileState {
     pub bridged: Option<BridgedPlan>,
     /// [`PassId::Balance`] output.
     pub balanced: Option<BalancedStages>,
-    /// [`PassId::Schedule`] output: the finished plan.
-    pub plan: Option<ExecutionPlan>,
+    /// [`PassId::Schedule`] output: the finished plan, behind an [`Arc`] so
+    /// cache hits and concurrent readers share it without a deep clone.
+    pub plan: Option<Arc<ExecutionPlan>>,
     /// Every pass executed on this state, in order, across all (re-)runs.
     /// Cache hits return states without growing this log — tests use it to
     /// prove that a hit runs zero passes.
@@ -176,6 +179,17 @@ impl CompileState {
             self.balanced = None;
         }
         self.plan = None;
+    }
+
+    /// Shared handle on the finished plan (an O(1) refcount bump).
+    ///
+    /// Panics if the Schedule pass has not run; every cached state and every
+    /// state returned by [`compile`]/[`CompilePipeline::run_from`] holds a
+    /// plan.
+    pub fn plan_arc(&self) -> Arc<ExecutionPlan> {
+        self.plan
+            .clone()
+            .expect("finished compile states always hold a plan")
     }
 
     fn missing(dep: PassId, of: PassId) -> PlanError {
@@ -602,7 +616,7 @@ impl PlannerPass for Schedule {
             efficiency: cx.config.efficiency,
         };
         plan.validate(cx.cluster)?;
-        state.plan = Some(plan);
+        state.plan = Some(Arc::new(plan));
         Ok(())
     }
 }
@@ -725,17 +739,14 @@ pub fn replan(
     config: &PlannerConfig,
     state: &mut CompileState,
     delta: &ClusterDelta,
-) -> Result<ExecutionPlan> {
+) -> Result<Arc<ExecutionPlan>> {
     let cx = PassContext {
         ir,
         cluster,
         config,
     };
     CompilePipeline::standard().run_from(&cx, state, invalidation_start(delta))?;
-    Ok(state
-        .plan
-        .clone()
-        .expect("run_from always re-runs Schedule, which sets `plan`"))
+    Ok(state.plan_arc())
 }
 
 #[cfg(test)]
@@ -822,7 +833,7 @@ mod tests {
         assert_eq!(&state.passes_run[PassId::ALL.len()..], &PassId::ALL);
         // A full re-run equals a cold plan on the new cluster exactly.
         assert_eq!(
-            replanned,
+            *replanned,
             crate::planner::plan(&ir, &cluster, &cfg).unwrap()
         );
     }

@@ -130,9 +130,12 @@ impl PlannerConfig {
 /// selectively re-run (see [`crate::pipeline`] and [`crate::cache`]).
 pub fn plan(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<ExecutionPlan> {
     let state = crate::pipeline::compile(ir, cluster, config)?;
-    Ok(state
+    let arc = state
         .plan
-        .expect("compile() runs the Schedule pass, which always sets `plan`"))
+        .expect("compile() runs the Schedule pass, which always sets `plan`");
+    // The state is freshly compiled and unshared, so this unwrap never
+    // clones.
+    Ok(std::sync::Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
 }
 
 /// The pre-pipeline monolithic planner, retained verbatim as the golden

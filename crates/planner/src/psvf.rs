@@ -53,7 +53,9 @@ pub struct PsvfStep {
     pub peak: usize,
     /// Valley device index work was given to.
     pub valley: usize,
-    /// Memory ratios after the step.
+    /// Memory ratios after the step. Empty under [`psvf`] (`Vec::new()`
+    /// allocates nothing); filled with all `n` per-device ratios only under
+    /// [`psvf_traced`], which Fig. 10's step-by-step walk uses.
     pub mem_ratios: Vec<f64>,
 }
 
@@ -93,7 +95,24 @@ fn flop_ratio(w: &impl Workload, i: usize) -> f64 {
 /// Returns the step-by-step report. Fails with [`PlanError::Infeasible`] when
 /// devices remain out of memory after every candidate valley is exhausted —
 /// the paper's termination condition `flop_ratios = ∅` with OOM remaining.
+///
+/// Steps record only `(peak, valley)`; their `mem_ratios` stay empty so the
+/// steady-state loop allocates nothing per step beyond the step entry itself
+/// (snapshotting all `n` device ratios per step is O(steps·n) on large
+/// clusters). Use [`psvf_traced`] when the per-step ratio walk is wanted.
 pub fn psvf(workload: &mut impl Workload) -> Result<PsvfReport> {
+    run(workload, false)
+}
+
+/// [`psvf`] with full per-step memory-ratio snapshots, for Fig. 10's
+/// step-by-step visualization (`fig10_psvf_steps`). Each executed step's
+/// [`PsvfStep::mem_ratios`] holds all `n` device ratios *after* the shift,
+/// at O(steps·n) allocation cost.
+pub fn psvf_traced(workload: &mut impl Workload) -> Result<PsvfReport> {
+    run(workload, true)
+}
+
+fn run(workload: &mut impl Workload, traced: bool) -> Result<PsvfReport> {
     let n = workload.len();
     if n == 0 {
         return Err(PlanError::BadConfig("PSVF over zero devices".into()));
@@ -162,7 +181,11 @@ pub fn psvf(workload: &mut impl Workload) -> Result<PsvfReport> {
             steps.push(PsvfStep {
                 peak,
                 valley: v,
-                mem_ratios: (0..n).map(|i| mem_ratio(workload, i)).collect(),
+                mem_ratios: if traced {
+                    (0..n).map(|i| mem_ratio(workload, i)).collect()
+                } else {
+                    Vec::new()
+                },
             });
             shifted = true;
             break;
@@ -269,6 +292,31 @@ mod tests {
         assert_eq!(w.units[1], 22);
         assert_eq!(r.steps.len(), 4);
         assert!(r.steps.iter().all(|s| s.peak == 0 && s.valley == 1));
+    }
+
+    #[test]
+    fn traced_fills_ratios_untraced_stays_lean() {
+        let gib = 1u64 << 30;
+        let mk = || Toy {
+            units: vec![14, 18],
+            unit_mem: gib,
+            fixed_mem: 2 * gib,
+            mem_cap: vec![12 * gib, 24 * gib],
+            flop_cap: vec![9.3, 12.0],
+        };
+        let (mut lean_w, mut traced_w) = (mk(), mk());
+        let lean = psvf(&mut lean_w).unwrap();
+        let traced = psvf_traced(&mut traced_w).unwrap();
+        // Same shifts, same final state — tracing only adds snapshots.
+        assert_eq!(lean_w.units, traced_w.units);
+        assert_eq!(lean.steps.len(), traced.steps.len());
+        assert_eq!(lean.mem_ratios, traced.mem_ratios);
+        assert!(lean.steps.iter().all(|s| s.mem_ratios.is_empty()));
+        for (i, s) in traced.steps.iter().enumerate() {
+            assert_eq!(s.mem_ratios.len(), 2, "step {i} snapshots all devices");
+        }
+        // The last snapshot matches the final ratios.
+        assert_eq!(traced.steps.last().unwrap().mem_ratios, traced.mem_ratios);
     }
 
     #[test]

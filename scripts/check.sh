@@ -10,3 +10,8 @@ cargo test -q --offline
 cargo fmt --check
 cargo clippy --workspace --all-targets --offline -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
+# Concurrent-serving smoke test: small workload, asserts single-flight and
+# counter consistency; no performance threshold (see EXPERIMENTS.md for the
+# full sweep).
+cargo run -q --release --offline -p whale-bench --bin serve_bench -- --quick

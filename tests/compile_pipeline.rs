@@ -168,7 +168,7 @@ fn structural_replan_equals_cold_plan_on_the_new_cluster() {
         .unwrap();
     assert_eq!(after.num_gpus(), 15);
     let cold = plan(&ir, &after, &config).unwrap();
-    assert_eq!(replanned, cold, "structural replan must re-run everything");
+    assert_eq!(*replanned, cold, "structural replan must re-run everything");
 }
 
 #[test]

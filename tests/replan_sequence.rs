@@ -55,7 +55,7 @@ fn consecutive_deltas_reuse_the_cache_as_promised() {
     // After the whole sequence the session's plan is exactly what a cold
     // compile of the final cluster produces.
     let cold = whale_planner::plan(&ir, session.cluster(), session.planner_config()).unwrap();
-    assert_eq!(replanned, cold, "delta path diverged from a cold compile");
+    assert_eq!(*replanned, cold, "delta path diverged from a cold compile");
     assert_eq!(session.cluster().num_gpus(), 3);
 }
 
@@ -83,7 +83,7 @@ fn unseen_intermediate_states_still_take_the_fast_path() {
     assert_eq!(after.passes_run, before.passes_run + 6, "2 passes each");
 
     let cold = whale_planner::plan(&ir, session.cluster(), session.planner_config()).unwrap();
-    assert_eq!(replanned, cold);
+    assert_eq!(*replanned, cold);
     assert_eq!(session.cluster().gpu(0).unwrap().throughput_scale, 1.0);
     assert_eq!(session.cluster().gpu(1).unwrap().throughput_scale, 0.7);
 }
