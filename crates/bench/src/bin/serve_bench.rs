@@ -186,7 +186,7 @@ fn main() {
     );
     assert_eq!(
         cold_stats.passes_run,
-        5 * n_keys as u64,
+        6 * n_keys as u64, // full pipeline: DegreeInference … Schedule, CommOpt
         "only the elected leaders may run compile passes"
     );
     assert_eq!(

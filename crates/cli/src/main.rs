@@ -15,8 +15,8 @@ mod zoo;
 
 use args::Args;
 use whale::{
-    auto_parallel, strategies, ClusterDelta, Optimizer, RecoveryPolicy, ScheduleKind, Session,
-    SimConfig, TrainingConfig, WhaleIr, ZeroStage,
+    auto_parallel, strategies, ClusterDelta, CommConfig, Optimizer, RecoveryPolicy, ScheduleKind,
+    Session, SimConfig, TrainingConfig, WhaleIr, ZeroStage,
 };
 use whale_hardware::GpuModel;
 use whale_planner::PlanKey;
@@ -83,6 +83,8 @@ COMMON OPTIONS:
   --zero N           ZeRO stage 0-3                              [0]
   --baseline         disable hardware-aware load balancing
   --gpipe            GPipe flush schedule instead of 1F1B
+  --fusion-mb N      fuse gradients into ~N MB buckets with per-bucket
+                     AllReduce algorithm selection (0 = monolithic)   [0]
   --amp --recompute --offload
   --json             (simulate) emit step stats as JSON
 
@@ -161,10 +163,16 @@ fn session_from(args: &Args) -> Result<Session, String> {
     } else {
         ScheduleKind::BackwardFirst
     };
+    let fusion_mb = args.get_num("fusion-mb", 0u64)?;
+    let comm = CommConfig {
+        fusion_bytes: fusion_mb << 20,
+        auto_algorithm: fusion_mb > 0,
+    };
     Ok(Session::on_cluster(cluster)
         .map_err(|e| e.to_string())?
         .training(training)
         .schedule(schedule)
+        .comm(comm)
         .hardware_aware(!args.flag("baseline")))
 }
 

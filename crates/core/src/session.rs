@@ -11,7 +11,8 @@ use whale_graph::TrainingConfig;
 use whale_hardware::{Cluster, ClusterDelta};
 use whale_ir::WhaleIr;
 use whale_planner::{
-    plan, CacheStats, DeviceAssignment, ExecutionPlan, PlanService, PlannerConfig, ScheduleKind,
+    plan, CacheStats, CommConfig, DeviceAssignment, ExecutionPlan, PlanService, PlannerConfig,
+    ScheduleKind,
 };
 use whale_sim::{
     simulate_step, simulate_step_reference, simulate_training, LossModel, SimConfig, StepOutcome,
@@ -99,8 +100,19 @@ impl Session {
     }
 
     /// Set the fraction of backward compute available to hide gradient sync.
+    /// Only consulted by the legacy sync model — with bucketed fusion on
+    /// (see [`Session::comm`]) overlap emerges from per-bucket events.
     pub fn sync_overlap(mut self, fraction: f64) -> Session {
         self.sim.sync_overlap = fraction;
+        self
+    }
+
+    /// Configure the communication optimizer: gradient fusion buckets and
+    /// per-group collective algorithm selection. Default = disabled
+    /// (legacy monolithic sync); `CommConfig::fused()` is the recommended
+    /// production setting.
+    pub fn comm(mut self, cfg: CommConfig) -> Session {
+        self.planner.comm = cfg;
         self
     }
 

@@ -9,7 +9,7 @@ use crate::op::{OpKind, Phase};
 use crate::tensor::TensorMeta;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of an operation within a [`Graph`]; dense in `0..graph.len()`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -87,6 +87,45 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Adjacency derived from the op list, built once on first use: the inverse
+/// edge map plus the source/sink frontiers. `sources()`/`sinks()`/
+/// `consumers()` used to rebuild these `Vec`s on every call — an O(V+E)
+/// term per call site that planner and autodiff loops paid repeatedly.
+#[derive(Debug)]
+struct AdjCache {
+    consumers: Vec<Vec<OpId>>,
+    sources: Vec<OpId>,
+    sinks: Vec<OpId>,
+}
+
+impl AdjCache {
+    fn build(ops: &[Op]) -> AdjCache {
+        let mut consumers = vec![Vec::new(); ops.len()];
+        let mut consumed = vec![false; ops.len()];
+        for op in ops {
+            for &input in &op.inputs {
+                consumers[input.0].push(op.id);
+                consumed[input.0] = true;
+            }
+        }
+        let sources = ops
+            .iter()
+            .filter(|op| op.inputs.is_empty())
+            .map(|op| op.id)
+            .collect();
+        let sinks = ops
+            .iter()
+            .filter(|op| !consumed[op.id.0])
+            .map(|op| op.id)
+            .collect();
+        AdjCache {
+            consumers,
+            sources,
+            sinks,
+        }
+    }
+}
+
 /// An append-only dataflow DAG.
 ///
 /// Ops live behind an [`Arc`] with copy-on-write mutation, so cloning a
@@ -94,10 +133,22 @@ impl std::error::Error for GraphError {}
 /// built model to every candidate strategy without re-running the model
 /// constructor. Value semantics are preserved: appending to a shared graph
 /// copies the op list first.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Adjacency ([`Graph::consumers`], [`Graph::sources`], [`Graph::sinks`]) is
+/// memoized behind a [`OnceLock`] and shared by clones; appending an op
+/// invalidates it. Equality and ordering look only at `(name, ops)` — the
+/// cache is pure derived state.
+#[derive(Debug, Clone)]
 pub struct Graph {
     name: String,
     ops: Arc<Vec<Op>>,
+    adj: Arc<OnceLock<AdjCache>>,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.ops == other.ops
+    }
 }
 
 impl Graph {
@@ -106,6 +157,7 @@ impl Graph {
         Graph {
             name: name.into(),
             ops: Arc::new(Vec::new()),
+            adj: Arc::new(OnceLock::new()),
         }
     }
 
@@ -160,42 +212,37 @@ impl Graph {
             phase,
             layer,
         });
+        // Invalidate the memoized adjacency. A uniquely owned, still-empty
+        // cell is cleared in place (no allocation on the builder hot path);
+        // a cell shared with clones is detached so their view stays valid.
+        match Arc::get_mut(&mut self.adj) {
+            Some(cell) => {
+                cell.take();
+            }
+            None => self.adj = Arc::new(OnceLock::new()),
+        }
         Ok(id)
     }
 
-    /// Ids of ops with no data dependencies (the graph inputs).
-    pub fn sources(&self) -> Vec<OpId> {
-        self.ops
-            .iter()
-            .filter(|op| op.inputs.is_empty())
-            .map(|op| op.id)
-            .collect()
+    fn adjacency(&self) -> &AdjCache {
+        self.adj.get_or_init(|| AdjCache::build(&self.ops))
     }
 
-    /// Ids of ops nothing consumes (the graph outputs).
-    pub fn sinks(&self) -> Vec<OpId> {
-        let mut consumed = vec![false; self.ops.len()];
-        for op in self.ops.iter() {
-            for &input in &op.inputs {
-                consumed[input.0] = true;
-            }
-        }
-        self.ops
-            .iter()
-            .filter(|op| !consumed[op.id.0])
-            .map(|op| op.id)
-            .collect()
+    /// Ids of ops with no data dependencies (the graph inputs). Memoized;
+    /// the first call after construction builds the adjacency cache.
+    pub fn sources(&self) -> &[OpId] {
+        &self.adjacency().sources
     }
 
-    /// Consumers of each op, indexed by producer id.
-    pub fn consumers(&self) -> Vec<Vec<OpId>> {
-        let mut out = vec![Vec::new(); self.ops.len()];
-        for op in self.ops.iter() {
-            for &input in &op.inputs {
-                out[input.0].push(op.id);
-            }
-        }
-        out
+    /// Ids of ops nothing consumes (the graph outputs). Memoized.
+    pub fn sinks(&self) -> &[OpId] {
+        &self.adjacency().sinks
+    }
+
+    /// Consumers of each op, indexed by producer id. Memoized — repeated
+    /// calls return the same slices without rebuilding the edge map.
+    pub fn consumers(&self) -> &[Vec<OpId>] {
+        &self.adjacency().consumers
     }
 
     /// Total forward FLOPs over all ops.
@@ -323,6 +370,51 @@ mod tests {
         let cons = g.consumers();
         assert_eq!(cons[0], vec![OpId(1)]);
         assert!(cons[4].is_empty());
+    }
+
+    #[test]
+    fn adjacency_is_memoized_and_invalidated_on_append() {
+        let mut g = mk_chain(3);
+        // Same backing storage on repeated calls: the cache is built once.
+        assert!(std::ptr::eq(g.consumers(), g.consumers()));
+        assert_eq!(g.sinks(), vec![OpId(2)]);
+
+        // Appending invalidates: the new op shows up in the adjacency.
+        g.add_op(
+            "tail",
+            OpKind::MatMul {
+                m: 8,
+                k: 16,
+                n: 16,
+                has_params: true,
+            },
+            vec![OpId(2)],
+            TensorMeta::f32(&[8, 16]),
+            Phase::Forward,
+            Some(3),
+        )
+        .unwrap();
+        assert_eq!(g.sinks(), vec![OpId(3)]);
+        assert_eq!(g.consumers()[2], vec![OpId(3)]);
+
+        // A clone that shares an initialized cache stays correct when the
+        // original mutates (the mutated graph detaches, the clone keeps its
+        // own view).
+        let clone = g.clone();
+        let _ = clone.consumers();
+        g.add_op(
+            "tail2",
+            OpKind::Input,
+            vec![],
+            TensorMeta::f32(&[1]),
+            Phase::Forward,
+            None,
+        )
+        .unwrap();
+        assert_eq!(clone.sinks(), vec![OpId(3)]);
+        assert_eq!(g.sinks(), vec![OpId(3), OpId(4)]);
+        // Equality ignores the cache.
+        assert_eq!(clone, clone.clone());
     }
 
     #[test]

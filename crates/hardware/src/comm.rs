@@ -30,6 +30,34 @@ pub enum Collective {
     AllToAll,
 }
 
+/// AllReduce algorithm flavors the runtime can execute (NCCL-style).
+///
+/// [`CommModel::select_allreduce`] picks one per group, payload, and
+/// topology at the latency/bandwidth crossover; the planner's comm-optimizer
+/// pass records the choice per fusion bucket so the simulator prices exactly
+/// the algorithm the schedule committed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllReduceAlgo {
+    /// Flat ring: bandwidth-optimal, `2(n−1)` latency hops.
+    Ring,
+    /// Binary tree: latency-optimal for small payloads.
+    Tree,
+    /// Two-level ring (Whale §4): local phases on fast links, one leader per
+    /// node rings the network.
+    Hierarchical,
+}
+
+impl AllReduceAlgo {
+    /// Stable display name (`"ring"`, `"tree"`, `"hierarchical"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AllReduceAlgo::Ring => "ring",
+            AllReduceAlgo::Tree => "tree",
+            AllReduceAlgo::Hierarchical => "hierarchical",
+        }
+    }
+}
+
 /// Communication cost model over a concrete cluster.
 ///
 /// The model picks the *bottleneck link class* of the group (network if the
@@ -194,14 +222,89 @@ impl<'c> CommModel<'c> {
         Ok(local_rs + global + local_ag)
     }
 
+    /// AllReduce cost under an explicitly chosen algorithm.
+    pub fn allreduce_with(&self, algo: AllReduceAlgo, group: &[usize], bytes: u64) -> Result<f64> {
+        match algo {
+            AllReduceAlgo::Ring => self.allreduce(group, bytes),
+            AllReduceAlgo::Tree => self.tree_allreduce(group, bytes),
+            AllReduceAlgo::Hierarchical => self.hierarchical_allreduce(group, bytes),
+        }
+    }
+
+    /// Latency/bandwidth-crossover algorithm selection: evaluate every
+    /// algorithm for this group size, payload, and topology and return the
+    /// winner with its cost. Ties break deterministically toward ring, then
+    /// hierarchical (the preference order NCCL uses when costs are equal:
+    /// the bandwidth-optimal variant wins).
+    pub fn select_allreduce(&self, group: &[usize], bytes: u64) -> Result<(AllReduceAlgo, f64)> {
+        Ok(self.allreduce_selector(group)?.select(bytes))
+    }
+
+    /// Precompute an [`AllReduceSelector`] for `group`: the topology walks
+    /// (bottleneck links, per-node membership, leader ring) happen once here,
+    /// and each subsequent payload costs three multiply-adds. Costs are
+    /// bit-identical to [`CommModel::allreduce`] /
+    /// [`CommModel::tree_allreduce`] / [`CommModel::hierarchical_allreduce`];
+    /// the planner's comm-optimizer and the simulator's bucketed grad-sync
+    /// path use this to price every fusion bucket of a group without
+    /// re-deriving the topology per bucket.
+    pub fn allreduce_selector(&self, group: &[usize]) -> Result<AllReduceSelector> {
+        let n = check_group(group)?;
+        if n == 1 {
+            return Ok(AllReduceSelector {
+                n,
+                ring_bw: 1.0,
+                ring_lat: 0.0,
+                tree_depth: 0.0,
+                hier: None,
+            });
+        }
+        let (ring_bw, ring_lat) = self.ring_params(group)?;
+        let tree_depth = (n as f64).log2().ceil();
+        let mut per_node: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &id in group {
+            let node = self.cluster.gpu(id)?.node;
+            match per_node.iter_mut().find(|(nd, _)| *nd == node) {
+                Some((_, v)) => v.push(id),
+                None => per_node.push((node, vec![id])),
+            }
+        }
+        let hier = if per_node.len() == 1 {
+            None
+        } else {
+            let mut nodes = Vec::with_capacity(per_node.len());
+            for (_, members) in &per_node {
+                let (bw, lat) = if members.len() > 1 {
+                    self.ring_params(members)?
+                } else {
+                    (1.0, 0.0)
+                };
+                nodes.push((members.len(), bw, lat));
+            }
+            let leaders: Vec<usize> = per_node.iter().map(|(_, m)| m[0]).collect();
+            let (leader_bw, leader_lat) = self.ring_params(&leaders)?;
+            Some(HierTopo {
+                nodes,
+                leaders_n: leaders.len(),
+                leader_bw,
+                leader_lat,
+            })
+        };
+        Ok(AllReduceSelector {
+            n,
+            ring_bw,
+            ring_lat,
+            tree_depth,
+            hier,
+        })
+    }
+
     /// Cost of the cheapest AllReduce algorithm — flat ring, hierarchical
     /// two-level ring, or binary tree — which is what an NCCL-style runtime
-    /// selects per tensor size and topology.
+    /// selects per tensor size and topology. Exactly
+    /// [`CommModel::select_allreduce`]'s cost.
     pub fn best_allreduce(&self, group: &[usize], bytes: u64) -> Result<f64> {
-        let flat = self.allreduce(group, bytes)?;
-        let hier = self.hierarchical_allreduce(group, bytes)?;
-        let tree = self.tree_allreduce(group, bytes)?;
-        Ok(flat.min(hier).min(tree))
+        Ok(self.select_allreduce(group, bytes)?.1)
     }
 
     /// Dispatch on a [`Collective`] kind.
@@ -212,6 +315,107 @@ impl<'c> CommModel<'c> {
             Collective::ReduceScatter => self.reduce_scatter(group, bytes),
             Collective::Broadcast => self.broadcast(group, bytes),
             Collective::AllToAll => self.alltoall(group, bytes),
+        }
+    }
+}
+
+/// Per-group AllReduce cost evaluator with the topology precomputed — built
+/// by [`CommModel::allreduce_selector`]. Evaluating a payload is pure
+/// arithmetic over the cached link parameters, so pricing every bucket of a
+/// fusion schedule is O(buckets), not O(buckets × group).
+#[derive(Debug, Clone)]
+pub struct AllReduceSelector {
+    n: usize,
+    ring_bw: f64,
+    ring_lat: f64,
+    tree_depth: f64,
+    /// `None` when the group sits on one node: hierarchical falls back to
+    /// the flat ring there.
+    hier: Option<HierTopo>,
+}
+
+#[derive(Debug, Clone)]
+struct HierTopo {
+    /// Per node: member count and the node-local ring `(bw, lat)` (unused
+    /// placeholders for single-member nodes, which run no local phase).
+    nodes: Vec<(usize, f64, f64)>,
+    leaders_n: usize,
+    leader_bw: f64,
+    leader_lat: f64,
+}
+
+impl AllReduceSelector {
+    /// Flat-ring cost; bit-identical to [`CommModel::allreduce`].
+    pub fn ring(&self, bytes: u64) -> f64 {
+        if self.n == 1 {
+            return 0.0;
+        }
+        let nf = self.n as f64;
+        2.0 * (nf - 1.0) / nf * bytes as f64 / self.ring_bw + 2.0 * (nf - 1.0) * self.ring_lat
+    }
+
+    /// Binary-tree cost; bit-identical to [`CommModel::tree_allreduce`].
+    pub fn tree(&self, bytes: u64) -> f64 {
+        if self.n == 1 {
+            return 0.0;
+        }
+        2.0 * self.tree_depth * (self.ring_lat + bytes as f64 / self.ring_bw)
+    }
+
+    /// Two-level cost; bit-identical to
+    /// [`CommModel::hierarchical_allreduce`], including the flat-ring
+    /// fallback for single-node groups.
+    pub fn hierarchical(&self, bytes: u64) -> f64 {
+        if self.n == 1 {
+            return 0.0;
+        }
+        let Some(h) = &self.hier else {
+            return self.ring(bytes);
+        };
+        let mut local_rs: f64 = 0.0;
+        let mut local_ag: f64 = 0.0;
+        for &(m, bw, lat) in &h.nodes {
+            if m > 1 {
+                let mf = m as f64;
+                local_rs = local_rs.max((mf - 1.0) / mf * bytes as f64 / bw + (mf - 1.0) * lat);
+                let per_rank = bytes / m as u64;
+                local_ag = local_ag.max((mf - 1.0) * per_rank as f64 / bw + (mf - 1.0) * lat);
+            }
+        }
+        let max_shard = h
+            .nodes
+            .iter()
+            .map(|&(m, _, _)| bytes / m as u64)
+            .max()
+            .unwrap_or(bytes);
+        let nl = h.leaders_n as f64;
+        let global = 2.0 * (nl - 1.0) / nl * max_shard as f64 / h.leader_bw
+            + 2.0 * (nl - 1.0) * h.leader_lat;
+        local_rs + global + local_ag
+    }
+
+    /// Cost under an explicitly chosen algorithm; bit-identical to
+    /// [`CommModel::allreduce_with`].
+    pub fn cost(&self, algo: AllReduceAlgo, bytes: u64) -> f64 {
+        match algo {
+            AllReduceAlgo::Ring => self.ring(bytes),
+            AllReduceAlgo::Tree => self.tree(bytes),
+            AllReduceAlgo::Hierarchical => self.hierarchical(bytes),
+        }
+    }
+
+    /// The cheapest algorithm for `bytes`, with
+    /// [`CommModel::select_allreduce`]'s tie-break order.
+    pub fn select(&self, bytes: u64) -> (AllReduceAlgo, f64) {
+        let flat = self.ring(bytes);
+        let hier = self.hierarchical(bytes);
+        let tree = self.tree(bytes);
+        if flat <= hier && flat <= tree {
+            (AllReduceAlgo::Ring, flat)
+        } else if hier <= tree {
+            (AllReduceAlgo::Hierarchical, hier)
+        } else {
+            (AllReduceAlgo::Tree, tree)
         }
     }
 }
@@ -346,6 +550,105 @@ mod tests {
     }
 
     #[test]
+    fn singleton_groups_cost_nothing_under_every_algorithm() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 2, 8);
+        let m = CommModel::new(&c);
+        for algo in [
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::Tree,
+            AllReduceAlgo::Hierarchical,
+        ] {
+            assert_eq!(m.allreduce_with(algo, &[5], MB100).unwrap(), 0.0);
+        }
+        let (_, cost) = m.select_allreduce(&[5], MB100).unwrap();
+        assert_eq!(cost, 0.0);
+        assert_eq!(m.best_allreduce(&[5], MB100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_intra_and_inter_node_bandwidths_are_distinguished() {
+        // Node 0: NVLink V100s; node 1: PCIe P100s. The same 4-rank group
+        // costs more on PCIe than on NVLink, and a group spanning both nodes
+        // is bounded by the network — strictly slower than either.
+        let c = Cluster::parse("1x(8xV100)+1x(8xP100)").unwrap();
+        let m = CommModel::new(&c);
+        let nvlink = m.allreduce(&[0, 1, 2, 3], MB100).unwrap();
+        let pcie = m.allreduce(&[8, 9, 10, 11], MB100).unwrap();
+        let cross = m.allreduce(&[0, 1, 8, 9], MB100).unwrap();
+        assert!(pcie > nvlink, "pcie={pcie} nvlink={nvlink}");
+        assert!(cross > pcie, "cross={cross} pcie={pcie}");
+        assert_eq!(m.bottleneck_link(&[8, 9, 10, 11]).unwrap(), LinkKind::Pcie);
+        assert_eq!(m.bottleneck_link(&[0, 1, 8, 9]).unwrap(), LinkKind::Network);
+    }
+
+    #[test]
+    fn ring_tree_crossover_is_monotone_in_payload() {
+        // tree − ring cost is strictly increasing in payload on a fixed
+        // group (the tree re-sends the whole tensor per level, `2·log2(n)`
+        // bandwidth terms vs the ring's ~2), so the selection flips at most
+        // once as the payload grows: tree wins small tensors, ring wins big
+        // ones, and once the ring wins it wins at every larger payload.
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 8, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..64).collect();
+        let mut ring_won = false;
+        let mut prev_gap = f64::NEG_INFINITY;
+        for shift in 10..30 {
+            let bytes = 1u64 << shift; // 1 KiB → 512 MiB
+            let ring = m.allreduce(&group, bytes).unwrap();
+            let tree = m.tree_allreduce(&group, bytes).unwrap();
+            let gap = tree - ring;
+            assert!(gap > prev_gap, "gap must grow: {prev_gap} → {gap}");
+            prev_gap = gap;
+            let (algo, cost) = m.select_allreduce(&group, bytes).unwrap();
+            assert!(cost <= ring.min(tree));
+            if ring_won {
+                assert_ne!(
+                    algo,
+                    AllReduceAlgo::Tree,
+                    "tree re-selected at {bytes} B after losing at a smaller payload"
+                );
+            }
+            if ring < tree {
+                ring_won = true;
+            }
+        }
+        assert!(ring_won, "ring must win for large payloads");
+    }
+
+    #[test]
+    fn hierarchical_single_node_fallback_matches_flat_ring_selection() {
+        // On one node the hierarchical algorithm degenerates to a flat ring;
+        // selection must therefore never report hierarchical as a strict
+        // winner and its cost must equal the ring's at every payload.
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..8).collect();
+        for bytes in [4u64 << 10, 1 << 20, 256 << 20] {
+            assert_eq!(
+                m.allreduce_with(AllReduceAlgo::Hierarchical, &group, bytes)
+                    .unwrap(),
+                m.allreduce_with(AllReduceAlgo::Ring, &group, bytes)
+                    .unwrap()
+            );
+            let (algo, cost) = m.select_allreduce(&group, bytes).unwrap();
+            assert_ne!(algo, AllReduceAlgo::Hierarchical);
+            assert_eq!(cost, m.best_allreduce(&group, bytes).unwrap());
+        }
+    }
+
+    #[test]
+    fn selection_cost_equals_chosen_algorithm_cost() {
+        let c = Cluster::homogeneous(GpuModel::V100_32GB, 4, 8);
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..32).collect();
+        for bytes in [1u64 << 12, 1 << 20, 25 << 20, 512 << 20] {
+            let (algo, cost) = m.select_allreduce(&group, bytes).unwrap();
+            assert_eq!(cost, m.allreduce_with(algo, &group, bytes).unwrap());
+        }
+    }
+
+    #[test]
     fn collective_dispatch_matches_direct_calls() {
         let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 4);
         let m = CommModel::new(&c);
@@ -366,5 +669,45 @@ mod tests {
             m.collective(Collective::ReduceScatter, &g, MB100).unwrap(),
             m.reduce_scatter(&g, MB100).unwrap()
         );
+    }
+
+    #[test]
+    fn selector_costs_are_bit_identical_to_direct_evaluation() {
+        // Heterogeneous multi-node, single-node, and asymmetric-membership
+        // groups, across payloads from 1 KB to 1 GB: the precomputed
+        // selector must reproduce every direct cost exactly, and pick the
+        // same winner.
+        let c = Cluster::parse("2x(8xV100)+2x(8xP100)").unwrap();
+        let m = CommModel::new(&c);
+        let groups: Vec<Vec<usize>> = vec![
+            (0..32).collect(),           // all four nodes
+            (0..8).collect(),            // one NVLink node
+            vec![0, 1, 2, 8, 9, 16, 24], // asymmetric membership
+            vec![5],                     // singleton
+            vec![0, 8, 16, 24],          // one GPU per node
+        ];
+        for g in &groups {
+            let sel = m.allreduce_selector(g).unwrap();
+            for shift in [10u64, 16, 20, 24, 27, 30] {
+                let bytes = 1u64 << shift;
+                assert_eq!(sel.ring(bytes), m.allreduce(g, bytes).unwrap());
+                assert_eq!(sel.tree(bytes), m.tree_allreduce(g, bytes).unwrap());
+                assert_eq!(
+                    sel.hierarchical(bytes),
+                    m.hierarchical_allreduce(g, bytes).unwrap()
+                );
+                for algo in [
+                    AllReduceAlgo::Ring,
+                    AllReduceAlgo::Tree,
+                    AllReduceAlgo::Hierarchical,
+                ] {
+                    assert_eq!(
+                        sel.cost(algo, bytes),
+                        m.allreduce_with(algo, g, bytes).unwrap()
+                    );
+                }
+                assert_eq!(sel.select(bytes), m.select_allreduce(g, bytes).unwrap());
+            }
+        }
     }
 }

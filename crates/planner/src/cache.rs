@@ -437,8 +437,8 @@ mod tests {
         let (replanned, after) = cache.replan(&ir, &cluster, &cfg, delta).unwrap();
         let s = cache.stats();
         assert_eq!(s.partial_hits, 1);
-        // Balance + Schedule only, on top of the 5 cold passes.
-        assert_eq!(s.passes_run, 5 + 2);
+        // Balance + Schedule + CommOpt only, on top of the 6 cold passes.
+        assert_eq!(s.passes_run, 6 + 3);
         // Degraded GPU 0 now gets the smallest share.
         let dev = &replanned.stages[0].devices;
         assert!(dev[0].samples_per_step < dev[1].samples_per_step);

@@ -1,0 +1,413 @@
+//! The communication optimizer: bucketed gradient fusion + per-group
+//! collective algorithm selection (§4, "Gradient Synchronization").
+//!
+//! Whale hides gradient AllReduce behind backward compute. Real stacks
+//! (Horovod's tensor fusion, ref \[35\]) get that overlap from *size-capped
+//! fusion buckets* released in reverse backward order: as soon as the last
+//! gradient contributing to a bucket finalizes, the bucket's AllReduce can
+//! launch while earlier layers are still back-propagating. The [`CommOpt`]
+//! pass reconstructs that schedule at plan time:
+//!
+//! * each gradient-sync group's payload is split along the model's layer
+//!   structure into buckets of at most [`CommConfig::fusion_bytes`] bytes,
+//!   ordered in **reverse backward order** (deepest layers first — their
+//!   gradients finalize first);
+//! * each bucket records a `ready_frac`: the fraction of the stage's
+//!   backward work that must drain before the bucket's last gradient exists
+//!   (derived from cumulative per-layer FLOPs, since backward time is
+//!   proportional to forward FLOPs);
+//! * when [`CommConfig::auto_algorithm`] is set, each bucket also records
+//!   the cheapest AllReduce algorithm for its `(group, payload, topology)`
+//!   via [`CommModel::select_allreduce`] — small buckets ride the
+//!   latency-optimal tree, large ones the bandwidth-optimal ring or
+//!   hierarchical reduction.
+//!
+//! The simulator's event-driven grad-sync path consumes the resulting
+//! [`GradSyncSchedule`] directly — no `sync_overlap` interpolation constant.
+//! With fusion disabled (`fusion_bytes == 0`, the default) the schedule is
+//! [`SyncMode::Legacy`]: one bucket per sync group under the legacy
+//! algorithm, and the simulator takes the exact pre-existing code path
+//! (bit-identical step times, pinned by `tests/comm_equivalence.rs`).
+
+use whale_graph::Graph;
+use whale_hardware::{AllReduceAlgo, Cluster, CommModel};
+use whale_ir::TaskGraph;
+
+use crate::error::Result;
+use crate::pipeline::{CompileState, PassContext, PassId, PlannerPass};
+use crate::plan::{CollectiveTask, ExecutionPlan};
+
+/// Default fusion-bucket cap: 25 MB, Horovod's long-standing default
+/// (`HOROVOD_FUSION_THRESHOLD`) and the paper's reference stack.
+pub const DEFAULT_FUSION_BYTES: u64 = 25 << 20;
+
+/// Communication-optimizer options, part of
+/// [`PlannerConfig`](crate::PlannerConfig) (and thus of every plan-cache
+/// key).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommConfig {
+    /// Fusion-bucket byte cap. `0` (the default) disables bucketing
+    /// entirely: one bucket per sync group, legacy algorithm selection, and
+    /// the simulator's original scalar-overlap model (bit-identical to the
+    /// pre-optimizer behavior).
+    pub fusion_bytes: u64,
+    /// Pick the cheapest AllReduce algorithm (ring vs. tree vs.
+    /// hierarchical) per bucket from the topology-aware cost model instead
+    /// of the legacy default.
+    pub auto_algorithm: bool,
+}
+
+impl CommConfig {
+    /// The recommended production setting: 25 MB buckets + automatic
+    /// algorithm selection.
+    pub fn fused() -> CommConfig {
+        CommConfig {
+            fusion_bytes: DEFAULT_FUSION_BYTES,
+            auto_algorithm: true,
+        }
+    }
+
+    /// Whether bucketed fusion is on.
+    pub fn enabled(&self) -> bool {
+        self.fusion_bytes > 0
+    }
+}
+
+/// Which overlap model a [`GradSyncSchedule`] encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Fusion disabled: one bucket per sync group, legacy algorithm. The
+    /// simulator ignores the schedule and runs its original scalar
+    /// `sync_overlap` model (the schedule still renders, for inspection).
+    Legacy,
+    /// Size-capped buckets in reverse backward order with per-bucket
+    /// readiness; the simulator serializes them per link, event-driven.
+    Bucketed,
+}
+
+/// One gradient fusion bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradBucket {
+    /// Index into [`ExecutionPlan::grad_syncs`] of the group this bucket
+    /// belongs to.
+    pub sync_index: usize,
+    /// Payload bytes (the buckets of one sync sum exactly to its `bytes`).
+    pub bytes: u64,
+    /// Fraction of the owning stage's backward work that must complete
+    /// before this bucket's last gradient is final, in `[0, 1]`. The last
+    /// bucket of every sync has `ready_frac == 1.0`.
+    pub ready_frac: f64,
+    /// Chosen AllReduce algorithm (`None` = legacy dispatch).
+    pub algo: Option<AllReduceAlgo>,
+    /// Model layer range `(min, max)` covered by this bucket.
+    pub layers: (usize, usize),
+}
+
+/// The full grad-sync schedule attached to an [`ExecutionPlan`] by the
+/// [`CommOpt`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradSyncSchedule {
+    /// Overlap model the buckets encode.
+    pub mode: SyncMode,
+    /// Fusion cap the buckets were built with.
+    pub fusion_bytes: u64,
+    /// Buckets, grouped by sync and in reverse backward order within each
+    /// sync (deepest layers first).
+    pub buckets: Vec<GradBucket>,
+}
+
+impl GradSyncSchedule {
+    /// Buckets of one sync group, in release order.
+    pub fn buckets_of(&self, sync_index: usize) -> impl Iterator<Item = &GradBucket> {
+        self.buckets
+            .iter()
+            .filter(move |b| b.sync_index == sync_index)
+    }
+}
+
+/// Build the grad-sync schedule for `grad_syncs` against the model's layer
+/// structure and the cluster topology. Shared by the [`CommOpt`] pipeline
+/// pass and the monolithic `plan_reference`, so both emit identical plans.
+pub(crate) fn build_grad_sync_schedule(
+    grad_syncs: &[CollectiveTask],
+    task_graphs: &[TaskGraph],
+    graph: &Graph,
+    cluster: &Cluster,
+    cfg: &CommConfig,
+) -> Result<GradSyncSchedule> {
+    let mode = if cfg.enabled() {
+        SyncMode::Bucketed
+    } else {
+        SyncMode::Legacy
+    };
+    let comm = CommModel::new(cluster);
+    let mut buckets = Vec::with_capacity(grad_syncs.len());
+    for (sync_index, sync) in grad_syncs.iter().enumerate() {
+        let start = buckets.len();
+        match mode {
+            SyncMode::Legacy => buckets.push(GradBucket {
+                sync_index,
+                bytes: sync.bytes,
+                ready_frac: 1.0,
+                algo: None,
+                layers: (0, 0),
+            }),
+            SyncMode::Bucketed => {
+                bucket_sync(sync_index, sync, task_graphs, graph, cfg, &mut buckets)
+            }
+        }
+        if cfg.auto_algorithm && mode == SyncMode::Bucketed {
+            // One topology walk per group; each bucket then costs three
+            // multiply-adds to price (the selector is bit-identical to
+            // `select_allreduce`).
+            let selector = comm.allreduce_selector(&sync.group)?;
+            for b in &mut buckets[start..] {
+                b.algo = Some(selector.select(b.bytes).0);
+            }
+        }
+    }
+    Ok(GradSyncSchedule {
+        mode,
+        fusion_bytes: cfg.fusion_bytes,
+        buckets,
+    })
+}
+
+/// Split one sync group's payload into size-capped buckets along the owning
+/// stage's layer structure, deepest layers first.
+///
+/// Byte split: each layer owns a share of `sync.bytes` proportional to its
+/// parameter count, realized through cumulative u64 rounding so the bucket
+/// bytes sum *exactly* to `sync.bytes` (the telescoping marks guarantee it).
+fn bucket_sync(
+    sync_index: usize,
+    sync: &CollectiveTask,
+    task_graphs: &[TaskGraph],
+    graph: &Graph,
+    cfg: &CommConfig,
+    out: &mut Vec<GradBucket>,
+) {
+    // Per-layer parameter counts and forward FLOPs of the owning stage,
+    // layer-indexed flat table (one O(ops) pass, no per-op map lookups).
+    let tg = sync
+        .stage
+        .and_then(|s| task_graphs.iter().find(|tg| tg.index == s));
+    let mut layers: Vec<(bool, u64, f64)> = Vec::new();
+    if let Some(tg) = tg {
+        for &id in &tg.ops {
+            if let Ok(op) = graph.op(id) {
+                let layer = op.layer.unwrap_or(0);
+                if layer >= layers.len() {
+                    layers.resize(layer + 1, (false, 0, 0.0));
+                }
+                let e = &mut layers[layer];
+                e.0 = true;
+                e.1 += op.param_count();
+                e.2 += op.forward_flops();
+            }
+        }
+    }
+    let present = |ls: &[(bool, u64, f64)]| -> Vec<(usize, u64, f64)> {
+        ls.iter()
+            .enumerate()
+            .filter(|(_, &(seen, _, _))| seen)
+            .map(|(l, &(_, p, f))| (l, p, f))
+            .collect()
+    };
+    let layers = present(&layers);
+    let total_params: u64 = layers.iter().map(|&(_, p, _)| p).sum();
+    // Accumulate FLOPs in the same (descending) order the packing loop uses
+    // so the final bucket's cumulative sum hits the total exactly.
+    let total_flops: f64 = layers.iter().rev().map(|&(_, _, f)| f).sum();
+    if total_params == 0 {
+        // No layer structure to split along (stage missing, no parameters):
+        // a single bucket released when the whole backward drains.
+        out.push(GradBucket {
+            sync_index,
+            bytes: sync.bytes,
+            ready_frac: 1.0,
+            algo: None,
+            layers: (0, 0),
+        });
+        return;
+    }
+
+    // Cumulative byte mark after `cum` of `total_params` parameters.
+    let mark =
+        |cum: u64| -> u64 { ((cum as u128 * sync.bytes as u128) / total_params as u128) as u64 };
+
+    let mut cum_params = 0u64;
+    let mut cum_flops = 0.0f64;
+    let mut bucket_start = 0u64; // param mark where the open bucket begins
+    let mut bucket_layers: Option<(usize, usize)> = None;
+    // Deepest layers first: their gradients finalize first in backward.
+    for &(layer, params, flops) in layers.iter().rev() {
+        let would_be = mark(cum_params + params) - mark(bucket_start);
+        if bucket_layers.is_some() && would_be > cfg.fusion_bytes {
+            let (min, max) = bucket_layers.take().unwrap();
+            out.push(GradBucket {
+                sync_index,
+                bytes: mark(cum_params) - mark(bucket_start),
+                ready_frac: if total_flops > 0.0 {
+                    cum_flops / total_flops
+                } else {
+                    1.0
+                },
+                algo: None,
+                layers: (min, max),
+            });
+            bucket_start = cum_params;
+        }
+        cum_params += params;
+        cum_flops += flops;
+        bucket_layers = Some(match bucket_layers {
+            Some((min, max)) => (min.min(layer), max.max(layer)),
+            None => (layer, layer),
+        });
+    }
+    let (min, max) = bucket_layers.unwrap_or((0, 0));
+    out.push(GradBucket {
+        sync_index,
+        bytes: sync.bytes - mark(bucket_start),
+        ready_frac: 1.0,
+        algo: None,
+        layers: (min, max),
+    });
+}
+
+/// Attach the grad-sync schedule to a finished plan (the monolithic
+/// reference planner's entry point; the pipeline uses [`CommOpt`]).
+pub(crate) fn attach_schedule(
+    plan: &mut ExecutionPlan,
+    task_graphs: &[TaskGraph],
+    graph: &Graph,
+    cluster: &Cluster,
+    cfg: &CommConfig,
+) -> Result<()> {
+    plan.grad_sync_schedule = Some(build_grad_sync_schedule(
+        &plan.grad_syncs,
+        task_graphs,
+        graph,
+        cluster,
+        cfg,
+    )?);
+    Ok(())
+}
+
+/// Pass 6: derive the bucketed grad-sync schedule from the scheduled plan
+/// and the placement's layer structure, and attach it to the plan.
+///
+/// Idempotent: it reads `state.plan` + `state.placement` and rewrites only
+/// the plan's `grad_sync_schedule` field (in a fresh `Arc`), so a
+/// CommOpt-only re-run needs no earlier artifacts recomputed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommOpt;
+
+impl PlannerPass for CommOpt {
+    fn id(&self) -> PassId {
+        PassId::CommOpt
+    }
+
+    fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
+        let plan_arc = state
+            .plan
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::Schedule, self.id()))?;
+        let p = state
+            .placement
+            .as_ref()
+            .ok_or_else(|| CompileState::missing(PassId::Placement, self.id()))?;
+        let schedule = build_grad_sync_schedule(
+            &plan_arc.grad_syncs,
+            &p.task_graphs,
+            &cx.ir.graph,
+            cx.cluster,
+            &cx.config.comm,
+        )?;
+        let mut plan = (**plan_arc).clone();
+        plan.grad_sync_schedule = Some(schedule);
+        state.plan = Some(std::sync::Arc::new(plan));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whale_graph::models;
+    use whale_hardware::Cluster;
+    use whale_ir::Annotator;
+
+    fn dp_plan(cfg: &crate::PlannerConfig) -> (ExecutionPlan, Cluster) {
+        let g = models::bert_large(64, 128).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("2x(8xV100)+2x(8xP100)").unwrap();
+        (crate::plan(&ir, &cluster, cfg).unwrap(), cluster)
+    }
+
+    #[test]
+    fn disabled_config_yields_legacy_single_buckets() {
+        let (p, _) = dp_plan(&crate::PlannerConfig::default());
+        let sched = p.grad_sync_schedule.as_ref().unwrap();
+        assert_eq!(sched.mode, SyncMode::Legacy);
+        assert_eq!(sched.buckets.len(), p.grad_syncs.len());
+        for (i, b) in sched.buckets.iter().enumerate() {
+            assert_eq!(b.sync_index, i);
+            assert_eq!(b.bytes, p.grad_syncs[i].bytes);
+            assert_eq!(b.ready_frac, 1.0);
+            assert_eq!(b.algo, None);
+        }
+    }
+
+    #[test]
+    fn bucket_bytes_sum_exactly_and_caps_hold() {
+        let cfg = crate::PlannerConfig {
+            comm: CommConfig::fused(),
+            ..crate::PlannerConfig::default()
+        };
+        let (p, _) = dp_plan(&cfg);
+        let sched = p.grad_sync_schedule.as_ref().unwrap();
+        assert_eq!(sched.mode, SyncMode::Bucketed);
+        for (i, sync) in p.grad_syncs.iter().enumerate() {
+            let buckets: Vec<_> = sched.buckets_of(i).collect();
+            assert!(buckets.len() > 1, "BERT-Large must split into buckets");
+            let total: u64 = buckets.iter().map(|b| b.bytes).sum();
+            assert_eq!(total, sync.bytes, "buckets must sum exactly");
+            // Every bucket except possibly single-layer outliers respects
+            // the cap; all carry a chosen algorithm.
+            for b in &buckets {
+                assert!(b.algo.is_some());
+                assert!(b.ready_frac > 0.0 && b.ready_frac <= 1.0);
+            }
+            // Reverse backward order: ready fractions nondecreasing, layer
+            // ranges descending, final bucket exactly 1.0.
+            for w in buckets.windows(2) {
+                assert!(w[0].ready_frac <= w[1].ready_frac);
+                assert!(w[0].layers.0 >= w[1].layers.1);
+            }
+            assert_eq!(buckets.last().unwrap().ready_frac, 1.0);
+        }
+    }
+
+    #[test]
+    fn huge_cap_yields_one_bucket_per_sync() {
+        let cfg = crate::PlannerConfig {
+            comm: CommConfig {
+                fusion_bytes: u64::MAX,
+                auto_algorithm: true,
+            },
+            ..crate::PlannerConfig::default()
+        };
+        let (p, _) = dp_plan(&cfg);
+        let sched = p.grad_sync_schedule.as_ref().unwrap();
+        assert_eq!(sched.buckets.len(), p.grad_syncs.len());
+        for b in &sched.buckets {
+            assert_eq!(b.bytes, p.grad_syncs[b.sync_index].bytes);
+            assert_eq!(b.ready_frac, 1.0);
+        }
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod bridge;
 pub mod cache;
+pub mod commopt;
 pub mod dp_balance;
 pub mod error;
 pub mod estimate;
@@ -46,6 +47,9 @@ pub mod service;
 pub mod shard;
 
 pub use cache::{replan_from_seed, CacheStats, PlanCache, PlanKey};
+pub use commopt::{
+    CommConfig, CommOpt, GradBucket, GradSyncSchedule, SyncMode, DEFAULT_FUSION_BYTES,
+};
 pub use dp_balance::{dp_partition, dp_partition_traced, DpPartition};
 pub use error::{PlanError, Result};
 pub use estimate::{estimate_step, estimate_step_cached, EstimateCache, StepEstimate};

@@ -1,5 +1,5 @@
 //! The staged compile pipeline: `DegreeInference → Placement →
-//! BridgeInsertion → Balance → Schedule`.
+//! BridgeInsertion → Balance → Schedule → CommOpt`.
 //!
 //! Whale's Fig. 5 describes planning as a sequence of distinct phases; this
 //! module makes that sequence explicit. Each phase is a [`PlannerPass`] that
@@ -13,6 +13,7 @@
 //! | `BridgeInsertion` | [`BridgedPlan`]      | inter-stage send bytes + bridge collectives |
 //! | `Balance`         | [`BalancedStages`]   | per-device work + gradient-sync groups |
 //! | `Schedule`        | `ExecutionPlan`      | assembled, validated plan |
+//! | `CommOpt`         | (plan rewrite)       | bucketed grad-sync schedule + collective algorithms |
 //!
 //! The decomposition is **bit-identical** to the retained monolith
 //! ([`crate::planner::plan_reference`]): every pass body is transplanted
@@ -59,16 +60,20 @@ pub enum PassId {
     Balance,
     /// Assemble and validate the final [`ExecutionPlan`].
     Schedule,
+    /// Derive the bucketed grad-sync schedule (fusion buckets + collective
+    /// algorithm selection) and attach it to the plan.
+    CommOpt,
 }
 
 impl PassId {
     /// All passes in execution order.
-    pub const ALL: [PassId; 5] = [
+    pub const ALL: [PassId; 6] = [
         PassId::DegreeInference,
         PassId::Placement,
         PassId::BridgeInsertion,
         PassId::Balance,
         PassId::Schedule,
+        PassId::CommOpt,
     ];
 
     /// Stable display name.
@@ -79,6 +84,7 @@ impl PassId {
             PassId::BridgeInsertion => "bridge-insertion",
             PassId::Balance => "balance",
             PassId::Schedule => "schedule",
+            PassId::CommOpt => "comm-opt",
         }
     }
 }
@@ -178,7 +184,12 @@ impl CompileState {
         if start <= PassId::Balance {
             self.balanced = None;
         }
-        self.plan = None;
+        // CommOpt rewrites the plan in place (idempotently), so a
+        // CommOpt-only invalidation keeps the scheduled plan for it to
+        // re-derive the sync schedule from.
+        if start <= PassId::Schedule {
+            self.plan = None;
+        }
     }
 
     /// Shared handle on the finished plan (an O(1) refcount bump).
@@ -192,7 +203,7 @@ impl CompileState {
             .expect("finished compile states always hold a plan")
     }
 
-    fn missing(dep: PassId, of: PassId) -> PlanError {
+    pub(crate) fn missing(dep: PassId, of: PassId) -> PlanError {
         PlanError::BadConfig(format!(
             "compile pipeline ran `{}` without the `{}` artifact (pass ordering bug)",
             of.name(),
@@ -612,6 +623,7 @@ impl PlannerPass for Schedule {
             num_micro_batches: d.num_micro,
             stages,
             grad_syncs,
+            grad_sync_schedule: None,
             training: cx.config.training,
             efficiency: cx.config.efficiency,
         };
@@ -627,7 +639,7 @@ pub struct CompilePipeline {
 }
 
 impl CompilePipeline {
-    /// The standard five-pass Whale pipeline.
+    /// The standard six-pass Whale pipeline.
     pub fn standard() -> CompilePipeline {
         CompilePipeline {
             passes: vec![
@@ -636,6 +648,7 @@ impl CompilePipeline {
                 Box::new(BridgeInsertion),
                 Box::new(Balance),
                 Box::new(Schedule),
+                Box::new(crate::commopt::CommOpt),
             ],
         }
     }
@@ -809,7 +822,7 @@ mod tests {
         assert_eq!(replanned.stages.len(), cold_stages);
         assert_eq!(
             &state.passes_run[PassId::ALL.len()..],
-            &[PassId::Balance, PassId::Schedule]
+            &[PassId::Balance, PassId::Schedule, PassId::CommOpt]
         );
         replanned.validate(&cluster).unwrap();
     }
@@ -852,7 +865,10 @@ mod tests {
         };
         cluster.apply_delta(delta).unwrap();
         let after = replan(&ir, &cluster, &cfg, &mut state, &delta).unwrap();
-        assert_eq!(&state.passes_run[PassId::ALL.len()..], &[PassId::Schedule]);
+        assert_eq!(
+            &state.passes_run[PassId::ALL.len()..],
+            &[PassId::Schedule, PassId::CommOpt]
+        );
         // The plan itself carries no bandwidths — identical output; the
         // simulator picks the new rates up from the cluster.
         assert_eq!(before, after);

@@ -85,6 +85,9 @@ pub struct ExecutionPlan {
     pub stages: Vec<PlannedStage>,
     /// Gradient synchronization collectives at the end of each step.
     pub grad_syncs: Vec<CollectiveTask>,
+    /// Bucketed grad-sync schedule from the `CommOpt` pass (`None` on
+    /// hand-assembled plans; the simulator then uses its legacy model).
+    pub grad_sync_schedule: Option<crate::commopt::GradSyncSchedule>,
     /// Training options the memory estimates assumed.
     pub training: TrainingConfig,
     /// Compute efficiency `α` used to convert FLOPs to time
@@ -209,6 +212,7 @@ mod tests {
                 })
                 .collect(),
             grad_syncs: vec![],
+            grad_sync_schedule: None,
             training: TrainingConfig::default(),
             efficiency: 0.45,
         }

@@ -69,6 +69,9 @@ pub struct PlannerConfig {
     pub schedule: ScheduleKind,
     /// TaskGraph → virtual device mapping.
     pub devices: DeviceAssignment,
+    /// Communication-optimizer options (gradient fusion buckets + collective
+    /// algorithm selection). Default = disabled (legacy sync model).
+    pub comm: crate::commopt::CommConfig,
     /// Memoize per-stage cost terms inside the load balancers (PSVF delta
     /// updates instead of full re-profiles). Results are bit-identical with
     /// or without; `false` exists so `fastpath_bench` can measure the
@@ -85,6 +88,7 @@ impl Default for PlannerConfig {
             outer_dp: 0,
             schedule: ScheduleKind::BackwardFirst,
             devices: DeviceAssignment::Auto,
+            comm: crate::commopt::CommConfig::default(),
             memoize: true,
         }
     }
@@ -117,7 +121,9 @@ impl PlannerConfig {
                 }
             }
         }
-        fp.push_bool(self.memoize);
+        fp.push_bool(self.memoize)
+            .push_u64(self.comm.fusion_bytes)
+            .push_bool(self.comm.auto_algorithm);
         fp.finish()
     }
 }
@@ -382,16 +388,18 @@ pub fn plan_reference(
         })
         .collect();
 
-    let plan = ExecutionPlan {
+    let mut plan = ExecutionPlan {
         name: ir.graph.name().to_string(),
         global_batch: ir.global_batch,
         num_micro_batches: num_micro,
         stages,
         grad_syncs,
+        grad_sync_schedule: None,
         training: config.training,
         efficiency: config.efficiency,
     };
     plan.validate(cluster)?;
+    crate::commopt::attach_schedule(&mut plan, &task_graphs, &ir.graph, cluster, &config.comm)?;
     Ok(plan)
 }
 

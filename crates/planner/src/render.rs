@@ -4,6 +4,7 @@
 //! summary of what the planner decided — stages, devices, batch shares,
 //! memory, collectives, and gradient-sync groups.
 
+use crate::commopt::SyncMode;
 use crate::plan::ExecutionPlan;
 use std::fmt::Write as _;
 use whale_hardware::Cluster;
@@ -78,6 +79,54 @@ pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
             c.label
         );
     }
+    if let Some(sched) = &plan.grad_sync_schedule {
+        match sched.mode {
+            SyncMode::Legacy => {
+                let _ = writeln!(
+                    out,
+                    "  grad-sync schedule: legacy (fusion off, one bucket per group)"
+                );
+            }
+            SyncMode::Bucketed => {
+                let _ = writeln!(
+                    out,
+                    "  grad-sync schedule: bucketed, fusion cap {:.1} MB, {} bucket(s)",
+                    sched.fusion_bytes as f64 / 1e6,
+                    sched.buckets.len()
+                );
+                for (i, c) in plan.grad_syncs.iter().enumerate() {
+                    let buckets: Vec<&crate::commopt::GradBucket> = sched.buckets_of(i).collect();
+                    if buckets.is_empty() {
+                        continue;
+                    }
+                    // Compact per-group algorithm census: "ring×11 tree×2".
+                    let mut algos: Vec<(String, usize)> = Vec::new();
+                    for b in &buckets {
+                        let name = b
+                            .algo
+                            .map(|a| a.name().to_string())
+                            .unwrap_or_else(|| "default".into());
+                        match algos.iter_mut().find(|(n, _)| *n == name) {
+                            Some((_, count)) => *count += 1,
+                            None => algos.push((name, 1)),
+                        }
+                    }
+                    let census = algos
+                        .iter()
+                        .map(|(n, c)| format!("{n}×{c}"))
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    let _ = writeln!(
+                        out,
+                        "      {} bucket(s), {:.1} MB, algo {census} — {}",
+                        buckets.len(),
+                        c.bytes as f64 / 1e6,
+                        c.label
+                    );
+                }
+            }
+        }
+    }
     out
 }
 
@@ -115,7 +164,32 @@ mod tests {
         assert!(r.contains("V100-32GB"));
         assert!(r.contains("P100-16GB"));
         assert!(r.contains("gradient sync: 1 group(s)"));
+        assert!(r.contains("grad-sync schedule: legacy"));
         assert_eq!(digest(&p), "1s/4g/1m 64b");
+    }
+
+    #[test]
+    fn render_shows_bucketed_schedule_with_algorithms() {
+        let g = models::bert_large(64, 128).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("2x(8xV100)").unwrap();
+        let cfg = PlannerConfig {
+            comm: crate::commopt::CommConfig::fused(),
+            ..PlannerConfig::default()
+        };
+        let p = plan(&ir, &cluster, &cfg).unwrap();
+        let r = render_plan(&p, &cluster);
+        assert!(r.contains("grad-sync schedule: bucketed, fusion cap 26.2 MB"));
+        assert!(r.contains("bucket(s)"));
+        // Some algorithm census appears (ring/tree/hierarchical).
+        assert!(
+            r.contains("ring×") || r.contains("tree×") || r.contains("hierarchical×"),
+            "algorithm census missing:\n{r}"
+        );
     }
 
     #[test]

@@ -359,6 +359,7 @@ impl std::fmt::Debug for PlanService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PassId;
     use whale_graph::models;
     use whale_ir::Annotator;
 
@@ -426,8 +427,9 @@ mod tests {
         let s = service.stats();
         assert_eq!(s.misses, 1, "single-flight: exactly one compile");
         assert_eq!(
-            s.passes_run, 5,
-            "only the leader ran the pipeline's five passes"
+            s.passes_run,
+            PassId::ALL.len() as u64,
+            "only the leader ran the pipeline's passes"
         );
         assert_eq!(s.requests(), 8);
         assert_eq!(s.hits + s.coalesced, 7);
@@ -486,7 +488,11 @@ mod tests {
         let (replanned, after) = service.replan(&ir, &cluster, &cfg, delta).unwrap();
         let s = service.stats();
         assert_eq!(s.partial_hits, 1);
-        assert_eq!(s.passes_run, 5 + 2, "suffix replan ran Balance+Schedule");
+        assert_eq!(
+            s.passes_run,
+            6 + 3,
+            "suffix replan ran Balance+Schedule+CommOpt"
+        );
         let again = service.plan(&ir, &after, &cfg).unwrap();
         assert!(Arc::ptr_eq(&replanned, &again), "post-delta key is hot");
         assert_eq!(service.stats().hits, 1);

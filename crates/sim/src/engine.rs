@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use whale_hardware::{Cluster, CommModel};
-use whale_planner::{ExecutionPlan, PlannedStage, ScheduleKind};
+use whale_planner::{ExecutionPlan, PlannedStage, ScheduleKind, SyncMode};
 
 use crate::error::{Result, SimError};
 use crate::metrics::{GpuStat, StepStats};
@@ -570,46 +570,152 @@ fn simulate_step_impl(
         })
         .collect();
     let compute_makespan_tmp = finish.iter().cloned().fold(0.0f64, f64::max);
-    // `(ready, tie-break gpu id, duration)` per sync. The explicit
-    // min-gpu-id tie-break keeps the serialization order stable when two
-    // stages drain at exactly the same instant — equal ready times used to
-    // fall back to the incidental insertion order, which refactors could
-    // silently change.
-    let mut syncs: Vec<(f64, usize, f64)> = Vec::with_capacity(plan.grad_syncs.len());
-    let mut sync_total = 0.0;
     // ZeRO-3 AllGathers sharded parameters on demand (~1.5x AllReduce
     // traffic, ref [31]).
     let zero_factor = plan.training.zero.comm_factor();
-    for c in &plan.grad_syncs {
-        let dur = comm.collective(c.kind, &c.group, c.bytes)? * zero_factor;
-        sync_total += dur;
-        let stage_idx = c.stage.filter(|&s| s < num_stages);
-        let done = stage_idx
-            .map(|s| stage_bw_done[s])
-            .unwrap_or(compute_makespan_tmp);
-        let ready = if num_micro == 1 {
-            // Un-pipelined DP: gradients finalize layer by layer during the
-            // single backward pass, so bucketed AllReduce overlaps with the
-            // backward window itself (Horovod-style).
-            let bw_busy = stage_idx
-                .map(|s| bw_time[s].1.iter().map(|&(_, t)| t).fold(0.0f64, f64::max))
-                .unwrap_or(0.0);
-            (done - config.sync_overlap * bw_busy).max(0.0)
-        } else {
-            // Pipelined: gradients accumulate across micro batches and are
-            // final only after the stage's last backward; imperfect overlap
-            // infrastructure shifts readiness toward the end of compute.
-            done + (1.0 - config.sync_overlap) * (compute_makespan_tmp - done)
-        };
-        let tie = c.group.iter().copied().min().unwrap_or(usize::MAX);
-        syncs.push((ready, tie, dur));
-    }
-    syncs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut nic_free = 0.0f64;
-    for (ready, _, dur) in syncs {
-        nic_free = nic_free.max(ready) + dur;
-    }
-    let sync_exposed = (nic_free - compute_makespan_tmp).max(0.0);
+    // Plans carrying a *bucketed* grad-sync schedule take the event-driven
+    // per-bucket path; everything else (legacy schedules, hand-built plans)
+    // takes the original scalar-overlap model unchanged — bit-identical to
+    // the pre-bucketing simulator (pinned by `tests/comm_equivalence.rs`).
+    let bucketed = plan
+        .grad_sync_schedule
+        .as_ref()
+        .filter(|s| s.mode == SyncMode::Bucketed);
+    let (sync_total, sync_exposed) = if let Some(sched) = bucketed {
+        // Event-driven bucket overlap: a bucket becomes ready when the last
+        // backward op contributing to it finishes — the owning stage's last
+        // backward task spans `[done − bw_dur, done]` and gradients
+        // finalize at `ready_frac` through it. No interpolation constant.
+        let mut sync_total = 0.0;
+        let mut events: Vec<(f64, usize, f64, Vec<usize>)> =
+            Vec::with_capacity(sched.buckets.len());
+        // Per-sync context (involved nodes, backward window, cost selector)
+        // is derived once per group, not once per bucket.
+        struct SyncCtx {
+            selector: Option<whale_hardware::AllReduceSelector>,
+            nodes: Vec<usize>,
+            done: f64,
+            bw_dur: f64,
+            tie: usize,
+        }
+        let mut ctxs: Vec<Option<SyncCtx>> = std::iter::repeat_with(|| None)
+            .take(plan.grad_syncs.len())
+            .collect();
+        for b in &sched.buckets {
+            let c = plan.grad_syncs.get(b.sync_index).ok_or_else(|| {
+                SimError::Schedule(format!(
+                    "grad-sync schedule references unknown sync {}",
+                    b.sync_index
+                ))
+            })?;
+            if ctxs[b.sync_index].is_none() {
+                let stage_idx = c.stage.filter(|&s| s < num_stages);
+                let mut nodes: Vec<usize> = Vec::with_capacity(2);
+                for &g in &c.group {
+                    let n = cluster.gpu(g)?.node;
+                    if !nodes.contains(&n) {
+                        nodes.push(n);
+                    }
+                }
+                nodes.sort_unstable();
+                ctxs[b.sync_index] = Some(SyncCtx {
+                    selector: None,
+                    nodes,
+                    done: stage_idx
+                        .map(|s| stage_bw_done[s])
+                        .unwrap_or(compute_makespan_tmp),
+                    bw_dur: stage_idx.map(|s| bw_time[s].0).unwrap_or(0.0),
+                    tie: c.group.iter().copied().min().unwrap_or(usize::MAX),
+                });
+            }
+            let ctx = ctxs[b.sync_index].as_mut().expect("just built");
+            let dur = match b.algo {
+                // `AllReduceSelector::cost` is bit-identical to
+                // `allreduce_with` with the group re-derived per call.
+                Some(algo) => {
+                    if ctx.selector.is_none() {
+                        ctx.selector = Some(comm.allreduce_selector(&c.group)?);
+                    }
+                    ctx.selector
+                        .as_ref()
+                        .expect("just built")
+                        .cost(algo, b.bytes)
+                }
+                None => comm.collective(c.kind, &c.group, b.bytes)?,
+            } * zero_factor;
+            sync_total += dur;
+            let ready = (ctx.done - (1.0 - b.ready_frac) * ctx.bw_dur).max(0.0);
+            events.push((ready, ctx.tie, dur, ctx.nodes.clone()));
+        }
+        // Stable sort keeps each sync's reverse-backward bucket order on
+        // ties; the min-gpu tie-break keeps cross-sync order deterministic.
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Buckets serialize per link, not globally: a cross-node collective
+        // occupies every involved node's NIC, an intra-node one only that
+        // node's local fabric — disjoint groups overlap freely.
+        let mut nic_free: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut local_free: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut last_finish = 0.0f64;
+        for (ready, _, dur, nodes) in events {
+            let fin = if nodes.len() > 1 {
+                let start = nodes.iter().fold(ready, |acc, n| {
+                    acc.max(nic_free.get(n).copied().unwrap_or(0.0))
+                });
+                let fin = start + dur;
+                for n in nodes {
+                    nic_free.insert(n, fin);
+                }
+                fin
+            } else {
+                let n = nodes.first().copied().unwrap_or(0);
+                let start = ready.max(local_free.get(&n).copied().unwrap_or(0.0));
+                let fin = start + dur;
+                local_free.insert(n, fin);
+                fin
+            };
+            last_finish = last_finish.max(fin);
+        }
+        (sync_total, (last_finish - compute_makespan_tmp).max(0.0))
+    } else {
+        // `(ready, tie-break gpu id, duration)` per sync. The explicit
+        // min-gpu-id tie-break keeps the serialization order stable when two
+        // stages drain at exactly the same instant — equal ready times used
+        // to fall back to the incidental insertion order, which refactors
+        // could silently change.
+        let mut syncs: Vec<(f64, usize, f64)> = Vec::with_capacity(plan.grad_syncs.len());
+        let mut sync_total = 0.0;
+        for c in &plan.grad_syncs {
+            let dur = comm.collective(c.kind, &c.group, c.bytes)? * zero_factor;
+            sync_total += dur;
+            let stage_idx = c.stage.filter(|&s| s < num_stages);
+            let done = stage_idx
+                .map(|s| stage_bw_done[s])
+                .unwrap_or(compute_makespan_tmp);
+            let ready = if num_micro == 1 {
+                // Un-pipelined DP: gradients finalize layer by layer during
+                // the single backward pass, so bucketed AllReduce overlaps
+                // with the backward window itself (Horovod-style).
+                let bw_busy = stage_idx
+                    .map(|s| bw_time[s].1.iter().map(|&(_, t)| t).fold(0.0f64, f64::max))
+                    .unwrap_or(0.0);
+                (done - config.sync_overlap * bw_busy).max(0.0)
+            } else {
+                // Pipelined: gradients accumulate across micro batches and
+                // are final only after the stage's last backward; imperfect
+                // overlap infrastructure shifts readiness toward the end of
+                // compute.
+                done + (1.0 - config.sync_overlap) * (compute_makespan_tmp - done)
+            };
+            let tie = c.group.iter().copied().min().unwrap_or(usize::MAX);
+            syncs.push((ready, tie, dur));
+        }
+        syncs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut nic_free = 0.0f64;
+        for (ready, _, dur) in syncs {
+            nic_free = nic_free.max(ready) + dur;
+        }
+        (sync_total, (nic_free - compute_makespan_tmp).max(0.0))
+    };
 
     // Optimizer update: parameter read-modify-write, memory-bandwidth bound.
     // ZeRO-Offload instead updates on the host and pays a PCIe round trip of

@@ -15,3 +15,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # counter consistency; no performance threshold (see EXPERIMENTS.md for the
 # full sweep).
 cargo run -q --release --offline -p whale-bench --bin serve_bench -- --quick
+
+# Comm-optimizer smoke test: one cell, asserts fusion-off bit-identity,
+# bucket telescoping, and a >1x speedup on a bandwidth-bound cluster; the
+# gated sweep lives in comm_bench's default mode (see EXPERIMENTS.md).
+cargo run -q --release --offline -p whale-bench --bin comm_bench -- --quick

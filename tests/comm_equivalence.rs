@@ -1,0 +1,125 @@
+//! Backward-compat guard for the CommOpt pass: with fusion disabled (the
+//! default), the pass must be a pure annotation — the attached
+//! `GradSyncSchedule` is `Legacy` and the simulated step is bit-identical
+//! to a plan with no schedule at all (the pre-fusion model). Any drift here
+//! means the fusion machinery changed behaviour for users who never asked
+//! for it.
+//!
+//! A second sweep checks the fused mode's structural invariants on the same
+//! matrix: bucket bytes telescope exactly to each group's payload, every
+//! bucket carries a selected algorithm, and ready fractions rise
+//! monotonically to 1.0 along each group's bucket list.
+
+use whale::{models, strategies, CommConfig, Session, SyncMode, WhaleIr};
+use whale_hardware::Cluster;
+
+type Case = (&'static str, fn() -> WhaleIr);
+
+/// Small-batch slice of the model zoo: every strategy shape, sized so the
+/// whole matrix stays fast in debug builds.
+fn zoo() -> Vec<Case> {
+    vec![
+        ("resnet50/dp", || {
+            strategies::data_parallel(models::resnet50(64).expect("build"), 64).expect("annotate")
+        }),
+        ("bert_base/dp", || {
+            strategies::data_parallel(models::bert_base(32, 64).expect("build"), 32)
+                .expect("annotate")
+        }),
+        ("bert_large/pipeline_dp", || {
+            strategies::pipeline_with_dp(models::bert_large(32, 64).expect("build"), 32, 4)
+                .expect("annotate")
+        }),
+        ("gpt2_xl/pipeline_dp", || {
+            strategies::pipeline_with_dp(models::gpt2_xl(16, 64).expect("build"), 16, 4)
+                .expect("annotate")
+        }),
+    ]
+}
+
+fn clusters() -> Vec<(&'static str, Cluster)> {
+    ["8xV100", "8xV100+8xP100", "2x(8xV100)+2x(8xP100)"]
+        .into_iter()
+        .map(|spec| (spec, Cluster::parse(spec).expect("cluster")))
+        .collect()
+}
+
+/// Fusion off ⇒ Legacy schedule, and stripping it changes nothing.
+#[test]
+fn legacy_schedule_is_bit_identical_to_no_schedule() {
+    for (cspec, cluster) in clusters() {
+        for (mname, build) in zoo() {
+            let label = format!("{mname} on {cspec}");
+            let ir = build();
+            let session = Session::new(cluster.clone());
+            let plan = session
+                .plan(&ir)
+                .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+            let sched = plan
+                .grad_sync_schedule
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: no schedule attached"));
+            assert_eq!(
+                sched.mode,
+                SyncMode::Legacy,
+                "{label}: default config must produce a legacy schedule"
+            );
+
+            let mut stripped = (*plan).clone();
+            stripped.grad_sync_schedule = None;
+            let with = session
+                .step_plan(&plan)
+                .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+            let without = session
+                .step_plan(&stripped)
+                .unwrap_or_else(|e| panic!("{label}: stripped sim failed: {e}"));
+            assert_eq!(
+                with, without,
+                "{label}: legacy schedule changed the simulated step"
+            );
+        }
+    }
+}
+
+/// Fusion on ⇒ buckets telescope to the exact payload, every bucket has an
+/// algorithm, and ready fractions rise monotonically to 1.0 along each
+/// group's bucket list (deepest layers' gradients finalize first, so each
+/// later bucket waits on a larger share of the backward pass).
+#[test]
+fn bucketed_schedules_hold_structural_invariants() {
+    for (cspec, cluster) in clusters() {
+        for (mname, build) in zoo() {
+            let label = format!("{mname} on {cspec}");
+            let ir = build();
+            let session = Session::new(cluster.clone()).comm(CommConfig::fused());
+            let plan = session
+                .plan(&ir)
+                .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+            let sched = plan
+                .grad_sync_schedule
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: no schedule attached"));
+            assert_eq!(sched.mode, SyncMode::Bucketed, "{label}");
+
+            for (i, sync) in plan.grad_syncs.iter().enumerate() {
+                let total: u64 = sched.buckets_of(i).map(|b| b.bytes).sum();
+                assert_eq!(total, sync.bytes, "{label}: bucket bytes must telescope");
+                assert!(
+                    sched.buckets_of(i).all(|b| b.algo.is_some()),
+                    "{label}: every bucket needs a selected algorithm"
+                );
+                let fracs: Vec<f64> = sched.buckets_of(i).map(|b| b.ready_frac).collect();
+                assert!(
+                    fracs.windows(2).all(|w| w[0] <= w[1]),
+                    "{label}: ready fractions must be monotone non-decreasing, \
+                     got {fracs:?}"
+                );
+                assert_eq!(
+                    fracs.last().copied(),
+                    Some(1.0),
+                    "{label}: last bucket must wait for the full backward pass"
+                );
+            }
+        }
+    }
+}

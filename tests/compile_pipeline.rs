@@ -130,6 +130,7 @@ fn pass_order_is_declared_and_enforced() {
             PassId::BridgeInsertion,
             PassId::Balance,
             PassId::Schedule,
+            PassId::CommOpt,
         ]
     );
 }

@@ -104,9 +104,9 @@ fn sixteen_threads_one_clone_family_counters_balance() {
     assert_eq!(stats.requests(), issued);
 
     // Single-flight: each unique pre-delta key compiled exactly once
-    // (5 passes), each unique post-delta key replanned exactly once
-    // (Balance + Schedule suffix = 2 passes). A worker replanning after the
-    // leader hits the cached post-delta entry instead.
+    // (6 passes), each unique post-delta key replanned exactly once
+    // (Balance + Schedule + CommOpt suffix = 3 passes). A worker replanning
+    // after the leader hits the cached post-delta entry instead.
     assert_eq!(stats.misses, n_keys as u64, "one compile per unique key");
     assert_eq!(
         stats.partial_hits, n_keys as u64,
@@ -114,7 +114,7 @@ fn sixteen_threads_one_clone_family_counters_balance() {
     );
     assert_eq!(
         stats.passes_run,
-        (5 * n_keys + 2 * n_keys) as u64,
+        (6 * n_keys + 3 * n_keys) as u64,
         "no redundant compile pass may ever run"
     );
 

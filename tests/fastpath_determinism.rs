@@ -124,6 +124,7 @@ fn grad_sync_ties_are_insertion_order_independent() {
             dp_degree: 2,
         }],
         grad_syncs: syncs,
+        grad_sync_schedule: None,
         training: TrainingConfig::default(),
         efficiency: 0.45,
     };

@@ -22,10 +22,10 @@ fn consecutive_deltas_reuse_the_cache_as_promised() {
     let ir = dp_ir(64);
     let mut session = Session::on_cluster("4xV100").unwrap();
 
-    // Cold plan: one miss, all five passes.
+    // Cold plan: one miss, all six passes.
     session.plan(&ir).unwrap();
     let s0 = session.cache_stats().unwrap();
-    assert_eq!((s0.misses, s0.passes_run), (1, 5));
+    assert_eq!((s0.misses, s0.passes_run), (1, 6));
 
     // Degrade: a rate delta invalidates only Balance + Schedule.
     session
@@ -33,7 +33,11 @@ fn consecutive_deltas_reuse_the_cache_as_promised() {
         .unwrap();
     let s1 = session.cache_stats().unwrap();
     assert_eq!(s1.partial_hits, s0.partial_hits + 1);
-    assert_eq!(s1.passes_run, s0.passes_run + 2, "Balance + Schedule only");
+    assert_eq!(
+        s1.passes_run,
+        s0.passes_run + 3,
+        "Balance + Schedule + CommOpt only"
+    );
 
     // Restore: the post-delta cluster is the *original* cluster, whose plan
     // is already cached — a pure hit, zero passes.
@@ -50,7 +54,7 @@ fn consecutive_deltas_reuse_the_cache_as_promised() {
         .unwrap();
     let s3 = session.cache_stats().unwrap();
     assert_eq!(s3.misses, s2.misses + 1);
-    assert_eq!(s3.passes_run, s2.passes_run + 5, "full pipeline");
+    assert_eq!(s3.passes_run, s2.passes_run + 6, "full pipeline");
 
     // After the whole sequence the session's plan is exactly what a cold
     // compile of the final cluster produces.
@@ -80,7 +84,7 @@ fn unseen_intermediate_states_still_take_the_fast_path() {
         .unwrap();
     let after = session.cache_stats().unwrap();
     assert_eq!(after.partial_hits, before.partial_hits + 3);
-    assert_eq!(after.passes_run, before.passes_run + 6, "2 passes each");
+    assert_eq!(after.passes_run, before.passes_run + 9, "3 passes each");
 
     let cold = whale_planner::plan(&ir, session.cluster(), session.planner_config()).unwrap();
     assert_eq!(*replanned, cold);
