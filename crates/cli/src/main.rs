@@ -281,7 +281,7 @@ fn cmd_compile(args: &Args) -> Result<(), String> {
         let moved = old
             .stages
             .iter()
-            .zip(&new.stages)
+            .zip(new.stages.iter())
             .flat_map(|(o, n)| o.devices.iter().zip(&n.devices))
             .filter(|(o, n)| o.gpu == n.gpu && o.samples_per_step != n.samples_per_step)
             .count();

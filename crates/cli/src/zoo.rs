@@ -20,6 +20,10 @@ pub const MODELS: &[(&str, &str)] = &[
     ("m6-tiny", "shrunken M6 for fast experiments"),
     ("m6-moe-100b", "M6-MoE-100B sparse-expert model (Table 1)"),
     ("m6-moe-1t", "M6-MoE-1T sparse-expert model (Table 1)"),
+    (
+        "m6-moe-1t-deep",
+        "depth-dominated ~1T MoE (1024 thin layers; compile stress case)",
+    ),
     ("moe-tiny", "shrunken MoE for fast experiments"),
 ];
 
@@ -39,6 +43,7 @@ pub fn build(name: &str, batch: usize, seq: usize) -> Result<Graph, String> {
         "m6-tiny" => models::m6(models::M6Config::tiny(), batch),
         "m6-moe-100b" => models::m6_moe_100b(batch),
         "m6-moe-1t" => models::m6_moe_1t(batch),
+        "m6-moe-1t-deep" => models::m6_moe_1t_deep(batch),
         "moe-tiny" => models::m6_moe(models::MoeConfig::tiny(), batch),
         other => {
             return Err(format!(

@@ -227,7 +227,8 @@ pub fn auto_parallel_opts(
     // `search_threads` workers; the merge is by candidate index, so the
     // report is independent of worker scheduling.
     let threads = opts.effective_threads(specs.len());
-    let planned: Vec<(String, std::result::Result<Arc<ExecutionPlan>, String>)> =
+    type Planned = (Arc<ExecutionPlan>, whale_fp::Fingerprint);
+    let planned: Vec<(String, std::result::Result<Planned, String>)> =
         fan_out(threads, specs, |(name, mk_ir)| {
             let graph = match &template {
                 Some(g) => Ok(g.clone()),
@@ -235,21 +236,35 @@ pub fn auto_parallel_opts(
             };
             let plan = graph
                 .and_then(&mk_ir)
-                .and_then(|ir| session.plan(&ir))
+                .and_then(|ir| {
+                    // The IR fingerprint composes from memoized block sums,
+                    // so this is a table walk, not a graph re-hash; it keys
+                    // the whole-step estimate memo below.
+                    let fp = ir.fingerprint();
+                    session.plan(&ir).map(|p| (p, fp))
+                })
                 .map_err(|e| e.to_string());
             (name, plan)
         });
 
     // The estimator is cheap; it runs serially so every candidate can share
     // one memoized cache (stages repeated across candidates are priced
-    // once).
+    // once). The whole-step memo is keyed by the same content-fingerprint
+    // triple as the plan cache, so a repeated search over unchanged inputs
+    // reduces each estimate to a single map lookup.
+    let env_fp = [
+        session.cluster().fingerprint(),
+        session.planner_config().fingerprint(),
+    ];
     let mut cache = whale_planner::EstimateCache::new(session.cluster());
     let estimates: Vec<Option<f64>> = planned
         .iter()
         .map(|(_, p)| {
-            p.as_ref().ok().and_then(|plan| {
+            p.as_ref().ok().and_then(|(plan, ir_fp)| {
                 let estimate = if opts.memoize {
-                    whale_planner::estimate_step_cached(plan, &mut cache)
+                    let key =
+                        whale_fp::compose("auto-step-estimate", [*ir_fp, env_fp[0], env_fp[1]]);
+                    whale_planner::estimate_step_keyed(plan, key, &mut cache)
                 } else {
                     whale_planner::estimate_step(plan, session.cluster())
                 };
@@ -278,7 +293,7 @@ pub fn auto_parallel_opts(
                 stats: None,
                 rejected: Some(format!("planning failed: {e}")),
             }),
-            Ok(plan) => match estimate {
+            Ok((plan, _)) => match estimate {
                 Some(est) if est > 4.0 * best_estimate && best_estimate.is_finite() => {
                     Pending::Done(Candidate {
                         name,

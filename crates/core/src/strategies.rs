@@ -3,7 +3,7 @@
 //! Each function wraps a finished model graph in the annotations of one
 //! paper example, producing [`WhaleIr`] ready for [`crate::Session::plan`].
 
-use whale_graph::Graph;
+use whale_graph::{Graph, OpId};
 use whale_ir::{Annotator, Primitive, WhaleIr};
 
 use crate::error::Result;
@@ -61,17 +61,20 @@ pub fn feature_dp_classifier_split(
 pub fn moe_hybrid(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
     // Each layer's expert computation (gating + MoE FFN) becomes its own
     // split TaskGraph, keeping the split TaskGraphs disjoint per layer so
-    // the replica/split interleaving matches Fig. 15.
-    let markers: Vec<String> = graph
+    // the replica/split interleaving matches Fig. 15. One pass collects the
+    // MoE FFN ops in id order and claims each by id, keeping annotation
+    // linear in graph size; matching each layer's name against every op
+    // (the previous formulation) was O(layers × ops) and dominated deep-MoE
+    // cold compiles.
+    let moe_ops: Vec<OpId> = graph
         .ops()
         .iter()
         .filter(|op| op.name.ends_with("/moe_ffn"))
-        .map(|op| op.name.trim_end_matches("moe_ffn").to_string())
+        .map(|op| op.id)
         .collect();
     let mut annot = Annotator::new(graph, global_batch).set_default(Primitive::Replica);
-    for layer in &markers {
-        let marker = format!("{layer}moe_ffn");
-        annot = annot.annotate_named(&marker, vec![Primitive::Split])?;
+    for id in moe_ops {
+        annot = annot.annotate_ops(vec![id], vec![Primitive::Split])?;
     }
     Ok(annot.finish()?)
 }

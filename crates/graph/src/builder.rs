@@ -4,24 +4,92 @@
 //! layers, convolutions, transformer encoder/decoder blocks, LSTM layers, and
 //! MoE blocks. Every helper stamps the current layer index onto the ops it
 //! emits so stage partitioning and checkpointing can see layer boundaries.
+//!
+//! The builder is also where block interning happens: the layer-level
+//! helpers ([`GraphBuilder::encoder_layer`], [`GraphBuilder::decoder_layer`],
+//! [`GraphBuilder::moe_encoder_layer`], [`GraphBuilder::lstm`]) bracket the
+//! ops they emit into a block, factor out the instantiation-specific parts
+//! (name prefix, id base, layer index, external inputs), and intern the
+//! remaining template (see [`crate::intern`]). A 48-layer BERT therefore
+//! carries one encoder-block allocation plus 48 lightweight instantiations,
+//! and downstream fingerprinting/equality/adjacency reuse per-block memos.
+//! Ops emitted outside the layer helpers (embeddings, heads, losses) stay
+//! literal. Interning is purely representational — the finished graph's op
+//! list, fingerprint, and produced plans are identical either way, which
+//! `with_interning(name, false)` (and the process-wide
+//! [`set_default_interning`] switch used by benchmarks) lets tests verify.
 
-use crate::graph::{Graph, GraphError, OpId};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use whale_fp::{Fingerprint, Fingerprinter};
+
+use crate::fingerprint::{push_kind, push_phase, push_tensor};
+use crate::graph::{Graph, GraphError, Op, OpId, Segment};
+use crate::intern::{
+    intern_block_with, BlockInst, BlockTemplate, Externals, TemplateInput, TemplateOp,
+};
 use crate::op::{OpKind, Phase};
 use crate::tensor::TensorMeta;
+
+/// Whether builders constructed via [`GraphBuilder::new`] intern layer
+/// blocks. On by default; benchmarks flip it to build the uninterned
+/// baseline arm through the unmodified model-zoo constructors.
+static DEFAULT_INTERNING: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default for [`GraphBuilder::new`] and return the
+/// previous value. Representation-only: graphs built either way are
+/// semantically equal and fingerprint-identical.
+pub fn set_default_interning(on: bool) -> bool {
+    DEFAULT_INTERNING.swap(on, Ordering::SeqCst)
+}
+
+/// An open block bracket: the range `ops[base..]` is being recorded for
+/// interning. The ops themselves live in the builder's single flat list —
+/// bracketing adds no per-op storage, not even for the prefix: only its
+/// byte length is kept, and the text is read back from the first recorded
+/// op's name (which must start with it).
+#[derive(Debug)]
+struct OpenBlock {
+    prefix_len: usize,
+    base: usize,
+    layer_base: usize,
+}
 
 /// Stateful graph builder.
 #[derive(Debug)]
 pub struct GraphBuilder {
-    graph: Graph,
+    name: String,
+    interning: bool,
     layer: usize,
+    /// Every op, recorded exactly once in id order. This becomes the
+    /// finished graph's flat storage verbatim; segments only reference
+    /// ranges of it, so interning costs no op copies.
+    ops: Vec<Op>,
+    segments: Vec<Segment>,
+    /// Start of the literal run not yet flushed into a segment.
+    lit_start: usize,
+    block: Option<OpenBlock>,
+    /// Block nesting depth; only the outermost bracket interns.
+    depth: usize,
 }
 
 impl GraphBuilder {
     /// Start building a graph with the given name.
     pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder::with_interning(name, DEFAULT_INTERNING.load(Ordering::SeqCst))
+    }
+
+    /// Start building with block interning explicitly on or off.
+    pub fn with_interning(name: impl Into<String>, interning: bool) -> GraphBuilder {
         GraphBuilder {
-            graph: Graph::new(name),
+            name: name.into(),
+            interning,
             layer: 0,
+            ops: Vec::new(),
+            segments: Vec::new(),
+            lit_start: 0,
+            block: None,
+            depth: 0,
         }
     }
 
@@ -44,12 +112,131 @@ impl GraphBuilder {
     /// Number of ops created so far (used by scoped annotation to attribute
     /// op ranges to scopes).
     pub fn graph_len(&self) -> usize {
-        self.graph.len()
+        self.ops.len()
     }
 
     /// Finish and return the graph.
-    pub fn finish(self) -> Graph {
-        self.graph
+    pub fn finish(mut self) -> Graph {
+        // An unbalanced bracket (bail-out mid-layer) simply never seals:
+        // its ops are still in the literal run and stay literal.
+        self.block = None;
+        if self.segments.iter().any(|s| matches!(s, Segment::Block(_))) {
+            self.flush_literal();
+            Graph::from_segments(self.name, self.segments, self.ops)
+        } else {
+            // No blocks recorded (conv nets, hand-built graphs, interning
+            // off): plain flat graph with zero interning overhead.
+            Graph::from_flat(self.name, self.ops)
+        }
+    }
+
+    fn flush_literal(&mut self) {
+        if self.ops.len() > self.lit_start {
+            self.segments.push(Segment::Literal {
+                start: self.lit_start,
+                len: self.ops.len() - self.lit_start,
+            });
+            self.lit_start = self.ops.len();
+        }
+    }
+
+    /// Open a block bracket: ops added until the matching [`end_block`]
+    /// are recorded for interning under `prefix`. Nested brackets merge
+    /// into the outermost one.
+    ///
+    /// [`end_block`]: Self::end_block
+    fn begin_block(&mut self, prefix: &str) {
+        self.depth += 1;
+        if self.depth > 1 || !self.interning {
+            return;
+        }
+        self.flush_literal();
+        if self.segments.capacity() == 0 {
+            // One segment per layer block plus a few literals; deep models
+            // (the interning sweet spot) repeat blocks dozens of times, so
+            // skip the doubling ramp-up.
+            self.segments.reserve(64);
+        }
+        self.block = Some(OpenBlock {
+            prefix_len: prefix.len(),
+            base: self.ops.len(),
+            layer_base: self.layer,
+        });
+    }
+
+    /// Close the current block bracket, interning the recorded template.
+    fn end_block(&mut self) {
+        debug_assert!(self.depth > 0, "unbalanced end_block");
+        self.depth = self.depth.saturating_sub(1);
+        if self.depth > 0 {
+            return;
+        }
+        if let Some(block) = self.block.take() {
+            self.seal_block(block);
+        }
+    }
+
+    /// Seal `ops[block.base..]` as one interned block. The interner lookup
+    /// is allocation-free on a hit (every layer after a model's first):
+    /// the recorded ops are hashed and compared against the canonical
+    /// template in place — suffixes by slicing off the prefix, inputs by
+    /// arithmetic — and a [`BlockTemplate`] is only built on a miss.
+    fn seal_block(&mut self, block: OpenBlock) {
+        let ops = &self.ops[block.base..];
+        // Ops that don't fit the template shape (foreign name prefix,
+        // layer index behind the block's base) stay literal — lit_start
+        // still covers them — and the graph is identical either way.
+        let Some(externals) = block_externals(ops, &block) else {
+            return;
+        };
+        let hash = block_hash(ops, &block, &externals);
+        let interned = intern_block_with(
+            hash,
+            |template| block_matches(template, ops, &block, &externals),
+            || build_template(ops, &block, &externals),
+        );
+        self.segments.push(Segment::Block(BlockInst::new(
+            interned,
+            block.prefix_len,
+            block.base,
+            block.layer_base,
+            externals,
+        )));
+        self.lit_start = self.ops.len();
+    }
+
+    fn output_of(&self, id: OpId) -> Result<&TensorMeta, GraphError> {
+        self.ops
+            .get(id.0)
+            .map(|op| &op.output)
+            .ok_or(GraphError::UnknownOp(id))
+    }
+
+    fn add(
+        &mut self,
+        name: String,
+        kind: OpKind,
+        inputs: Vec<OpId>,
+        output: TensorMeta,
+        phase: Phase,
+        layer: Option<usize>,
+    ) -> Result<OpId, GraphError> {
+        let id = OpId(self.ops.len());
+        for &input in &inputs {
+            if input.0 >= id.0 {
+                return Err(GraphError::DanglingInput { op: name, input });
+            }
+        }
+        self.ops.push(Op {
+            id,
+            name,
+            kind,
+            inputs,
+            output,
+            phase,
+            layer,
+        });
+        Ok(id)
     }
 
     /// Raw op insertion at the current layer.
@@ -60,8 +247,14 @@ impl GraphBuilder {
         inputs: Vec<OpId>,
         output: TensorMeta,
     ) -> Result<OpId, GraphError> {
-        self.graph
-            .add_op(name, kind, inputs, output, Phase::Forward, Some(self.layer))
+        self.add(
+            name.into(),
+            kind,
+            inputs,
+            output,
+            Phase::Forward,
+            Some(self.layer),
+        )
     }
 
     /// Graph input of the given shape.
@@ -119,14 +312,14 @@ impl GraphBuilder {
 
     /// Layer normalization preserving the input shape.
     pub fn layer_norm(&mut self, name: &str, input: OpId, dim: usize) -> Result<OpId, GraphError> {
-        let meta = self.graph.op(input)?.output.clone();
+        let meta = self.output_of(input)?.clone();
         let elems = meta.shape.num_elements();
         self.op(name, OpKind::LayerNorm { elems, dim }, vec![input], meta)
     }
 
     /// Softmax preserving the input shape.
     pub fn softmax(&mut self, name: &str, input: OpId) -> Result<OpId, GraphError> {
-        let meta = self.graph.op(input)?.output.clone();
+        let meta = self.output_of(input)?.clone();
         let elems = meta.shape.num_elements();
         self.op(name, OpKind::Softmax { elems }, vec![input], meta)
     }
@@ -139,7 +332,7 @@ impl GraphBuilder {
         inputs: Vec<OpId>,
         flops_per_elem: u32,
     ) -> Result<OpId, GraphError> {
-        let meta = self.graph.op(inputs[0])?.output.clone();
+        let meta = self.output_of(inputs[0])?.clone();
         let elems = meta.shape.num_elements();
         self.op(
             name,
@@ -305,7 +498,7 @@ impl GraphBuilder {
     }
 
     /// Full transformer encoder layer (self-attention + FFN) as one model
-    /// layer; bumps the layer counter.
+    /// layer; bumps the layer counter. Recorded as one interned block.
     #[allow(clippy::too_many_arguments)]
     pub fn encoder_layer(
         &mut self,
@@ -317,21 +510,26 @@ impl GraphBuilder {
         heads: usize,
         intermediate: usize,
     ) -> Result<OpId, GraphError> {
-        let attn =
-            self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
-        let out = self.ffn(
-            &format!("{prefix}/ffn"),
-            attn,
-            batch * seq,
-            hidden,
-            intermediate,
-        )?;
-        self.next_layer();
-        Ok(out)
+        self.begin_block(prefix);
+        let result = (|| {
+            let attn =
+                self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+            let out = self.ffn(
+                &format!("{prefix}/ffn"),
+                attn,
+                batch * seq,
+                hidden,
+                intermediate,
+            )?;
+            self.next_layer();
+            Ok(out)
+        })();
+        self.end_block();
+        result
     }
 
     /// Full transformer decoder layer (self-attention + cross-attention +
-    /// FFN); bumps the layer counter.
+    /// FFN); bumps the layer counter. Recorded as one interned block.
     #[allow(clippy::too_many_arguments)]
     pub fn decoder_layer(
         &mut self,
@@ -345,37 +543,43 @@ impl GraphBuilder {
         heads: usize,
         intermediate: usize,
     ) -> Result<OpId, GraphError> {
-        let self_attn = self.self_attention(
-            &format!("{prefix}/self_attn"),
-            input,
-            batch,
-            seq,
-            hidden,
-            heads,
-        )?;
-        let cross = self.cross_attention(
-            &format!("{prefix}/cross_attn"),
-            self_attn,
-            memory,
-            batch,
-            seq,
-            mem_seq,
-            hidden,
-            heads,
-        )?;
-        let out = self.ffn(
-            &format!("{prefix}/ffn"),
-            cross,
-            batch * seq,
-            hidden,
-            intermediate,
-        )?;
-        self.next_layer();
-        Ok(out)
+        self.begin_block(prefix);
+        let result = (|| {
+            let self_attn = self.self_attention(
+                &format!("{prefix}/self_attn"),
+                input,
+                batch,
+                seq,
+                hidden,
+                heads,
+            )?;
+            let cross = self.cross_attention(
+                &format!("{prefix}/cross_attn"),
+                self_attn,
+                memory,
+                batch,
+                seq,
+                mem_seq,
+                hidden,
+                heads,
+            )?;
+            let out = self.ffn(
+                &format!("{prefix}/ffn"),
+                cross,
+                batch * seq,
+                hidden,
+                intermediate,
+            )?;
+            self.next_layer();
+            Ok(out)
+        })();
+        self.end_block();
+        result
     }
 
     /// MoE encoder layer: self-attention followed by gating + expert FFN
-    /// (paper Fig. 15 / Example 8); bumps the layer counter.
+    /// (paper Fig. 15 / Example 8); bumps the layer counter. Recorded as
+    /// one interned block.
     #[allow(clippy::too_many_arguments)]
     pub fn moe_encoder_layer(
         &mut self,
@@ -389,38 +593,44 @@ impl GraphBuilder {
         experts: usize,
         top_k: usize,
     ) -> Result<OpId, GraphError> {
-        let attn =
-            self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
-        let tokens = batch * seq;
-        let gates = self.op(
-            format!("{prefix}/gating"),
-            OpKind::Gating {
-                tokens,
-                hidden,
-                experts,
-            },
-            vec![attn],
-            TensorMeta::f32(&[batch, seq, experts]),
-        )?;
-        let moe = self.op(
-            format!("{prefix}/moe_ffn"),
-            OpKind::MoeFfn {
-                tokens,
-                hidden,
-                intermediate,
-                experts,
-                top_k,
-            },
-            vec![attn, gates],
-            TensorMeta::f32(&[batch, seq, hidden]),
-        )?;
-        let residual = self.elementwise(&format!("{prefix}/residual"), vec![moe, attn], 1)?;
-        let out = self.layer_norm(&format!("{prefix}/ln"), residual, hidden)?;
-        self.next_layer();
-        Ok(out)
+        self.begin_block(prefix);
+        let result = (|| {
+            let attn =
+                self.self_attention(&format!("{prefix}/attn"), input, batch, seq, hidden, heads)?;
+            let tokens = batch * seq;
+            let gates = self.op(
+                format!("{prefix}/gating"),
+                OpKind::Gating {
+                    tokens,
+                    hidden,
+                    experts,
+                },
+                vec![attn],
+                TensorMeta::f32(&[batch, seq, experts]),
+            )?;
+            let moe = self.op(
+                format!("{prefix}/moe_ffn"),
+                OpKind::MoeFfn {
+                    tokens,
+                    hidden,
+                    intermediate,
+                    experts,
+                    top_k,
+                },
+                vec![attn, gates],
+                TensorMeta::f32(&[batch, seq, hidden]),
+            )?;
+            let residual = self.elementwise(&format!("{prefix}/residual"), vec![moe, attn], 1)?;
+            let out = self.layer_norm(&format!("{prefix}/ln"), residual, hidden)?;
+            self.next_layer();
+            Ok(out)
+        })();
+        self.end_block();
+        result
     }
 
     /// LSTM layer as a single composite op; bumps the layer counter.
+    /// Recorded as one interned block.
     pub fn lstm(
         &mut self,
         name: &str,
@@ -430,7 +640,8 @@ impl GraphBuilder {
         input_dim: usize,
         hidden: usize,
     ) -> Result<OpId, GraphError> {
-        let id = self.op(
+        self.begin_block(name);
+        let result = self.op(
             name,
             OpKind::Lstm {
                 seq,
@@ -440,9 +651,12 @@ impl GraphBuilder {
             },
             vec![input],
             TensorMeta::f32(&[batch, seq, hidden]),
-        )?;
-        self.next_layer();
-        Ok(id)
+        );
+        if result.is_ok() {
+            self.next_layer();
+        }
+        self.end_block();
+        result
     }
 
     /// Softmax cross-entropy loss over `[batch, classes]`, producing a
@@ -460,6 +674,134 @@ impl GraphBuilder {
             vec![logits],
             TensorMeta::f32(&[batch]),
         )
+    }
+}
+
+/// Collect the external producer list (first-reference order, matching
+/// [`TemplateInput::External`] slot numbering) for a recorded block, or
+/// `None` if the ops don't factor into a template (empty block, name
+/// outside the prefix, layer index behind the block's layer base). The
+/// prefix text is the first `prefix_len` bytes of the first op's name —
+/// every op must share it, which is what makes the sliced suffixes
+/// reconstructible.
+fn block_externals(ops: &[Op], block: &OpenBlock) -> Option<Externals> {
+    let first = ops.first()?;
+    if !first.name.is_char_boundary(block.prefix_len) {
+        return None;
+    }
+    let prefix = &first.name.as_bytes()[..block.prefix_len];
+    let mut externals = Externals::new();
+    for op in ops {
+        // A name starting with the (valid UTF-8) prefix bytes necessarily
+        // has a char boundary at `prefix_len`, so suffix slicing is safe.
+        if !op.name.as_bytes().starts_with(prefix) {
+            return None;
+        }
+        if let Some(layer) = op.layer {
+            layer.checked_sub(block.layer_base)?;
+        }
+        for &input in &op.inputs {
+            if input.0 < block.base && !externals.contains(&input) {
+                externals.push(input);
+            }
+        }
+    }
+    Some(externals)
+}
+
+/// Hash a recorded block exactly as [`crate::intern::template_fingerprint`]
+/// hashes the template it factors into, without building that template:
+/// suffixes are name slices past the prefix, input slots are recomputed by
+/// arithmetic and a scan of the (short) external list.
+fn block_hash(ops: &[Op], block: &OpenBlock, externals: &[OpId]) -> Fingerprint {
+    let mut fp = Fingerprinter::new("block-template");
+    fp.push_len(ops.len());
+    fp.push_usize(externals.len());
+    for op in ops {
+        fp.push_str(&op.name[block.prefix_len..]);
+        push_kind(&mut fp, &op.kind);
+        fp.push_len(op.inputs.len());
+        for &input in &op.inputs {
+            if input.0 >= block.base {
+                fp.push_tag(0).push_usize(input.0 - block.base);
+            } else {
+                let slot = externals
+                    .iter()
+                    .position(|&e| e == input)
+                    .expect("every external producer was collected");
+                fp.push_tag(1).push_usize(slot);
+            }
+        }
+        push_tensor(&mut fp, &op.output);
+        push_phase(&mut fp, op.phase);
+        match op.layer {
+            Some(layer) => fp.push_bool(true).push_usize(layer - block.layer_base),
+            None => fp.push_bool(false),
+        };
+    }
+    fp.finish()
+}
+
+/// Exact structural comparison of a candidate template against recorded
+/// ops — the hit-path verifier behind [`intern_block_with`]'s bucket scan.
+/// Equivalent to `template == build_template(ops, ...)` without allocating.
+fn block_matches(
+    template: &BlockTemplate,
+    ops: &[Op],
+    block: &OpenBlock,
+    externals: &[OpId],
+) -> bool {
+    if template.ops.len() != ops.len() || template.external_slots != externals.len() {
+        return false;
+    }
+    template.ops.iter().zip(ops).all(|(t, op)| {
+        t.suffix == op.name[block.prefix_len..]
+            && t.kind == op.kind
+            && t.output == op.output
+            && t.phase == op.phase
+            && t.layer_rel == op.layer.map(|layer| layer - block.layer_base)
+            && t.inputs.len() == op.inputs.len()
+            && t.inputs
+                .iter()
+                .zip(&op.inputs)
+                .all(|(ti, &input)| match *ti {
+                    TemplateInput::Internal(p) => input.0 == block.base + p,
+                    TemplateInput::External(s) => externals.get(s) == Some(&input),
+                })
+    })
+}
+
+/// Build the template for a block the interner has never seen (the miss
+/// path: once per distinct block shape process-wide).
+fn build_template(ops: &[Op], block: &OpenBlock, externals: &[OpId]) -> BlockTemplate {
+    let template_ops = ops
+        .iter()
+        .map(|op| TemplateOp {
+            suffix: op.name[block.prefix_len..].to_string(),
+            kind: op.kind.clone(),
+            inputs: op
+                .inputs
+                .iter()
+                .map(|&input| {
+                    if input.0 >= block.base {
+                        TemplateInput::Internal(input.0 - block.base)
+                    } else {
+                        let slot = externals
+                            .iter()
+                            .position(|&e| e == input)
+                            .expect("every external producer was collected");
+                        TemplateInput::External(slot)
+                    }
+                })
+                .collect(),
+            output: op.output.clone(),
+            phase: op.phase,
+            layer_rel: op.layer.map(|layer| layer - block.layer_base),
+        })
+        .collect();
+    BlockTemplate {
+        ops: template_ops,
+        external_slots: externals.len(),
     }
 }
 
@@ -525,5 +867,35 @@ mod tests {
         assert!(p.param_count > 4_000_000_000);
         // But FLOPs stay modest (top-2 routing).
         assert!(p.forward_flops(2) < 1e13);
+    }
+
+    #[test]
+    fn identical_layers_share_one_interned_block() {
+        let mut b = GraphBuilder::new("shared");
+        let x = b.input("x", &[2, 16, 64]).unwrap();
+        let h = b.encoder_layer("enc.0", x, 2, 16, 64, 4, 256).unwrap();
+        b.encoder_layer("enc.1", h, 2, 16, 64, 4, 256).unwrap();
+        let g = b.finish();
+        assert_eq!(g.block_count(), 2);
+        // Both layers resolve to the same per-layer cost — and the flat
+        // view reconstructs distinct names and contiguous ids.
+        let names: Vec<&str> = g.ops().iter().map(|op| op.name.as_str()).collect();
+        assert!(names.contains(&"enc.0/attn/qkv"));
+        assert!(names.contains(&"enc.1/attn/qkv"));
+        assert!(g.ops().iter().enumerate().all(|(i, op)| op.id.0 == i));
+        assert_eq!(g.per_layer_costs().len(), 2);
+    }
+
+    #[test]
+    fn non_layer_ops_stay_literal() {
+        let mut b = GraphBuilder::new("mixed");
+        let x = b.input("x", &[2, 16]).unwrap();
+        let e = b.embedding("embed", x, 100, 64, 2, 16).unwrap();
+        let h = b.encoder_layer("enc.0", e, 2, 16, 64, 4, 256).unwrap();
+        b.cross_entropy("loss", h, 2, 100).unwrap();
+        let g = b.finish();
+        assert_eq!(g.block_count(), 1);
+        assert_eq!(g.ops().first().unwrap().name, "x");
+        assert_eq!(g.ops().last().unwrap().name, "loss");
     }
 }

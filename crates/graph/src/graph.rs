@@ -4,7 +4,17 @@
 //! Construction is append-only: an op's inputs must already exist, so node
 //! ids are a valid topological order by construction and the graph is a DAG
 //! by construction.
+//!
+//! Internally a graph stores its ops once, flat and in id order — the
+//! `&[Op]` view the planner consumes is simply that storage, for every
+//! representation. Interned graphs additionally carry a run of
+//! [`Segment`]s: a metadata overlay mapping op ranges to instantiations of
+//! interned layer blocks (see [`crate::intern`]). Deep models with
+//! repeated layers share one block *template* allocation across all layers
+//! and all graphs in the process, and fingerprinting, equality, and
+//! adjacency compose from per-block memos instead of re-walking the ops.
 
+use crate::intern::{BlockInst, TemplateInput};
 use crate::op::{OpKind, Phase};
 use crate::tensor::TensorMeta;
 use std::collections::BTreeMap;
@@ -87,6 +97,42 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// One run of a graph's op sequence: either verbatim ops (graph inputs,
+/// embeddings, heads, losses) or one instantiation of an interned layer
+/// block. Segments are an overlay over the graph's flat op storage — they
+/// hold no ops themselves, only ranges and block memos.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// Literal ops `flat[start..start + len]` (positions are op ids).
+    Literal {
+        /// First op id covered by the run.
+        start: usize,
+        /// Number of ops in the run.
+        len: usize,
+    },
+    /// One placement of a shared block (its ops live at
+    /// `flat[inst.base..inst.base + inst.len()]`). Stored inline — the
+    /// whole segment list is behind one `Arc`, so per-block indirection
+    /// would buy nothing and cost an allocation per layer.
+    Block(BlockInst),
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        match self {
+            Segment::Literal { len, .. } => *len,
+            Segment::Block(inst) => inst.len(),
+        }
+    }
+
+    fn start(&self) -> usize {
+        match self {
+            Segment::Literal { start, .. } => *start,
+            Segment::Block(inst) => inst.base,
+        }
+    }
+}
+
 /// Adjacency derived from the op list, built once on first use: the inverse
 /// edge map plus the source/sink frontiers. `sources()`/`sinks()`/
 /// `consumers()` used to rebuild these `Vec`s on every call — an O(V+E)
@@ -124,30 +170,190 @@ impl AdjCache {
             sinks,
         }
     }
+
+    /// Assemble adjacency from segments without re-walking block ops:
+    /// block-internal edges come from the block's memoized
+    /// [`crate::intern::BlockAdj`] (built once per *distinct* block
+    /// process-wide, not once per graph or clone). Edge-list ordering is
+    /// identical to [`AdjCache::build`] on the flat view: segments are
+    /// walked in id order and block adjacency records edges in flat-scan
+    /// order.
+    fn build_from_segments(segments: &[Segment], flat: &[Op]) -> AdjCache {
+        let len = flat.len();
+        let mut consumers: Vec<Vec<OpId>> = vec![Vec::new(); len];
+        let mut consumed = vec![false; len];
+        let mut sources = Vec::new();
+        for segment in segments {
+            match segment {
+                Segment::Literal { start, len } => {
+                    for op in &flat[*start..start + len] {
+                        if op.inputs.is_empty() {
+                            sources.push(op.id);
+                        }
+                        for &input in &op.inputs {
+                            consumers[input.0].push(op.id);
+                            consumed[input.0] = true;
+                        }
+                    }
+                }
+                Segment::Block(inst) => {
+                    let adj = inst.block.adjacency();
+                    let base = inst.base;
+                    for &s in &adj.sources_rel {
+                        sources.push(OpId(base + s));
+                    }
+                    for (producer, cs) in adj.internal_consumers.iter().enumerate() {
+                        if cs.is_empty() {
+                            continue;
+                        }
+                        consumed[base + producer] = true;
+                        let list = &mut consumers[base + producer];
+                        list.extend(cs.iter().map(|&c| OpId(base + c)));
+                    }
+                    for (slot, cs) in adj.external_consumers.iter().enumerate() {
+                        if cs.is_empty() {
+                            continue;
+                        }
+                        let producer = inst.externals[slot];
+                        consumed[producer.0] = true;
+                        let list = &mut consumers[producer.0];
+                        list.extend(cs.iter().map(|&c| OpId(base + c)));
+                    }
+                }
+            }
+        }
+        let sinks = (0..len).filter(|&i| !consumed[i]).map(OpId).collect();
+        AdjCache {
+            consumers,
+            sources,
+            sinks,
+        }
+    }
+}
+
+/// Storage backing a graph: always the flat op vector, optionally overlaid
+/// with segments mapping op ranges to interned block instantiations.
+#[derive(Debug, Clone)]
+pub(crate) enum Rep {
+    /// Every op stored verbatim, no block structure.
+    Flat(Arc<Vec<Op>>),
+    /// Flat ops plus the literal/block segmentation the builder recorded.
+    Interned {
+        segments: Arc<Vec<Segment>>,
+        flat: Arc<Vec<Op>>,
+    },
 }
 
 /// An append-only dataflow DAG.
 ///
-/// Ops live behind an [`Arc`] with copy-on-write mutation, so cloning a
+/// Ops live behind [`Arc`]s with copy-on-write mutation, so cloning a
 /// finished graph is a reference-count bump — `auto_parallel` hands one
 /// built model to every candidate strategy without re-running the model
 /// constructor. Value semantics are preserved: appending to a shared graph
-/// copies the op list first.
+/// copies the op list first (and collapses an interned graph to its flat
+/// form, since an arbitrary append invalidates block structure).
 ///
 /// Adjacency ([`Graph::consumers`], [`Graph::sources`], [`Graph::sinks`]) is
 /// memoized behind a [`OnceLock`] and shared by clones; appending an op
-/// invalidates it. Equality and ordering look only at `(name, ops)` — the
-/// cache is pure derived state.
+/// invalidates it. For interned graphs the per-block half of that work is
+/// additionally shared across *all* graphs containing the block. Equality
+/// and ordering look only at the semantic `(name, ops)` content — caches
+/// and representation are invisible: two graphs holding the same ops
+/// compare equal whether interned or flat, with a segment/pointer fast
+/// path when both sides are interned.
 #[derive(Debug, Clone)]
 pub struct Graph {
     name: String,
-    ops: Arc<Vec<Op>>,
+    rep: Rep,
     adj: Arc<OnceLock<AdjCache>>,
+}
+
+fn segment_eq(a: &Segment, a_flat: &[Op], b: &Segment, b_flat: &[Op]) -> bool {
+    match (a, b) {
+        (Segment::Literal { start: sa, len: la }, Segment::Literal { start: sb, len: lb }) => {
+            sa == sb && la == lb && a_flat[*sa..sa + la] == b_flat[*sb..sb + lb]
+        }
+        (Segment::Block(a), Segment::Block(b)) => {
+            // Interning guarantees pointer equality ⟺ template equality,
+            // so this is exact, not probabilistic. Prefix text is compared
+            // through the flat storage (instances own no text); blocks are
+            // never empty, so `base` is in bounds.
+            Arc::ptr_eq(&a.block, &b.block)
+                && a.base == b.base
+                && a.layer_base == b.layer_base
+                && a.prefix_len == b.prefix_len
+                && a.externals == b.externals
+                && a_flat[a.base].name.as_bytes()[..a.prefix_len]
+                    == b_flat[b.base].name.as_bytes()[..b.prefix_len]
+        }
+        _ => false,
+    }
 }
 
 impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
-        self.name == other.name && self.ops == other.ops
+        if self.name != other.name || self.len() != other.len() {
+            return false;
+        }
+        // Interned fast path: identical segment structure proves equality
+        // without comparing a single block op (literal runs — a handful of
+        // embeddings/heads — are compared directly).
+        if let (
+            Rep::Interned {
+                segments: sa,
+                flat: fa,
+            },
+            Rep::Interned {
+                segments: sb,
+                flat: fb,
+            },
+        ) = (&self.rep, &other.rep)
+        {
+            if Arc::ptr_eq(fa, fb) || Arc::ptr_eq(sa, sb) {
+                return true;
+            }
+            if sa.len() == sb.len()
+                && sa
+                    .iter()
+                    .zip(sb.iter())
+                    .all(|(x, y)| segment_eq(x, fa, y, fb))
+            {
+                return true;
+            }
+            // Differently segmented graphs can still flatten identically;
+            // fall through to the semantic comparison.
+        }
+        self.ops() == other.ops()
+    }
+}
+
+/// Instantiate one block placement into `out` (which must be exactly
+/// `inst.len()` ops long), used when splicing an edited block into a
+/// graph's flat storage. `prefix` is the instantiation's name prefix (the
+/// instance only records its length). This is the only path that rebuilds
+/// ops from a template — ordinary construction records ops once and never
+/// revisits them.
+fn write_block_ops(inst: &BlockInst, prefix: &str, out: &mut [Op]) {
+    let template = inst.block.template();
+    debug_assert_eq!(out.len(), template.ops.len());
+    debug_assert_eq!(prefix.len(), inst.prefix_len);
+    for (off, (slot, t)) in out.iter_mut().zip(template.ops.iter()).enumerate() {
+        *slot = Op {
+            id: OpId(inst.base + off),
+            name: format!("{prefix}{}", t.suffix),
+            kind: t.kind.clone(),
+            inputs: t
+                .inputs
+                .iter()
+                .map(|input| match *input {
+                    TemplateInput::Internal(p) => OpId(inst.base + p),
+                    TemplateInput::External(s) => inst.externals[s],
+                })
+                .collect(),
+            output: t.output.clone(),
+            phase: t.phase,
+            layer: t.layer_rel.map(|rel| inst.layer_base + rel),
+        };
     }
 }
 
@@ -156,9 +362,53 @@ impl Graph {
     pub fn new(name: impl Into<String>) -> Graph {
         Graph {
             name: name.into(),
-            ops: Arc::new(Vec::new()),
+            rep: Rep::Flat(Arc::new(Vec::new())),
             adj: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// Assemble a graph from builder-produced flat ops plus the segment
+    /// overlay describing which ranges are interned blocks (see
+    /// [`crate::builder::GraphBuilder`]).
+    pub(crate) fn from_segments(name: String, segments: Vec<Segment>, flat: Vec<Op>) -> Graph {
+        debug_assert_eq!(
+            segments.iter().map(Segment::len).sum::<usize>(),
+            flat.len(),
+            "segments must tile the op list"
+        );
+        debug_assert!(
+            segments
+                .iter()
+                .scan(0usize, |pos, s| {
+                    let ok = s.start() == *pos;
+                    *pos += s.len();
+                    Some(ok)
+                })
+                .all(|ok| ok),
+            "segments must be contiguous and in id order"
+        );
+        Graph {
+            name,
+            rep: Rep::Interned {
+                segments: Arc::new(segments),
+                flat: Arc::new(flat),
+            },
+            adj: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Assemble a flat graph from already-validated ops (builder internal).
+    pub(crate) fn from_flat(name: String, ops: Vec<Op>) -> Graph {
+        debug_assert!(ops.iter().enumerate().all(|(i, op)| op.id.0 == i));
+        Graph {
+            name,
+            rep: Rep::Flat(Arc::new(ops)),
+            adj: Arc::new(OnceLock::new()),
+        }
+    }
+
+    pub(crate) fn rep(&self) -> &Rep {
+        &self.rep
     }
 
     /// Graph name.
@@ -166,27 +416,47 @@ impl Graph {
         &self.name
     }
 
-    /// All ops, in id (= topological) order.
+    /// All ops, in id (= topological) order. Free for every
+    /// representation: interned graphs store their flat view eagerly (the
+    /// builder records each op exactly once) and share it across clones.
     pub fn ops(&self) -> &[Op] {
-        &self.ops
+        match &self.rep {
+            Rep::Flat(ops) => ops,
+            Rep::Interned { flat, .. } => flat,
+        }
     }
 
-    /// Number of ops.
+    /// Number of ops (cheap for every representation).
     pub fn len(&self) -> usize {
-        self.ops.len()
+        self.ops().len()
     }
 
     /// Whether the graph has no ops.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of interned-block instantiations (0 for flat graphs).
+    pub fn block_count(&self) -> usize {
+        match &self.rep {
+            Rep::Flat(_) => 0,
+            Rep::Interned { segments, .. } => segments
+                .iter()
+                .filter(|s| matches!(s, Segment::Block(_)))
+                .count(),
+        }
     }
 
     /// Look up an op.
     pub fn op(&self, id: OpId) -> Result<&Op, GraphError> {
-        self.ops.get(id.0).ok_or(GraphError::UnknownOp(id))
+        self.ops().get(id.0).ok_or(GraphError::UnknownOp(id))
     }
 
     /// Append an op whose inputs must already exist.
+    ///
+    /// An arbitrary append has no block structure, so an interned graph
+    /// first collapses to its flat form (block sharing with other graphs
+    /// is unaffected; this graph simply stops participating).
     pub fn add_op(
         &mut self,
         name: impl Into<String>,
@@ -197,13 +467,22 @@ impl Graph {
         layer: Option<usize>,
     ) -> Result<OpId, GraphError> {
         let name = name.into();
-        let id = OpId(self.ops.len());
+        let id = OpId(self.len());
         for &input in &inputs {
             if input.0 >= id.0 {
                 return Err(GraphError::DanglingInput { op: name, input });
             }
         }
-        Arc::make_mut(&mut self.ops).push(Op {
+        if let Rep::Interned { flat, .. } = &self.rep {
+            // The flat storage already exists — collapsing just drops the
+            // segment overlay (block sharing with other graphs is
+            // unaffected; this graph simply stops participating).
+            self.rep = Rep::Flat(Arc::clone(flat));
+        }
+        let Rep::Flat(ops) = &mut self.rep else {
+            unreachable!("interned representation collapsed above")
+        };
+        Arc::make_mut(ops).push(Op {
             id,
             name,
             kind,
@@ -224,8 +503,85 @@ impl Graph {
         Ok(id)
     }
 
+    /// Replace the `index`-th block instantiation with the `donor_index`-th
+    /// block of `donor`, keeping this graph's placement (prefix, id base,
+    /// layer base, external wiring). This is the single-layer-edit
+    /// primitive: every untouched segment is shared with `self`, so
+    /// re-fingerprinting the result re-hashes only the spliced block.
+    ///
+    /// The donor block must have the same op count (so downstream ids do
+    /// not shift) and the same external arity; the caller is responsible
+    /// for shape compatibility at the block boundary.
+    pub fn with_block_replaced(
+        &self,
+        index: usize,
+        donor: &Graph,
+        donor_index: usize,
+    ) -> Result<Graph, GraphError> {
+        fn nth_block(rep: &Rep, n: usize) -> Option<(usize, &BlockInst)> {
+            let Rep::Interned { segments, .. } = rep else {
+                return None;
+            };
+            segments
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Segment::Block(inst) => Some((i, inst)),
+                    Segment::Literal { .. } => None,
+                })
+                .nth(n)
+        }
+        let (seg_index, target) = nth_block(&self.rep, index)
+            .ok_or_else(|| GraphError::BadRange(format!("graph has no interned block #{index}")))?;
+        let (_, donor_inst) = nth_block(donor.rep(), donor_index).ok_or_else(|| {
+            GraphError::BadRange(format!("donor has no interned block #{donor_index}"))
+        })?;
+        let donor_block = Arc::clone(&donor_inst.block);
+        if donor_block.template().ops.len() != target.len() {
+            return Err(GraphError::BadRange(format!(
+                "replacement block has {} ops, target has {}",
+                donor_block.template().ops.len(),
+                target.len()
+            )));
+        }
+        if donor_block.template().external_slots != target.externals.len() {
+            return Err(GraphError::BadRange(format!(
+                "replacement block takes {} externals, target wires {}",
+                donor_block.template().external_slots,
+                target.externals.len()
+            )));
+        }
+        let Rep::Interned { segments, flat } = &self.rep else {
+            unreachable!("nth_block succeeded on self above")
+        };
+        let new_inst = BlockInst::new(
+            donor_block,
+            target.prefix_len,
+            target.base,
+            target.layer_base,
+            target.externals.clone(),
+        );
+        // Splice: clone the flat storage, rewrite only the replaced range.
+        // The replacement keeps the target's prefix text, read from the
+        // original storage before the range is overwritten.
+        let prefix = &flat[target.base].name[..target.prefix_len];
+        let mut new_flat: Vec<Op> = flat.as_ref().clone();
+        let range = new_inst.base..new_inst.base + new_inst.len();
+        write_block_ops(&new_inst, prefix, &mut new_flat[range]);
+        let mut new_segments: Vec<Segment> = segments.as_ref().clone();
+        new_segments[seg_index] = Segment::Block(new_inst);
+        Ok(Graph::from_segments(
+            self.name.clone(),
+            new_segments,
+            new_flat,
+        ))
+    }
+
     fn adjacency(&self) -> &AdjCache {
-        self.adj.get_or_init(|| AdjCache::build(&self.ops))
+        self.adj.get_or_init(|| match &self.rep {
+            Rep::Flat(ops) => AdjCache::build(ops),
+            Rep::Interned { segments, flat } => AdjCache::build_from_segments(segments, flat),
+        })
     }
 
     /// Ids of ops with no data dependencies (the graph inputs). Memoized;
@@ -247,19 +603,19 @@ impl Graph {
 
     /// Total forward FLOPs over all ops.
     pub fn total_forward_flops(&self) -> f64 {
-        self.ops.iter().map(|op| op.forward_flops()).sum()
+        self.ops().iter().map(|op| op.forward_flops()).sum()
     }
 
     /// Total trainable parameter count.
     pub fn total_params(&self) -> u64 {
-        self.ops.iter().map(|op| op.param_count()).sum()
+        self.ops().iter().map(|op| op.param_count()).sum()
     }
 
     /// Per-layer aggregation: `(layer, flops, params)` for ops that carry a
     /// layer index, ordered by layer.
     pub fn per_layer_costs(&self) -> Vec<(usize, f64, u64)> {
         let mut agg: BTreeMap<usize, (f64, u64)> = BTreeMap::new();
-        for op in self.ops.iter() {
+        for op in self.ops().iter() {
             if let Some(layer) = op.layer {
                 let e = agg.entry(layer).or_insert((0.0, 0));
                 e.0 += op.forward_flops();
@@ -273,10 +629,10 @@ impl Graph {
     /// bounds. Because ids are topologically ordered, a contiguous range is a
     /// convex subgraph — exactly what pipeline stages are.
     pub fn op_range(&self, start: usize, end: usize) -> Result<Vec<OpId>, GraphError> {
-        if start >= end || end > self.ops.len() {
+        if start >= end || end > self.len() {
             return Err(GraphError::BadRange(format!(
                 "[{start}, {end}) of {} ops",
-                self.ops.len()
+                self.len()
             )));
         }
         Ok((start..end).map(OpId).collect())
@@ -285,8 +641,9 @@ impl Graph {
     /// Tensors crossing from inside `ids` to outside (the *exit* tensors of a
     /// TaskGraph, §4 "TaskGraph Schedule"), as `(producer, total bytes)`.
     pub fn boundary_outputs(&self, ids: &[OpId]) -> Vec<(OpId, u64)> {
+        let ops = self.ops();
         let inside: Vec<bool> = {
-            let mut v = vec![false; self.ops.len()];
+            let mut v = vec![false; ops.len()];
             for &id in ids {
                 if id.0 < v.len() {
                     v[id.0] = true;
@@ -295,13 +652,13 @@ impl Graph {
             v
         };
         let mut out = Vec::new();
-        for op in self.ops.iter() {
+        for op in ops.iter() {
             if inside[op.id.0] {
                 continue;
             }
             for &input in &op.inputs {
                 if inside[input.0] && !out.iter().any(|(p, _)| *p == input) {
-                    out.push((input, self.ops[input.0].output_bytes()));
+                    out.push((input, ops[input.0].output_bytes()));
                 }
             }
         }
@@ -311,7 +668,7 @@ impl Graph {
     /// Export in Graphviz DOT format (for debugging and docs).
     pub fn to_dot(&self) -> String {
         let mut s = format!("digraph \"{}\" {{\n", self.name);
-        for op in self.ops.iter() {
+        for op in self.ops().iter() {
             s.push_str(&format!(
                 "  n{} [label=\"{}\\n{:?}\"];\n",
                 op.id.0, op.name, op.phase
@@ -328,6 +685,7 @@ impl Graph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::GraphBuilder;
     use crate::tensor::TensorMeta;
 
     fn mk_chain(n: usize) -> Graph {
@@ -358,6 +716,17 @@ mod tests {
             );
         }
         g
+    }
+
+    fn mk_encoder(name: &str, layers: usize, interned: bool) -> Graph {
+        let mut b = GraphBuilder::with_interning(name, interned);
+        let mut h = b.input("x", &[2, 16, 64]).unwrap();
+        for i in 0..layers {
+            h = b
+                .encoder_layer(&format!("enc.{i}"), h, 2, 16, 64, 4, 256)
+                .unwrap();
+        }
+        b.finish()
     }
 
     #[test]
@@ -415,6 +784,87 @@ mod tests {
         assert_eq!(g.sinks(), vec![OpId(3), OpId(4)]);
         // Equality ignores the cache.
         assert_eq!(clone, clone.clone());
+    }
+
+    #[test]
+    fn interned_adjacency_matches_flat_rebuild() {
+        let interned = mk_encoder("enc", 3, true);
+        let flat = mk_encoder("enc", 3, false);
+        assert!(interned.block_count() > 0);
+        assert_eq!(flat.block_count(), 0);
+        // The segment-assembled adjacency is elementwise identical to a
+        // flat scan: same consumer lists (order and duplicates included),
+        // same frontiers.
+        let rebuilt = AdjCache::build(interned.ops());
+        assert_eq!(interned.consumers(), rebuilt.consumers);
+        assert_eq!(interned.sources(), rebuilt.sources);
+        assert_eq!(interned.sinks(), rebuilt.sinks);
+        assert_eq!(flat.consumers(), interned.consumers());
+    }
+
+    #[test]
+    fn interned_and_flat_builds_are_equal() {
+        let interned = mk_encoder("enc", 2, true);
+        let flat = mk_encoder("enc", 2, false);
+        assert_eq!(interned.ops(), flat.ops());
+        assert_eq!(interned, flat);
+        assert_eq!(flat, interned);
+        assert_eq!(interned, interned.clone());
+        assert_ne!(interned, mk_encoder("enc", 3, true));
+    }
+
+    #[test]
+    fn append_to_interned_graph_collapses_but_stays_correct() {
+        let mut g = mk_encoder("enc", 2, true);
+        let flat_before = g.ops().to_vec();
+        let last = OpId(g.len() - 1);
+        g.add_op(
+            "tail",
+            OpKind::Elementwise {
+                elems: 4,
+                flops_per_elem: 1,
+            },
+            vec![last],
+            TensorMeta::f32(&[4]),
+            Phase::Forward,
+            None,
+        )
+        .unwrap();
+        assert_eq!(g.block_count(), 0);
+        assert_eq!(g.len(), flat_before.len() + 1);
+        assert_eq!(&g.ops()[..flat_before.len()], flat_before.as_slice());
+        assert_eq!(
+            *g.consumers()[last.0].last().unwrap(),
+            OpId(flat_before.len())
+        );
+    }
+
+    #[test]
+    fn block_replacement_validates_shape() {
+        let g = mk_encoder("enc", 3, true);
+        // Donor with a different FFN width: same op count, same externals.
+        let mut b = GraphBuilder::new("donor");
+        let x = b.input("x", &[2, 16, 64]).unwrap();
+        b.encoder_layer("d", x, 2, 16, 64, 4, 512).unwrap();
+        let donor = b.finish();
+
+        let edited = g.with_block_replaced(1, &donor, 0).unwrap();
+        assert_eq!(edited.len(), g.len());
+        assert_ne!(edited, g);
+        // Only the middle layer changed; names keep the target prefix.
+        let changed: Vec<_> = g
+            .ops()
+            .iter()
+            .zip(edited.ops())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert!(!changed.is_empty());
+        assert!(changed
+            .iter()
+            .all(|(a, b)| { a.name.starts_with("enc.1/") && b.name.starts_with("enc.1/") }));
+
+        assert!(g.with_block_replaced(7, &donor, 0).is_err());
+        assert!(g.with_block_replaced(0, &mk_chain(3), 0).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod autodiff;
 pub mod builder;
 pub mod fingerprint;
 pub mod graph;
+pub mod intern;
 pub mod models;
 pub mod op;
 pub mod profile;
@@ -36,8 +37,8 @@ pub mod stats;
 pub mod tensor;
 
 pub use autodiff::{derive_training_graph, TrainingGraph};
-pub use builder::GraphBuilder;
-pub use graph::{Graph, GraphError, Op, OpId};
+pub use builder::{set_default_interning, GraphBuilder};
+pub use graph::{Graph, GraphError, Op, OpId, Segment};
 pub use op::{OpKind, Phase};
 pub use profile::{CostProfile, Optimizer, TrainingConfig, ZeroStage};
 pub use stats::{graph_stats, GraphStats};

@@ -26,7 +26,7 @@ pub use bert::{bert, bert_base, bert_large, BertConfig};
 pub use gnmt::{gnmt, gnmt_with_config, GnmtConfig};
 pub use gpt::{gpt, gpt2_xl, GptConfig};
 pub use m6::{m6, m6_10b, M6Config};
-pub use moe::{m6_moe, m6_moe_100b, m6_moe_1t, MoeConfig};
+pub use moe::{m6_moe, m6_moe_100b, m6_moe_1t, m6_moe_1t_deep, MoeConfig};
 pub use resnet::{imagenet_100k, imagenet_big_fc, resnet50};
 pub use t5::{t5, t5_large, T5Config};
 pub use vit::{vit, vit_large, VitConfig};

@@ -54,6 +54,26 @@ impl MoeConfig {
         }
     }
 
+    /// A depth-dominated trillion-parameter variant: the same ~1T budget as
+    /// [`MoeConfig::m6_moe_1t`] spent on 1024 thin layers instead of 24 fat
+    /// ones. Exercises the compile pipeline's scaling in *layer count* —
+    /// graph construction, annotation, and fingerprinting all walk one op
+    /// list per layer, so this member is the stress case for the interned
+    /// graph core (hundreds of structurally identical blocks that intern to
+    /// a handful of allocations).
+    pub fn m6_moe_1t_deep() -> MoeConfig {
+        MoeConfig {
+            layers: 1024,
+            hidden: 1024,
+            heads: 16,
+            intermediate: 2816,
+            experts: 160,
+            top_k: 2,
+            vocab: 21128,
+            seq: 512,
+        }
+    }
+
     /// A small configuration for tests.
     pub fn tiny() -> MoeConfig {
         MoeConfig {
@@ -138,6 +158,19 @@ pub fn m6_moe_1t(batch: usize) -> Result<Graph, GraphError> {
     m6_moe(MoeConfig::m6_moe_1t(), batch)
 }
 
+/// Depth-dominated ~1T-parameter MoE (1024 thin layers; see
+/// [`MoeConfig::m6_moe_1t_deep`]).
+///
+/// # Examples
+///
+/// ```
+/// use whale_graph::models::MoeConfig;
+/// assert!(MoeConfig::m6_moe_1t_deep().analytic_params() > 900_000_000_000);
+/// ```
+pub fn m6_moe_1t_deep(batch: usize) -> Result<Graph, GraphError> {
+    m6_moe(MoeConfig::m6_moe_1t_deep(), batch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +190,14 @@ mod tests {
     fn table1_1t_parameter_count() {
         let analytic = MoeConfig::m6_moe_1t().analytic_params() as f64;
         assert!((0.95e12..1.1e12).contains(&analytic), "params = {analytic}");
+    }
+
+    #[test]
+    fn deep_1t_matches_the_trillion_budget_in_depth() {
+        let cfg = MoeConfig::m6_moe_1t_deep();
+        let analytic = cfg.analytic_params() as f64;
+        assert!((0.9e12..1.1e12).contains(&analytic), "params = {analytic}");
+        assert!(cfg.layers > 40 * MoeConfig::m6_moe_1t().layers);
     }
 
     #[test]

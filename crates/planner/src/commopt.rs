@@ -309,24 +309,38 @@ impl PlannerPass for CommOpt {
     }
 
     fn run(&self, cx: &PassContext<'_>, state: &mut CompileState) -> Result<()> {
-        let plan_arc = state
+        let mut plan_arc = state
             .plan
-            .as_ref()
+            .take()
             .ok_or_else(|| CompileState::missing(PassId::Schedule, self.id()))?;
-        let p = state
-            .placement
-            .as_ref()
-            .ok_or_else(|| CompileState::missing(PassId::Placement, self.id()))?;
-        let schedule = build_grad_sync_schedule(
+        let p = match state.placement.as_ref() {
+            Some(p) => p,
+            None => {
+                state.plan = Some(plan_arc);
+                return Err(CompileState::missing(PassId::Placement, self.id()));
+            }
+        };
+        let schedule = match build_grad_sync_schedule(
             &plan_arc.grad_syncs,
             &p.task_graphs,
             &cx.ir.graph,
             cx.cluster,
             &cx.config.comm,
-        )?;
-        let mut plan = (**plan_arc).clone();
-        plan.grad_sync_schedule = Some(schedule);
-        state.plan = Some(std::sync::Arc::new(plan));
+        ) {
+            Ok(schedule) => schedule,
+            Err(e) => {
+                // Put the untouched plan back so a failed CommOpt re-run
+                // leaves the state exactly as Schedule produced it.
+                state.plan = Some(plan_arc);
+                return Err(e);
+            }
+        };
+        // `make_mut` rewrites the schedule in place when the Schedule pass's
+        // Arc is still uniquely held (the common pipeline path — no clone of
+        // the stage tables); shared handles from a cache fall back to the
+        // old copy-on-write behavior.
+        std::sync::Arc::make_mut(&mut plan_arc).grad_sync_schedule = Some(schedule);
+        state.plan = Some(plan_arc);
         Ok(())
     }
 }

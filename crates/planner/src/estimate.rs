@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
 
+use whale_fp::Fingerprint;
 use whale_hardware::{Cluster, CommModel};
 
 use crate::error::Result;
@@ -71,6 +72,7 @@ pub struct EstimateCache<'c> {
     comm: CommModel<'c>,
     stage_terms: FnvMap<Vec<u64>, f64>,
     sync_terms: FnvMap<Vec<u64>, f64>,
+    steps: FnvMap<Fingerprint, StepEstimate>,
 }
 
 impl<'c> EstimateCache<'c> {
@@ -82,12 +84,13 @@ impl<'c> EstimateCache<'c> {
             comm: CommModel::new(cluster),
             stage_terms: FnvMap::default(),
             sync_terms: FnvMap::default(),
+            steps: FnvMap::default(),
         }
     }
 
     /// Number of memoized sub-terms (diagnostics).
     pub fn len(&self) -> usize {
-        self.stage_terms.len() + self.sync_terms.len()
+        self.stage_terms.len() + self.sync_terms.len() + self.steps.len()
     }
 
     /// Whether nothing has been memoized yet.
@@ -166,6 +169,31 @@ pub fn estimate_step(plan: &ExecutionPlan, cluster: &Cluster) -> Result<StepEsti
     estimate_step_cached(plan, &mut EstimateCache::new(cluster))
 }
 
+/// [`estimate_step_cached`] with a whole-step memo keyed by a content
+/// fingerprint.
+///
+/// `key` must uniquely identify the `(plan, cluster)` pair — compose it from
+/// the content fingerprints that determined the plan, e.g.
+/// `whale_fp::compose` over `(ir.fingerprint(), cluster.fingerprint(),
+/// config.fingerprint())` (the planner is deterministic, so that triple pins
+/// the plan). Because the inputs are incremental fingerprints, a
+/// `ClusterDelta` or single-layer edit re-hashes only the touched blocks and
+/// every untouched candidate's estimate is a map lookup. A miss falls
+/// through to [`estimate_step_cached`] and stores the result, so keyed
+/// estimates are bit-identical to unkeyed ones.
+pub fn estimate_step_keyed(
+    plan: &ExecutionPlan,
+    key: Fingerprint,
+    cache: &mut EstimateCache<'_>,
+) -> Result<StepEstimate> {
+    if let Some(&e) = cache.steps.get(&key) {
+        return Ok(e);
+    }
+    let e = estimate_step_cached(plan, cache)?;
+    cache.steps.insert(key, e);
+    Ok(e)
+}
+
 /// [`estimate_step`] against a shared [`EstimateCache`]; `auto_parallel`
 /// reuses one cache across every candidate of a search.
 pub fn estimate_step_cached(
@@ -180,7 +208,7 @@ pub fn estimate_step_cached(
     let mut bottleneck: f64 = 0.0;
     let mut total_stage_time = 0.0;
     let mut key: Vec<u64> = Vec::new();
-    for stage in &plan.stages {
+    for stage in plan.stages.iter() {
         stage_key_into(&mut key, stage, amp, bw_factor, plan.efficiency);
         let fw_bw = match cache.stage_terms.get(key.as_slice()) {
             Some(&t) => t,
@@ -216,7 +244,7 @@ pub fn estimate_step_cached(
     };
 
     let mut sync = 0.0;
-    for c in &plan.grad_syncs {
+    for c in plan.grad_syncs.iter() {
         key.clear();
         key.push(c.kind as u64);
         key.push(c.bytes);
@@ -310,6 +338,25 @@ mod tests {
             assert_eq!(first, hit, "warm hit must return the stored terms");
         }
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn keyed_estimates_are_bit_identical() {
+        let cluster = Cluster::parse("4xV100,4xP100").unwrap();
+        let mut cache = EstimateCache::new(&cluster);
+        for (i, batch) in [64usize, 256].into_iter().enumerate() {
+            let p = dp_plan(&cluster, batch);
+            let key = whale_fp::Fingerprinter::new("test-step-key")
+                .push_usize(i)
+                .finish();
+            let fresh = estimate_step(&p, &cluster).unwrap();
+            let miss = estimate_step_keyed(&p, key, &mut cache).unwrap();
+            let before = cache.len();
+            let hit = estimate_step_keyed(&p, key, &mut cache).unwrap();
+            assert_eq!(fresh, miss, "keyed miss must match the plain path");
+            assert_eq!(miss, hit, "keyed hit must return the stored estimate");
+            assert_eq!(cache.len(), before, "a hit must not grow the cache");
+        }
     }
 
     #[test]

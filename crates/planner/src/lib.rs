@@ -30,6 +30,7 @@
 //!     > p.stages[0].devices[8].samples_per_step);
 //! ```
 
+pub(crate) mod balance_memo;
 pub mod bridge;
 pub mod cache;
 pub mod commopt;
@@ -52,7 +53,9 @@ pub use commopt::{
 };
 pub use dp_balance::{dp_partition, dp_partition_traced, DpPartition};
 pub use error::{PlanError, Result};
-pub use estimate::{estimate_step, estimate_step_cached, EstimateCache, StepEstimate};
+pub use estimate::{
+    estimate_step, estimate_step_cached, estimate_step_keyed, EstimateCache, StepEstimate,
+};
 pub use pipe_balance::{
     in_flight_micro_batches, pipeline_partition, pipeline_partition_opts, stage_flops,
     PipePartition,

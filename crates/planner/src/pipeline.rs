@@ -39,8 +39,7 @@ use crate::bridge::{chain_bytes, connect};
 use crate::error::{PlanError, Result};
 use crate::plan::{CollectiveTask, ExecutionPlan, PlannedStage};
 use crate::planner::{
-    auto_stages, build_grad_groups, plan_taskgraph, resolve_devices, stage_boundary_bytes,
-    PlanTgArgs, PlannerConfig, ScheduleKind,
+    auto_stages, resolve_devices, stage_boundary_bytes, PlanTgArgs, PlannerConfig, ScheduleKind,
 };
 
 /// Identity of one compile pass, in pipeline order.
@@ -138,13 +137,16 @@ pub struct BridgedPlan {
 /// in-stage collectives) plus raw gradient-sync groups.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BalancedStages {
-    /// Planned stages, one per TaskGraph. Bridge collectives are *not* yet
-    /// appended — that is the Schedule pass's job, keeping this artifact
-    /// reusable when only scheduling is invalidated.
-    pub stages: Vec<PlannedStage>,
-    /// Gradient-sync groups as `(label, gpu ids, bytes, stage)`; groups of
-    /// one GPU are dropped at schedule time.
-    pub grad_groups: Vec<(String, Vec<usize>, u64, usize)>,
+    /// Planned stages, one per TaskGraph, with bridge collectives already
+    /// appended to their target stages (sound because `BridgeInsertion`
+    /// precedes `Balance`, so bridges can never change without this pass
+    /// rerunning). Behind an [`Arc`] so the Schedule pass assembles the
+    /// final plan by sharing, not cloning, the per-stage vectors.
+    pub stages: Arc<Vec<PlannedStage>>,
+    /// Gradient-sync collectives, fully materialized (single-GPU groups
+    /// already dropped) and [`Arc`]-shared with the plan for the same
+    /// reason as `stages`.
+    pub grad_syncs: Arc<Vec<CollectiveTask>>,
 }
 
 /// Blackboard of per-pass artifacts. Each slot is `None` until its pass has
@@ -492,6 +494,12 @@ impl PlannerPass for Balance {
 
         let mut stages: Vec<PlannedStage> = Vec::with_capacity(num_stages);
         let mut grad_groups: Vec<(String, Vec<usize>, u64, usize)> = Vec::new();
+        // Run-scoped memo: dp-partition and split-pattern results repeat
+        // across plan replicas (and across same-signature device slices on
+        // heterogeneous clusters); replaying them is bit-identical because
+        // both subroutines are pure (see `balance_memo`).
+        let mut memo = crate::balance_memo::BalanceMemo::default();
+        let mut vd_gpus: Vec<usize> = Vec::new();
 
         for (tg_idx, tg) in p.task_graphs.iter().enumerate() {
             let profile = match &p.stage_profiles {
@@ -503,11 +511,13 @@ impl PlannerPass for Balance {
 
             for (g, group) in d.groups.iter().enumerate() {
                 let offset = group[0];
-                let vd_gpus: Vec<usize> = p.vds0[tg_idx]
-                    .gpu_ids()
-                    .iter()
-                    .map(|&id| id - d.groups[0][0] + offset)
-                    .collect();
+                vd_gpus.clear();
+                vd_gpus.extend(
+                    p.vds0[tg_idx]
+                        .gpu_ids()
+                        .iter()
+                        .map(|&id| id - d.groups[0][0] + offset),
+                );
                 for &id in &vd_gpus {
                     if !group.contains(&id) {
                         return Err(PlanError::BadDeviceAssignment(format!(
@@ -515,7 +525,7 @@ impl PlannerPass for Balance {
                         )));
                     }
                 }
-                plan_taskgraph(
+                crate::balance_memo::plan_taskgraph_memo(
                     PlanTgArgs {
                         ir,
                         cluster,
@@ -530,6 +540,7 @@ impl PlannerPass for Balance {
                         gpipe: d.gpipe,
                         outer_dp: d.outer_dp,
                     },
+                    &mut memo,
                     &mut devices,
                     &mut collectives,
                 )?;
@@ -538,7 +549,7 @@ impl PlannerPass for Balance {
             // Gradient-sync groups: GPUs at the same (replica/shard)
             // position across plan replicas, or across DP replicas within a
             // group.
-            build_grad_groups(
+            crate::balance_memo::build_grad_groups_fast(
                 tg,
                 &profile,
                 &p.vds0[tg_idx],
@@ -563,17 +574,39 @@ impl PlannerPass for Balance {
             });
         }
 
+        // Append bridge collectives here rather than in Schedule: bridges
+        // come from an *earlier* pass, so any change to them invalidates
+        // Balance too, and folding them in lets Schedule share the stage
+        // vector without a deep clone.
+        for (target, task) in &br.bridges {
+            stages[*target].collectives_per_micro.push(task.clone());
+        }
+
+        // Materialize the gradient syncs too (they derive purely from this
+        // pass's groups), moving label and group storage instead of
+        // cloning it at schedule time.
+        let grad_syncs = grad_groups
+            .into_iter()
+            .filter(|(_, group, _, _)| group.len() > 1)
+            .map(|(label, group, bytes, stage)| CollectiveTask {
+                kind: Collective::AllReduce,
+                group,
+                bytes,
+                label,
+                stage: Some(stage),
+            })
+            .collect();
+
         state.balanced = Some(BalancedStages {
-            stages,
-            grad_groups,
+            stages: Arc::new(stages),
+            grad_syncs: Arc::new(grad_syncs),
         });
         Ok(())
     }
 }
 
-/// Pass 5: assemble the final [`ExecutionPlan`] — append bridge collectives
-/// to their target stages, materialize gradient syncs, validate against the
-/// cluster.
+/// Pass 5: assemble the final [`ExecutionPlan`] — materialize gradient
+/// syncs from the balanced stages and validate against the cluster.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Schedule;
 
@@ -587,42 +620,20 @@ impl PlannerPass for Schedule {
             .degrees
             .as_ref()
             .ok_or_else(|| CompileState::missing(PassId::DegreeInference, self.id()))?;
-        let br = state
-            .bridged
-            .as_ref()
-            .ok_or_else(|| CompileState::missing(PassId::BridgeInsertion, self.id()))?;
         let bal = state
             .balanced
             .as_ref()
             .ok_or_else(|| CompileState::missing(PassId::Balance, self.id()))?;
 
-        // Clone rather than drain: the Balance artifact stays intact so a
-        // later Schedule-only re-run (e.g. a link-bandwidth delta) can
-        // reschedule from it.
-        let mut stages = bal.stages.clone();
-        for (target, task) in &br.bridges {
-            stages[*target].collectives_per_micro.push(task.clone());
-        }
-
-        let grad_syncs = bal
-            .grad_groups
-            .iter()
-            .filter(|(_, group, _, _)| group.len() > 1)
-            .map(|(label, group, bytes, stage)| CollectiveTask {
-                kind: Collective::AllReduce,
-                group: group.clone(),
-                bytes: *bytes,
-                label: label.clone(),
-                stage: Some(*stage),
-            })
-            .collect();
-
+        // Share rather than clone: the Balance artifact stays intact (and
+        // allocation-free to reuse) for a later Schedule-only re-run, e.g.
+        // a link-bandwidth delta.
         let plan = ExecutionPlan {
             name: cx.ir.graph.name().to_string(),
             global_batch: cx.ir.global_batch,
             num_micro_batches: d.num_micro,
-            stages,
-            grad_syncs,
+            stages: Arc::clone(&bal.stages),
+            grad_syncs: Arc::clone(&bal.grad_syncs),
             grad_sync_schedule: None,
             training: cx.config.training,
             efficiency: cx.config.efficiency,
@@ -690,6 +701,7 @@ impl CompilePipeline {
         start: PassId,
     ) -> Result<()> {
         state.invalidate_from(start);
+        state.passes_run.reserve(self.passes.len());
         for pass in &self.passes {
             if pass.id() >= start {
                 pass.run(cx, state)?;

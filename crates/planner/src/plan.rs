@@ -6,6 +6,8 @@
 //! estimates, the collectives each stage launches per micro batch, and the
 //! gradient-synchronization collectives run at the end of every step (§4).
 
+use std::sync::Arc;
+
 use whale_graph::TrainingConfig;
 use whale_hardware::{Cluster, Collective};
 
@@ -81,10 +83,13 @@ pub struct ExecutionPlan {
     pub global_batch: usize,
     /// Micro batches per step (1 = no pipelining).
     pub num_micro_batches: usize,
-    /// Stages in execution order.
-    pub stages: Vec<PlannedStage>,
+    /// Stages in execution order. Shared (`Arc`) with the pipeline's
+    /// `Balance` artifact so a `Schedule`-only replan assembles the plan
+    /// without cloning per-stage device and collective vectors.
+    pub stages: Arc<Vec<PlannedStage>>,
     /// Gradient synchronization collectives at the end of each step.
-    pub grad_syncs: Vec<CollectiveTask>,
+    /// Shared with the `Balance` artifact for the same reason as `stages`.
+    pub grad_syncs: Arc<Vec<CollectiveTask>>,
     /// Bucketed grad-sync schedule from the `CommOpt` pass (`None` on
     /// hand-assembled plans; the simulator then uses its legacy model).
     pub grad_sync_schedule: Option<crate::commopt::GradSyncSchedule>,
@@ -114,7 +119,7 @@ impl ExecutionPlan {
     pub fn memory_per_gpu(&self) -> std::collections::BTreeMap<usize, u64> {
         let overhead = whale_graph::profile::RUNTIME_OVERHEAD_BYTES;
         let mut mem = std::collections::BTreeMap::new();
-        for stage in &self.stages {
+        for stage in self.stages.iter() {
             for d in &stage.devices {
                 *mem.entry(d.gpu).or_insert(0) += d.mem_bytes.saturating_sub(overhead);
             }
@@ -134,7 +139,7 @@ impl ExecutionPlan {
         if self.stages.is_empty() {
             return Err(PlanError::BadIr("plan has no stages".into()));
         }
-        for stage in &self.stages {
+        for stage in self.stages.iter() {
             if stage.devices.is_empty() {
                 return Err(PlanError::BadDeviceAssignment(format!(
                     "stage {} has no devices",
@@ -150,7 +155,7 @@ impl ExecutionPlan {
                 }
             }
         }
-        for c in &self.grad_syncs {
+        for c in self.grad_syncs.iter() {
             if c.group.is_empty() {
                 return Err(PlanError::BadConfig(format!(
                     "empty gradient-sync group '{}'",
@@ -190,28 +195,30 @@ mod tests {
             name: "test".into(),
             global_batch: 32,
             num_micro_batches: 4,
-            stages: stage_gpus
-                .into_iter()
-                .enumerate()
-                .map(|(i, gpus)| PlannedStage {
-                    index: i,
-                    devices: gpus
-                        .into_iter()
-                        .map(|gpu| DeviceWork {
-                            gpu,
-                            fw_flops_per_micro: 1e9,
-                            mem_traffic_per_micro: 0.0,
-                            mem_bytes: 1 << 30,
-                            samples_per_step: 8,
-                        })
-                        .collect(),
-                    send_bytes_per_micro: 1 << 20,
-                    collectives_per_micro: vec![],
-                    param_bytes: 1 << 20,
-                    dp_degree: 1,
-                })
-                .collect(),
-            grad_syncs: vec![],
+            stages: Arc::new(
+                stage_gpus
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, gpus)| PlannedStage {
+                        index: i,
+                        devices: gpus
+                            .into_iter()
+                            .map(|gpu| DeviceWork {
+                                gpu,
+                                fw_flops_per_micro: 1e9,
+                                mem_traffic_per_micro: 0.0,
+                                mem_bytes: 1 << 30,
+                                samples_per_step: 8,
+                            })
+                            .collect(),
+                        send_bytes_per_micro: 1 << 20,
+                        collectives_per_micro: vec![],
+                        param_bytes: 1 << 20,
+                        dp_degree: 1,
+                    })
+                    .collect(),
+            ),
+            grad_syncs: Arc::new(vec![]),
             grad_sync_schedule: None,
             training: TrainingConfig::default(),
             efficiency: 0.45,
@@ -239,7 +246,7 @@ mod tests {
         let c = Cluster::homogeneous(GpuModel::V100_32GB, 1, 2);
         let mut p = plan_with(vec![vec![0], vec![1]]);
         assert!(p.memory_feasible(&c).unwrap());
-        p.stages[0].devices[0].mem_bytes = 33 << 30;
+        Arc::make_mut(&mut p.stages)[0].devices[0].mem_bytes = 33 << 30;
         assert!(!p.memory_feasible(&c).unwrap());
     }
 
@@ -252,7 +259,7 @@ mod tests {
         assert_eq!(p.memory_per_gpu()[&0], overhead);
 
         let mut big = plan_with(vec![vec![0], vec![0]]);
-        for s in &mut big.stages {
+        for s in Arc::make_mut(&mut big.stages) {
             s.devices[0].mem_bytes = 3 << 30;
         }
         // (3 − 1) + (3 − 1) + 1 = 5 GiB.

@@ -392,8 +392,8 @@ pub fn plan_reference(
         name: ir.graph.name().to_string(),
         global_batch: ir.global_batch,
         num_micro_batches: num_micro,
-        stages,
-        grad_syncs,
+        stages: std::sync::Arc::new(stages),
+        grad_syncs: std::sync::Arc::new(grad_syncs),
         grad_sync_schedule: None,
         training: config.training,
         efficiency: config.efficiency,
@@ -923,7 +923,7 @@ mod tests {
         let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
         assert_eq!(p.stages.len(), 4);
         // Each stage runs on one GPU per plan replica.
-        for s in &p.stages {
+        for s in p.stages.iter() {
             assert_eq!(s.devices.len(), 2);
         }
         // Per-stage gradient sync across the two plan replicas.

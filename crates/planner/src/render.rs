@@ -26,7 +26,7 @@ pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
         plan.stages.len(),
         plan.all_gpus().len()
     );
-    for stage in &plan.stages {
+    for stage in plan.stages.iter() {
         let mem_max = stage.devices.iter().map(|d| d.mem_bytes).max().unwrap_or(0);
         let _ = writeln!(
             out,
@@ -69,7 +69,7 @@ pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
         plan.grad_syncs.len(),
         plan.grad_sync_bytes() as f64 / 1e6
     );
-    for c in &plan.grad_syncs {
+    for c in plan.grad_syncs.iter() {
         let _ = writeln!(
             out,
             "      {:?} over {} rank(s), {:.1} MB — {}",

@@ -231,6 +231,57 @@ impl PlanService {
         Ok(state.plan_arc())
     }
 
+    /// Compile a burst of related requests, returning one result per
+    /// request **in input order**.
+    ///
+    /// The batch is served smarter than a loop over [`PlanService::plan`]:
+    ///
+    /// 1. **One fingerprint pass.** Every request is keyed up front.
+    ///    Requests in a burst typically share structure — the same model at
+    ///    several batch sizes, the same cluster across models — and interned
+    ///    graphs share block allocations, so the first fingerprint of a
+    ///    block memoizes the content sum every later request reuses
+    ///    (`BlockInst::content_sum` is computed once per allocation, not
+    ///    once per request).
+    /// 2. **Duplicates made adjacent.** Requests are processed in key order,
+    ///    so repeated keys run back-to-back: the first becomes the compile
+    ///    leader (or hits an existing entry) and every duplicate is a
+    ///    zero-copy cache hit immediately after — no duplicate ever races a
+    ///    cold shard, even on a fresh service.
+    /// 3. **Keys reused.** Each compile/lookup goes through
+    ///    [`PlanService::plan_keyed`] with the precomputed key, skipping a
+    ///    second fingerprint pass.
+    ///
+    /// Failures are per-request: one bad request yields `Err` in its slot
+    /// and leaves the rest of the batch untouched.
+    pub fn compile_batch(
+        &self,
+        requests: &[(&WhaleIr, &Cluster, &PlannerConfig)],
+    ) -> Vec<Result<Arc<ExecutionPlan>>> {
+        let keys: Vec<PlanKey> = requests
+            .iter()
+            .map(|(ir, cluster, config)| PlanKey::new(ir, cluster, config))
+            .collect();
+        // Sort request indices so equal keys are adjacent (and same-shard
+        // keys clustered); the sort is on the fingerprint words, not the
+        // inputs, so it costs nothing beyond the fingerprints we already
+        // have.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| {
+            let k = &keys[i];
+            (k.shard_hash(), k.ir.0, k.cluster.0, k.config.0)
+        });
+        let mut results: Vec<Option<Result<Arc<ExecutionPlan>>>> = vec![None; requests.len()];
+        for &i in &order {
+            let (ir, cluster, config) = requests[i];
+            results[i] = Some(self.plan_keyed(keys[i], ir, cluster, config));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index visited exactly once"))
+            .collect()
+    }
+
     /// Like [`PlanService::plan_keyed`] but returns the full artifact
     /// state (shared), so callers can inspect per-pass artifacts.
     pub fn state_keyed(
@@ -474,6 +525,67 @@ mod tests {
         let s = service.stats();
         assert!(s.misses >= 1);
         assert_eq!(s.requests(), 4);
+    }
+
+    #[test]
+    fn compile_batch_compiles_once_per_distinct_key_in_input_order() {
+        let a = resnet_ir(64);
+        let b = resnet_ir(128);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let service = PlanService::default();
+        // Duplicates deliberately interleaved and out of key order.
+        let requests: Vec<(&WhaleIr, &Cluster, &PlannerConfig)> = vec![
+            (&b, &cluster, &cfg),
+            (&a, &cluster, &cfg),
+            (&b, &cluster, &cfg),
+            (&a, &cluster, &cfg),
+            (&a, &cluster, &cfg),
+        ];
+        let plans = service.compile_batch(&requests);
+        assert_eq!(plans.len(), 5);
+        let plans: Vec<Arc<ExecutionPlan>> = plans.into_iter().map(|p| p.unwrap()).collect();
+        // Input order preserved: slots 0/2 are the batch-128 plan, 1/3/4 the
+        // batch-64 plan, and duplicates share one allocation.
+        assert!(Arc::ptr_eq(&plans[0], &plans[2]));
+        assert!(Arc::ptr_eq(&plans[1], &plans[3]));
+        assert!(Arc::ptr_eq(&plans[1], &plans[4]));
+        assert!(!Arc::ptr_eq(&plans[0], &plans[1]));
+        assert_eq!(plans[0].stages[0].devices[0].samples_per_step * 2, 64);
+        let s = service.stats();
+        assert_eq!(s.misses, 2, "one compile per distinct key");
+        assert_eq!(s.hits, 3, "every duplicate is a zero-copy hit");
+        assert_eq!(s.requests(), 5);
+    }
+
+    #[test]
+    fn compile_batch_failures_are_per_request() {
+        let good = resnet_ir(64);
+        // Two explicit stages on 4 GPUs → 2-GPU virtual devices, rejected.
+        let g = whale_graph::models::bert_base(8, 64).unwrap();
+        let n = g.len();
+        let bad = Annotator::new(g, 8)
+            .pipeline(4)
+            .unwrap()
+            .annotate_range(0, n / 2, vec![whale_ir::Primitive::Stage])
+            .unwrap()
+            .annotate_range(n / 2, n, vec![whale_ir::Primitive::Stage])
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let service = PlanService::default();
+        let requests: Vec<(&WhaleIr, &Cluster, &PlannerConfig)> = vec![
+            (&good, &cluster, &cfg),
+            (&bad, &cluster, &cfg),
+            (&good, &cluster, &cfg),
+        ];
+        let results = service.compile_batch(&requests);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert_eq!(service.len(), 1, "failed compiles cache nothing");
     }
 
     #[test]

@@ -183,7 +183,7 @@ fn stage_times(
     let recompute = plan.training.recompute;
     let mut fw = Vec::with_capacity(num_stages);
     let mut bw = Vec::with_capacity(num_stages);
-    for stage in &plan.stages {
+    for stage in plan.stages.iter() {
         fw.push(stage_task_time(
             stage,
             cluster,
@@ -684,7 +684,7 @@ fn simulate_step_impl(
         // could silently change.
         let mut syncs: Vec<(f64, usize, f64)> = Vec::with_capacity(plan.grad_syncs.len());
         let mut sync_total = 0.0;
-        for c in &plan.grad_syncs {
+        for c in plan.grad_syncs.iter() {
             let dur = comm.collective(c.kind, &c.group, c.bytes)? * zero_factor;
             sync_total += dur;
             let stage_idx = c.stage.filter(|&s| s < num_stages);
@@ -721,7 +721,7 @@ fn simulate_step_impl(
     // ZeRO-Offload instead updates on the host and pays a PCIe round trip of
     // gradients down and fp16 parameters back (ref [34]).
     let mut optimizer_time: f64 = 0.0;
-    for stage in &plan.stages {
+    for stage in plan.stages.iter() {
         // ZeRO shards the update across the ranks replicating this stage.
         let shards = if plan.training.zero.shards_optimizer() || plan.training.offload {
             stage.dp_degree.max(1) as f64
@@ -746,7 +746,7 @@ fn simulate_step_impl(
 
     // Per-GPU sample share, for the occupancy model.
     let mut samples: BTreeMap<usize, usize> = BTreeMap::new();
-    for stage in &plan.stages {
+    for stage in plan.stages.iter() {
         for d in &stage.devices {
             let e = samples.entry(d.gpu).or_insert(0);
             *e = (*e).max(d.samples_per_step);

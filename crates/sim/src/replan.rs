@@ -101,7 +101,7 @@ pub fn check_replan(
     } else {
         // Rebalancing may move samples between a stage's replicas but must
         // conserve the stage's total (the batch is fixed by the IR).
-        for (o, n) in old.stages.iter().zip(&new.stages) {
+        for (o, n) in old.stages.iter().zip(new.stages.iter()) {
             let old_sum: usize = o.devices.iter().map(|d| d.samples_per_step).sum();
             let new_sum: usize = n.devices.iter().map(|d| d.samples_per_step).sum();
             if old_sum != new_sum {
@@ -212,7 +212,7 @@ mod tests {
         // Batch mismatch + sample loss.
         let mut shrunk = old.clone();
         shrunk.global_batch = 32;
-        shrunk.stages[0].devices[0].samples_per_step = 0;
+        std::sync::Arc::make_mut(&mut shrunk.stages)[0].devices[0].samples_per_step = 0;
         let report = check_replan(&old, &shrunk, &cluster, &SimConfig::default());
         assert!(!report.is_consistent());
         assert!(report.issues.iter().any(|i| i.contains("global batch")));

@@ -20,3 +20,9 @@ cargo run -q --release --offline -p whale-bench --bin serve_bench -- --quick
 # bucket telescoping, and a >1x speedup on a bandwidth-bound cluster; the
 # gated sweep lives in comm_bench's default mode (see EXPERIMENTS.md).
 cargo run -q --release --offline -p whale-bench --bin comm_bench -- --quick
+
+# Interned-core smoke test: shrunken zoo pair, asserts interned-vs-flat
+# plan/fingerprint bit-identity and the allocation gates on the warm-interner
+# hot path; the 4x trillion-scale speedup gate is compile_bench's default
+# mode (see DESIGN.md §12).
+cargo run -q --release --offline -p whale-bench --bin compile_bench -- --quick

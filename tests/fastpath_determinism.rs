@@ -107,7 +107,7 @@ fn grad_sync_ties_are_insertion_order_independent() {
         name: "tie-break".into(),
         global_batch: 32,
         num_micro_batches: 1,
-        stages: vec![PlannedStage {
+        stages: std::sync::Arc::new(vec![PlannedStage {
             index: 0,
             devices: (0..4)
                 .map(|gpu| DeviceWork {
@@ -122,8 +122,8 @@ fn grad_sync_ties_are_insertion_order_independent() {
             collectives_per_micro: vec![],
             param_bytes: 256 << 20,
             dp_degree: 2,
-        }],
-        grad_syncs: syncs,
+        }]),
+        grad_syncs: std::sync::Arc::new(syncs),
         grad_sync_schedule: None,
         training: TrainingConfig::default(),
         efficiency: 0.45,
