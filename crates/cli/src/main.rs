@@ -43,6 +43,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         Some("simulate") => cmd_plan(&args, true),
         Some("compile") => cmd_compile(&args),
         Some("faults") => cmd_faults(&args),
+        Some("fleet") => cmd_fleet(&args),
         Some("auto") => cmd_auto(&args),
         Some("dot") => cmd_dot(&args),
         Some("inspect") => cmd_inspect(&args),
@@ -68,6 +69,7 @@ COMMANDS:
   simulate   plan, then simulate one training step (adds a timeline)
   compile    run the staged compile pipeline, show cache keys and counters
   faults     train under injected faults, printing the recovery timeline
+  fleet      run a multi-tenant fleet over a shared pool under churn
   auto       explore strategies automatically and pick the fastest
   dot        emit the annotated IR as Graphviz DOT (Fig. 6 style)
   inspect    print a model's op/parameter/FLOP statistics
@@ -103,6 +105,18 @@ FAULTS OPTIONS:
   --checkpoint-every N committed samples between checkpoints         [5e4]
   --min-capacity F     abort below this fraction of starting FLOPS   [0.25]
   --json               emit RecoveryStats as JSON instead of text
+
+FLEET OPTIONS:
+  --pool SPEC          shared GPU pool spec             [2x(4xV100)+2x(4xP100)]
+  --horizon N          wall-clock seconds to simulate                [20000]
+  --arrival N          mean seconds between job arrivals             [600]
+  --mtbf N             mean seconds between pool faults              [1500]
+  --mttr N             mean seconds until a transient fault heals    [600]
+  --seed N             workload seed (fault seed is seed+1)          [0]
+  --queue N            admission queue bound                         [16]
+  --checkpoint-every N committed samples between tenant checkpoints  [5e4]
+  --baseline           kill-and-requeue fleet instead of elastic resizing
+  --json               emit FleetStats as JSON instead of text
 "
     );
 }
@@ -384,6 +398,110 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     println!(
         "  replans      {} cached-suffix, {} full",
         s.replans_cached, s.replans_full
+    );
+    Ok(())
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    use whale_sim::{default_templates, FleetConfig, FleetSim};
+
+    let pool = whale_hardware::Cluster::parse(args.get_or("pool", "2x(4xV100)+2x(4xP100)"))
+        .map_err(|e| e.to_string())?;
+    let seed = args.get_num("seed", 0u64)?;
+    let cfg = FleetConfig {
+        seed,
+        horizon_s: args.get_num("horizon", 20_000.0)?,
+        arrival_mean_s: args.get_num("arrival", 600.0)?,
+        max_queue: args.get_num("queue", 16usize)?,
+        elastic: !args.flag("baseline"),
+        policy: RecoveryPolicy {
+            checkpoint_interval: args.get_num("checkpoint-every", 5e4)?,
+            min_capacity: 0.05,
+            ..RecoveryPolicy::default()
+        },
+        faults: FaultModel {
+            mtbf_samples: args.get_num("mtbf", 1500.0)?,
+            mttr_samples: args.get_num("mttr", 600.0)?,
+            seed: seed + 1,
+        },
+        ..FleetConfig::default()
+    };
+    let sim = FleetSim::new(pool, default_templates(), cfg).map_err(|e| e.to_string())?;
+    println!(
+        "fleet: {} fault event(s) queued over {:.0}s, {} mode",
+        sim.trace().len(),
+        args.get_num("horizon", 20_000.0)?,
+        if args.flag("baseline") {
+            "kill-and-requeue"
+        } else {
+            "elastic"
+        }
+    );
+    let report = sim.run().map_err(|e| e.to_string())?;
+
+    if args.flag("json") {
+        println!("{}", report.stats.to_json().to_string_pretty());
+        return Ok(());
+    }
+
+    println!("\njobs (arrival order):");
+    println!(
+        "  {:<4} {:<13} {:>3} {:>5} {:>10} {:>9} {:>7} {:>7} {:>6}",
+        "id", "template", "pri", "gpus", "phase", "progress", "wait s", "down s", "slo"
+    );
+    for j in &report.jobs {
+        println!(
+            "  {:<4} {:<13} {:>3} {:>2}/{:<2} {:>10} {:>8.0}% {:>7.0} {:>7.1} {:>6}",
+            j.id,
+            j.template,
+            j.priority,
+            j.allocated_gpus,
+            j.requested_gpus,
+            j.phase.name(),
+            100.0 * j.committed_samples / j.total_samples.max(1.0),
+            j.queue_wait_s,
+            j.downtime_s,
+            match j.slo_met {
+                Some(true) => "met",
+                Some(false) => "missed",
+                None => "-",
+            }
+        );
+    }
+    let s = &report.stats;
+    println!("\nfleet summary:");
+    println!(
+        "  jobs         {} submitted / {} completed / {} rejected / {} failed",
+        s.submitted, s.completed, s.rejected, s.failed
+    );
+    println!(
+        "  still going  {} running, {} queued at the horizon",
+        s.running_at_end, s.queued_at_end
+    );
+    println!(
+        "  resizing     {} shrinks, {} expands, {} preemptions, {} kills",
+        s.shrinks, s.expands, s.preemptions, s.kills
+    );
+    println!(
+        "  churn        {} fault event(s), {} insufficient-capacity stall(s)",
+        s.fault_events, s.insufficient_events
+    );
+    println!(
+        "  goodput      {:.1} samples/s committed fleet-wide",
+        s.goodput
+    );
+    println!("  queue wait   {:.1} s mean", s.mean_queue_wait_s);
+    println!("  slo          {} met / {} missed", s.slo_met, s.slo_missed);
+    if let (Some(p50), Some(p99)) = (s.recovery.ttr_p50(), s.recovery.ttr_p99()) {
+        println!("  ttr          p50 {p50:.1} s, p99 {p99:.1} s");
+    }
+    println!(
+        "  replans      {} cached-suffix, {} full",
+        s.recovery.replans_cached, s.recovery.replans_full
+    );
+    println!(
+        "  compile      {} hits, {} misses, {} partial, {} coalesced, {} evicted",
+        s.cache.hits, s.cache.misses, s.cache.partial_hits, s.cache.coalesced, s.cache.evictions
     );
     Ok(())
 }

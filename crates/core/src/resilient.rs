@@ -38,158 +38,15 @@ use std::sync::Arc;
 
 use whale_ir::WhaleIr;
 use whale_planner::{plan as cold_plan, CacheStats, ExecutionPlan};
-use whale_sim::json::{num, obj, s, JsonValue};
-use whale_sim::{
-    check_replan, simulate_training, FaultEvent, FaultKind, FaultTrace, LossModel, TrainPoint,
-};
+use whale_sim::{check_replan, simulate_training, FaultEvent, FaultTrace, LossModel, TrainPoint};
 
 use crate::error::{Result, WhaleError};
 use crate::session::Session;
 
-/// Knobs of the recovery state machine.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RecoveryPolicy {
-    /// Committed samples between periodic checkpoints; a rollback loses at
-    /// most this many samples.
-    pub checkpoint_interval: f64,
-    /// Seconds between a fault striking and the runtime noticing it.
-    pub detection_latency_s: f64,
-    /// Recovery attempts for transient faults before giving up (a permanent
-    /// fault that cannot be recovered fails immediately).
-    pub max_retries: u32,
-    /// Backoff before the first retry, seconds; doubles per attempt.
-    pub backoff_base_s: f64,
-    /// Upper bound on a single backoff wait, seconds.
-    pub backoff_cap_s: f64,
-    /// Abort the run when cluster capacity (sum of per-GPU FLOPS, including
-    /// degradations) falls below this fraction of the starting capacity.
-    pub min_capacity: f64,
-}
-
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
-        RecoveryPolicy {
-            checkpoint_interval: 5e4,
-            detection_latency_s: 5.0,
-            max_retries: 3,
-            backoff_base_s: 1.0,
-            backoff_cap_s: 30.0,
-            min_capacity: 0.25,
-        }
-    }
-}
-
-/// Which compile path a recovery took.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReplanPath {
-    /// The delta-invalidation fast path: cached artifacts were reused and
-    /// only the invalidated pass suffix re-ran (or the post-delta state was
-    /// already cached outright).
-    CachedSuffix,
-    /// A full from-scratch compile: nothing cached for the pre-delta state,
-    /// the cache was disabled, or fast-path verification failed.
-    Full,
-}
-
-impl ReplanPath {
-    /// Stable display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            ReplanPath::CachedSuffix => "cached-suffix",
-            ReplanPath::Full => "full",
-        }
-    }
-}
-
-/// What one fault cost.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RecoveryEvent {
-    /// Fault class.
-    pub kind: FaultKind,
-    /// Processed-samples offset at which the fault struck.
-    pub at_samples: f64,
-    /// Committed samples rolled back (re-earned later).
-    pub samples_lost: f64,
-    /// Detection latency plus backoff waits, seconds.
-    pub downtime_s: f64,
-    /// Downtime plus the time to re-earn the lost samples at the
-    /// post-recovery throughput: how long until the run is back to where
-    /// the fault found it.
-    pub time_to_recover_s: f64,
-    /// Retries spent before recovery succeeded.
-    pub retries: u32,
-    /// Whether the recovery replanned via cached suffix or a full compile.
-    pub replan: ReplanPath,
-}
-
-/// Outcome metrics of a resilient (or baseline) run.
-#[derive(Debug, Clone, PartialEq, Default)]
-pub struct RecoveryStats {
-    /// Samples that count toward training (the run's target).
-    pub committed_samples: f64,
-    /// Samples the cluster actually worked on, including rolled-back work.
-    pub processed_samples: f64,
-    /// Samples lost to rollbacks (`processed - committed`).
-    pub samples_lost: f64,
-    /// Total wall-clock seconds, downtime included.
-    pub wall_seconds: f64,
-    /// Seconds the cluster spent computing (committed or not).
-    pub training_seconds: f64,
-    /// Seconds lost to detection latency and backoff waits.
-    pub downtime_seconds: f64,
-    /// Committed samples per wall-clock second — the number that matters.
-    pub goodput: f64,
-    /// Processed samples per computing second: what the hardware sustained
-    /// while up. The gap to `goodput` is the price of the faults.
-    pub raw_throughput: f64,
-    /// Fraction of wall-clock time spent computing.
-    pub availability: f64,
-    /// Recoveries served by the delta-invalidation fast path.
-    pub replans_cached: u64,
-    /// Recoveries that ran a full from-scratch compile.
-    pub replans_full: u64,
-    /// Per-fault breakdown, in timeline order.
-    pub faults: Vec<RecoveryEvent>,
-}
-
-impl RecoveryStats {
-    /// Serialize through the repo's JSON layer (same shape the CLI and
-    /// `fault_bench` emit).
-    pub fn to_json(&self) -> JsonValue {
-        obj(vec![
-            ("committed_samples", num(self.committed_samples)),
-            ("processed_samples", num(self.processed_samples)),
-            ("samples_lost", num(self.samples_lost)),
-            ("wall_seconds", num(self.wall_seconds)),
-            ("training_seconds", num(self.training_seconds)),
-            ("downtime_seconds", num(self.downtime_seconds)),
-            ("goodput", num(self.goodput)),
-            ("raw_throughput", num(self.raw_throughput)),
-            ("availability", num(self.availability)),
-            ("replans_cached", num(self.replans_cached as f64)),
-            ("replans_full", num(self.replans_full as f64)),
-            (
-                "faults",
-                JsonValue::Array(
-                    self.faults
-                        .iter()
-                        .map(|e| {
-                            obj(vec![
-                                ("kind", s(e.kind.name())),
-                                ("at_samples", num(e.at_samples)),
-                                ("samples_lost", num(e.samples_lost)),
-                                ("downtime_s", num(e.downtime_s)),
-                                ("time_to_recover_s", num(e.time_to_recover_s)),
-                                ("retries", num(e.retries as f64)),
-                                ("replan", s(e.replan.name())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ])
-    }
-}
+// The recovery data types moved to `whale_sim::recovery` so the fleet
+// simulator can share them; re-exported here to keep `whale::resilient::*`
+// and `whale::{RecoveryPolicy, ...}` stable.
+pub use whale_sim::recovery::{RecoveryEvent, RecoveryPolicy, RecoveryStats, ReplanPath};
 
 /// A completed run under fault injection: the loss curve actually committed
 /// plus the recovery accounting.
@@ -435,9 +292,7 @@ impl Session {
                 Err(e) => {
                     if event.kind.is_transient() && retries < policy.max_retries {
                         retries += 1;
-                        let backoff = (policy.backoff_base_s * 2f64.powi(retries as i32 - 1))
-                            .min(policy.backoff_cap_s);
-                        downtime += backoff;
+                        downtime += policy.backoff_s(retries);
                     } else {
                         state.wall_s += downtime;
                         state.downtime_s += downtime;
@@ -558,7 +413,7 @@ mod tests {
     use whale_graph::models;
     use whale_hardware::{ClusterDelta, LinkKind};
     use whale_ir::Annotator;
-    use whale_sim::FaultModel;
+    use whale_sim::{FaultKind, FaultModel};
 
     fn dp_ir(batch: usize) -> WhaleIr {
         let g = models::resnet50(batch).unwrap();

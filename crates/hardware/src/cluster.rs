@@ -159,6 +159,93 @@ impl Cluster {
         }
         census
     }
+
+    /// Extract the sub-cluster spanned by `gpu_ids`: the hosting nodes in
+    /// original order (nodes contributing no GPU are dropped) with dense new
+    /// global ids, preserving each GPU's model and degradation state plus
+    /// the interconnect.
+    ///
+    /// Because global ids are dense in node order, the renumbering is
+    /// order-preserving: the *i*-th smallest selected id becomes new id
+    /// *i*. This is how a fleet scheduler carves a job's physical
+    /// allocation (a [`VirtualDevice`](crate::virtual_device::VirtualDevice)
+    /// over pool ids) into a standalone cluster the planner can compile
+    /// against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use whale_hardware::Cluster;
+    /// let pool = Cluster::parse("2x(4xV100)+1x(4xP100)").unwrap();
+    /// let sub = pool.subcluster(&[1, 6, 9]).unwrap();
+    /// assert_eq!(sub.num_gpus(), 3);
+    /// assert_eq!(sub.num_nodes(), 3);
+    /// assert!(sub.is_heterogeneous());
+    /// ```
+    pub fn subcluster(&self, gpu_ids: &[usize]) -> Result<Cluster> {
+        if gpu_ids.is_empty() {
+            return Err(HardwareError::EmptyVirtualDevice);
+        }
+        let mut selected = vec![false; self.gpus.len()];
+        for &id in gpu_ids {
+            if id >= self.gpus.len() {
+                return Err(HardwareError::UnknownDevice(id));
+            }
+            if selected[id] {
+                return Err(HardwareError::InvalidPartition(format!(
+                    "GPU {id} selected more than once"
+                )));
+            }
+            selected[id] = true;
+        }
+        let layout: Vec<Vec<(GpuModel, f64)>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.gpu_ids
+                    .iter()
+                    .filter(|&&g| selected[g])
+                    .map(|&g| (self.gpus[g].model, self.gpus[g].throughput_scale))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|node| !node.is_empty())
+            .collect();
+        let mut b = ClusterBuilder::new().interconnect(self.interconnect.clone());
+        for node in &layout {
+            b = b.add_node(node.iter().map(|&(m, _)| m).collect());
+        }
+        let mut sub = b.build();
+        for (id, (_, scale)) in layout.into_iter().flatten().enumerate() {
+            if scale < 1.0 {
+                sub.degrade_gpu(id, scale)?;
+            }
+        }
+        Ok(sub)
+    }
+
+    /// The global id a
+    /// [`GpuAdded`](crate::delta::ClusterDelta::GpuAdded) delta will assign
+    /// to a GPU joining `node`: one past the node's current last GPU, or the
+    /// current GPU count when `node == num_nodes()` appends a new node.
+    /// Existing ids at or above the returned id shift up by one when the
+    /// delta applies — callers holding id sets remap with
+    /// [`VirtualDevice::remap_inserted`](crate::virtual_device::VirtualDevice::remap_inserted).
+    pub fn insertion_id(&self, node: usize) -> Result<usize> {
+        if node > self.nodes.len() {
+            return Err(HardwareError::ParseError(format!(
+                "cannot add GPU to node {node}: cluster has {} nodes",
+                self.nodes.len()
+            )));
+        }
+        if node == self.nodes.len() {
+            return Ok(self.gpus.len());
+        }
+        Ok(self.nodes[node]
+            .gpu_ids
+            .last()
+            .copied()
+            .map_or(self.gpus.len(), |last| last + 1))
+    }
 }
 
 fn parse_node(s: &str) -> Result<Vec<GpuModel>> {
@@ -312,6 +399,62 @@ mod tests {
         let c = Cluster::parse("1xV100+1xP100").unwrap();
         let expect = GpuModel::V100_32GB.flops() + GpuModel::P100_16GB.flops();
         assert!((c.total_flops() - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn subcluster_preserves_models_scales_and_interconnect() {
+        let mut pool = Cluster::parse("2x(4xV100)+1x(4xP100)").unwrap();
+        pool.degrade_gpu(6, 0.5).unwrap();
+        let sub = pool.subcluster(&[1, 6, 9]).unwrap();
+        assert_eq!(sub.num_gpus(), 3);
+        assert_eq!(sub.num_nodes(), 3);
+        // Order-preserving renumbering: 1 → 0, 6 → 1, 9 → 2.
+        assert_eq!(sub.gpu(0).unwrap().model, GpuModel::V100_32GB);
+        assert_eq!(sub.gpu(1).unwrap().throughput_scale, 0.5);
+        assert_eq!(sub.gpu(2).unwrap().model, GpuModel::P100_16GB);
+        assert_eq!(sub.interconnect, pool.interconnect);
+        // Ids arrive unsorted; the result depends only on the set.
+        assert_eq!(sub, pool.subcluster(&[9, 1, 6]).unwrap());
+    }
+
+    #[test]
+    fn subcluster_rejects_bad_selections() {
+        let pool = Cluster::parse("4xV100").unwrap();
+        assert_eq!(
+            pool.subcluster(&[]).unwrap_err(),
+            HardwareError::EmptyVirtualDevice
+        );
+        assert_eq!(
+            pool.subcluster(&[0, 7]).unwrap_err(),
+            HardwareError::UnknownDevice(7)
+        );
+        assert!(matches!(
+            pool.subcluster(&[1, 1]).unwrap_err(),
+            HardwareError::InvalidPartition(_)
+        ));
+    }
+
+    #[test]
+    fn insertion_id_matches_gpu_added_semantics() {
+        let pool = Cluster::parse("2xV100+2xP100").unwrap();
+        // Joining node 0 lands between the nodes; joining node 1 or a fresh
+        // node 2 appends at the end.
+        assert_eq!(pool.insertion_id(0).unwrap(), 2);
+        assert_eq!(pool.insertion_id(1).unwrap(), 4);
+        assert_eq!(pool.insertion_id(2).unwrap(), 4);
+        assert!(pool.insertion_id(3).is_err());
+        // Cross-check against an applied delta: the GPU really appears at
+        // the predicted id.
+        for node in 0..=pool.num_nodes() {
+            let at = pool.insertion_id(node).unwrap();
+            let mut c = pool.clone();
+            c.apply_delta(crate::delta::ClusterDelta::GpuAdded {
+                node,
+                model: GpuModel::T4,
+            })
+            .unwrap();
+            assert_eq!(c.gpu(at).unwrap().model, GpuModel::T4, "node {node}");
+        }
     }
 }
 

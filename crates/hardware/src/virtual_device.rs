@@ -55,6 +55,49 @@ impl VirtualDevice {
         Ok(min)
     }
 
+    /// Whether the device contains GPU `id`.
+    pub fn contains(&self, id: usize) -> bool {
+        self.gpu_ids.contains(&id)
+    }
+
+    /// Rewrite member ids after the cluster removed GPU `removed` and
+    /// renumbered to keep ids dense (ids above `removed` shift down by
+    /// one). Returns `None` when the device contained only the removed GPU
+    /// — the binding is gone and its owner must reacquire capacity.
+    ///
+    /// Mirrors [`ClusterDelta::GpuRemoved`](crate::delta::ClusterDelta::GpuRemoved)
+    /// renumbering exactly, so a binding stays valid across any legal
+    /// removal sequence (see `tests/virtual_churn.rs`).
+    pub fn remap_removed(&self, removed: usize) -> Option<VirtualDevice> {
+        let gpu_ids: Vec<usize> = self
+            .gpu_ids
+            .iter()
+            .filter(|&&id| id != removed)
+            .map(|&id| if id > removed { id - 1 } else { id })
+            .collect();
+        if gpu_ids.is_empty() {
+            None
+        } else {
+            Some(VirtualDevice { gpu_ids })
+        }
+    }
+
+    /// Rewrite member ids after the cluster inserted a GPU at global id
+    /// `inserted` (existing ids at or above it shift up by one; the new GPU
+    /// is not a member). `inserted` comes from
+    /// [`Cluster::insertion_id`] evaluated *before* the
+    /// [`ClusterDelta::GpuAdded`](crate::delta::ClusterDelta::GpuAdded)
+    /// delta applies.
+    pub fn remap_inserted(&self, inserted: usize) -> VirtualDevice {
+        VirtualDevice {
+            gpu_ids: self
+                .gpu_ids
+                .iter()
+                .map(|&id| if id >= inserted { id + 1 } else { id })
+                .collect(),
+        }
+    }
+
     /// Whether all member GPUs share one node.
     pub fn is_single_node(&self, cluster: &Cluster) -> Result<bool> {
         let mut nodes = self
@@ -211,5 +254,28 @@ mod tests {
         let c = Cluster::parse("1x(2xV100)+1x(2xV100)").unwrap();
         let vd = VirtualDevice::new(vec![0, 2]).unwrap();
         assert!(!vd.is_single_node(&c).unwrap());
+    }
+
+    #[test]
+    fn remap_removed_shifts_drops_and_empties() {
+        let vd = VirtualDevice::new(vec![1, 3, 5]).unwrap();
+        // A non-member below shifts members above it down.
+        assert_eq!(vd.remap_removed(2).unwrap().gpu_ids(), &[1, 2, 4]);
+        // A member is dropped and the rest shift.
+        assert_eq!(vd.remap_removed(3).unwrap().gpu_ids(), &[1, 4]);
+        // A non-member above leaves everything alone.
+        assert_eq!(vd.remap_removed(7).unwrap().gpu_ids(), &[1, 3, 5]);
+        // Losing the only member dissolves the binding.
+        let solo = VirtualDevice::new(vec![4]).unwrap();
+        assert!(solo.remap_removed(4).is_none());
+    }
+
+    #[test]
+    fn remap_inserted_shifts_at_and_above() {
+        let vd = VirtualDevice::new(vec![1, 3, 5]).unwrap();
+        assert_eq!(vd.remap_inserted(3).gpu_ids(), &[1, 4, 6]);
+        assert_eq!(vd.remap_inserted(0).gpu_ids(), &[2, 4, 6]);
+        assert_eq!(vd.remap_inserted(6).gpu_ids(), &[1, 3, 5]);
+        assert!(vd.contains(3) && !vd.contains(2));
     }
 }

@@ -16,6 +16,10 @@ pub enum PlanError {
     Hardware(String),
     /// A parameter was out of range (degrees, batch sizes, ...).
     BadConfig(String),
+    /// The compile service failed internally — e.g. a single-flight leader
+    /// panicked mid-compile and its waiters were handed this instead of
+    /// hanging on a flight nobody will resolve.
+    Internal(String),
 }
 
 impl fmt::Display for PlanError {
@@ -26,6 +30,7 @@ impl fmt::Display for PlanError {
             PlanError::BadIr(s) => write!(f, "invalid IR: {s}"),
             PlanError::Hardware(s) => write!(f, "hardware error: {s}"),
             PlanError::BadConfig(s) => write!(f, "bad planner config: {s}"),
+            PlanError::Internal(s) => write!(f, "internal planner failure: {s}"),
         }
     }
 }

@@ -93,6 +93,58 @@ enum Admission {
     Coalesce(Arc<Flight>),
 }
 
+/// Clears a single-flight leader's in-flight ticket if the leader dies
+/// before settling.
+///
+/// The leader compiles *outside* the shard lock; if that compile panics,
+/// nothing on the unwind path would otherwise touch the shard, so the
+/// ticket would sit in `inflight` forever and every coalesced waiter would
+/// block on a flight nobody will resolve — and every *future* request for
+/// the key would coalesce onto the same dead flight. The guard is armed
+/// when leadership is taken and disarmed on the normal settle path; on a
+/// panic-unwind drop it removes the ticket, accounts the abandoned
+/// leadership as a failed miss (so the every-request-accounted invariant
+/// holds: the leader's request landed, just unsuccessfully), and publishes
+/// [`PlanError::Internal`] so waiters fail fast instead of hanging.
+struct LeaderGuard<'a> {
+    service: &'a PlanService,
+    key: PlanKey,
+    flight: Arc<Flight>,
+    armed: bool,
+}
+
+impl<'a> LeaderGuard<'a> {
+    fn new(service: &'a PlanService, key: PlanKey, flight: Arc<Flight>) -> LeaderGuard<'a> {
+        LeaderGuard {
+            service,
+            key,
+            flight,
+            armed: true,
+        }
+    }
+
+    /// The leader survived its compile; the settle path owns cleanup now.
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        {
+            let mut shard = lock_ignoring_poison(self.service.shard_for(&self.key));
+            shard.inflight.remove(&self.key);
+            shard.cache.note_failed_miss();
+        }
+        self.flight.resolve(Err(PlanError::Internal(
+            "compile leader panicked before publishing a result".into(),
+        )));
+    }
+}
+
 /// Sharded, single-flight, zero-copy-hit plan cache for concurrent use.
 ///
 /// Cheap to share: `Session` clones hold one `PlanService` behind an `Arc`.
@@ -295,7 +347,9 @@ impl PlanService {
             Admission::Hit(state) => Ok(state),
             Admission::Coalesce(flight) => Ok(flight.wait()?),
             Admission::Lead(flight) => {
+                let guard = LeaderGuard::new(self, key, flight.clone());
                 let compiled = compile(ir, cluster, config).map(Arc::new);
+                guard.disarm();
                 self.settle_miss(key, &flight, compiled)
             }
         }
@@ -322,6 +376,7 @@ impl PlanService {
             Admission::Hit(state) => Ok((state.plan_arc(), after)),
             Admission::Coalesce(flight) => Ok((flight.wait()?.plan_arc(), after)),
             Admission::Lead(flight) => {
+                let guard = LeaderGuard::new(self, new_key, flight.clone());
                 // The pre-delta seed may live on a different shard; a
                 // thread only ever holds one shard lock at a time.
                 let seed = {
@@ -329,6 +384,7 @@ impl PlanService {
                     shard.cache.peek(&old_key).cloned()
                 };
                 let outcome = replan_from_seed(seed, ir, &after, config, &delta);
+                guard.disarm();
                 let state = self.settle_replan(new_key, &flight, outcome)?;
                 Ok((state.plan_arc(), after))
             }
@@ -586,6 +642,56 @@ mod tests {
         assert!(results[1].is_err());
         assert!(results[2].is_ok());
         assert_eq!(service.len(), 1, "failed compiles cache nothing");
+    }
+
+    #[test]
+    fn panicking_leader_publishes_error_to_waiters_and_clears_ticket() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let ir = resnet_ir(64);
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let cfg = PlannerConfig::default();
+        let service = PlanService::default();
+        let key = PlanKey::new(&ir, &cluster, &cfg);
+
+        // Take leadership by hand so the panic lands in exactly the window
+        // a real `compile` panic would: ticket registered, no shard lock
+        // held, result not yet published.
+        let flight = match service.admit(key) {
+            Admission::Lead(f) => f,
+            _ => unreachable!("fresh service must elect a leader"),
+        };
+        let waiter_err = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| service.plan(&ir, &cluster, &cfg));
+            // `coalesced` ticks under the shard lock at admission, so once
+            // it reads 1 the waiter is bound to this flight.
+            while service.stats().coalesced == 0 {
+                std::thread::yield_now();
+            }
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = LeaderGuard::new(&service, key, flight.clone());
+                panic!("compile exploded");
+            }));
+            assert!(unwound.is_err());
+            waiter.join().unwrap().unwrap_err()
+        });
+        assert!(
+            matches!(waiter_err, PlanError::Internal(_)),
+            "waiter got {waiter_err}"
+        );
+        assert!(waiter_err.to_string().contains("panicked"), "{waiter_err}");
+
+        // The ticket is gone: the next request elects a fresh leader and
+        // compiles normally instead of coalescing onto a dead flight.
+        let plan = service.plan(&ir, &cluster, &cfg).unwrap();
+        assert!(!plan.stages.is_empty());
+        let s = service.stats();
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(
+            s.misses, 2,
+            "abandoned leadership is accounted as a failed miss"
+        );
+        assert_eq!(s.requests(), 3);
+        assert_eq!(service.len(), 1, "only the successful compile is cached");
     }
 
     #[test]

@@ -11,6 +11,15 @@ pub enum SimError {
     Hardware(String),
     /// Scheduling produced an inconsistent task graph (a bug if it happens).
     Schedule(String),
+    /// A fleet run fell below its capacity floor: the pool's surviving
+    /// FLOPS dropped under `required` (a fraction of the starting
+    /// capacity), so no legal shrink can keep the tenants running.
+    InsufficientCapacity {
+        /// Surviving capacity as a fraction of the starting capacity.
+        available: f64,
+        /// The configured floor ([`crate::recovery::RecoveryPolicy::min_capacity`]).
+        required: f64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -19,6 +28,14 @@ impl fmt::Display for SimError {
             SimError::BadPlan(s) => write!(f, "bad plan: {s}"),
             SimError::Hardware(s) => write!(f, "hardware error: {s}"),
             SimError::Schedule(s) => write!(f, "schedule error: {s}"),
+            SimError::InsufficientCapacity {
+                available,
+                required,
+            } => write!(
+                f,
+                "insufficient capacity: {available:.3} of starting FLOPS survive, \
+                 below the {required:.3} floor"
+            ),
         }
     }
 }

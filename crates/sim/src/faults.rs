@@ -289,7 +289,7 @@ impl FaultTrace {
 }
 
 /// Exponentially distributed draw with the given mean (inverse CDF).
-fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
+pub(crate) fn exponential(rng: &mut SplitMix64, mean: f64) -> f64 {
     // next_f64 ∈ [0, 1) so 1 - u ∈ (0, 1] and the log is finite.
     -mean * (1.0 - rng.next_f64()).ln()
 }

@@ -34,9 +34,11 @@
 pub mod engine;
 pub mod error;
 pub mod faults;
+pub mod fleet;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod recovery;
 pub mod replan;
 pub mod rng;
 pub mod schedule;
@@ -46,9 +48,13 @@ pub mod trainer;
 pub use engine::{simulate_step, simulate_step_reference, SimConfig, StepOutcome, TaskRecord};
 pub use error::{Result, SimError};
 pub use faults::{FaultEvent, FaultKind, FaultModel, FaultTrace};
+pub use fleet::{default_templates, FleetConfig, FleetReport, FleetSim, FleetStats, JobTemplate};
 pub use json::JsonValue;
 pub use metrics::{GpuStat, StepStats};
 pub use queue::{replay, synthetic_trace, AllocPolicy, Job, JobOutcome, QueueStats};
+pub use recovery::{
+    time_to_recover_quantile, RecoveryEvent, RecoveryPolicy, RecoveryStats, ReplanPath,
+};
 pub use replan::{check_replan, ReplanReport};
 pub use rng::SplitMix64;
 pub use schedule::{data_deps, stage_order, TaskKind};

@@ -1,0 +1,278 @@
+//! Recovery accounting shared by the resilient trainer and the fleet.
+//!
+//! [`RecoveryPolicy`], [`ReplanPath`], [`RecoveryEvent`], and
+//! [`RecoveryStats`] started life in `whale::resilient` (the single-job
+//! recovery state machine). The fleet simulator ([`crate::fleet`]) runs the
+//! same detect → rollback → replan → resume loop per tenant, so the data
+//! types live here in the sim crate where both consumers can reach them;
+//! `whale::resilient` re-exports them under the original paths.
+
+use crate::faults::FaultKind;
+use crate::json::{num, obj, s, JsonValue};
+
+/// Knobs of the recovery state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Committed samples between periodic checkpoints; a rollback loses at
+    /// most this many samples.
+    pub checkpoint_interval: f64,
+    /// Seconds between a fault striking and the runtime noticing it.
+    pub detection_latency_s: f64,
+    /// Recovery attempts for transient faults before giving up (a permanent
+    /// fault that cannot be recovered fails immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds; doubles per attempt.
+    pub backoff_base_s: f64,
+    /// Upper bound on a single backoff wait, seconds.
+    pub backoff_cap_s: f64,
+    /// Abort the run when cluster capacity (sum of per-GPU FLOPS, including
+    /// degradations) falls below this fraction of the starting capacity.
+    pub min_capacity: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            checkpoint_interval: 5e4,
+            detection_latency_s: 5.0,
+            max_retries: 3,
+            backoff_base_s: 1.0,
+            backoff_cap_s: 30.0,
+            min_capacity: 0.25,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The bounded exponential backoff before retry number `retry`
+    /// (1-based): `backoff_base_s · 2^(retry−1)`, capped at
+    /// `backoff_cap_s`.
+    pub fn backoff_s(&self, retry: u32) -> f64 {
+        (self.backoff_base_s * 2f64.powi(retry.saturating_sub(1) as i32)).min(self.backoff_cap_s)
+    }
+}
+
+/// Which compile path a recovery took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanPath {
+    /// The delta-invalidation fast path: cached artifacts were reused and
+    /// only the invalidated pass suffix re-ran (or the post-delta state was
+    /// already cached outright).
+    CachedSuffix,
+    /// A full from-scratch compile: nothing cached for the pre-delta state,
+    /// the cache was disabled, or fast-path verification failed.
+    Full,
+}
+
+impl ReplanPath {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplanPath::CachedSuffix => "cached-suffix",
+            ReplanPath::Full => "full",
+        }
+    }
+}
+
+/// What one fault cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Processed-samples offset at which the fault struck.
+    pub at_samples: f64,
+    /// Committed samples rolled back (re-earned later).
+    pub samples_lost: f64,
+    /// Detection latency plus backoff waits, seconds.
+    pub downtime_s: f64,
+    /// Downtime plus the time to re-earn the lost samples at the
+    /// post-recovery throughput: how long until the run is back to where
+    /// the fault found it.
+    pub time_to_recover_s: f64,
+    /// Retries spent before recovery succeeded.
+    pub retries: u32,
+    /// Whether the recovery replanned via cached suffix or a full compile.
+    pub replan: ReplanPath,
+}
+
+/// Nearest-rank quantile of `time_to_recover_s` over `events`.
+///
+/// `p` is clamped to `[0, 1]`; returns `None` when `events` is empty. The
+/// nearest-rank definition (`⌈p·n⌉`-th smallest, with `p = 0` mapping to
+/// the minimum) always returns an observed value, so a reported p99 is an
+/// actual recovery the fleet survived, not an interpolation.
+pub fn time_to_recover_quantile(events: &[RecoveryEvent], p: f64) -> Option<f64> {
+    if events.is_empty() {
+        return None;
+    }
+    let mut ttrs: Vec<f64> = events.iter().map(|e| e.time_to_recover_s).collect();
+    ttrs.sort_by(f64::total_cmp);
+    let p = p.clamp(0.0, 1.0);
+    let rank = (p * ttrs.len() as f64).ceil() as usize;
+    Some(ttrs[rank.max(1) - 1])
+}
+
+/// Outcome metrics of a resilient (or baseline) run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Samples that count toward training (the run's target).
+    pub committed_samples: f64,
+    /// Samples the cluster actually worked on, including rolled-back work.
+    pub processed_samples: f64,
+    /// Samples lost to rollbacks (`processed - committed`).
+    pub samples_lost: f64,
+    /// Total wall-clock seconds, downtime included.
+    pub wall_seconds: f64,
+    /// Seconds the cluster spent computing (committed or not).
+    pub training_seconds: f64,
+    /// Seconds lost to detection latency and backoff waits.
+    pub downtime_seconds: f64,
+    /// Committed samples per wall-clock second — the number that matters.
+    pub goodput: f64,
+    /// Processed samples per computing second: what the hardware sustained
+    /// while up. The gap to `goodput` is the price of the faults.
+    pub raw_throughput: f64,
+    /// Fraction of wall-clock time spent computing.
+    pub availability: f64,
+    /// Recoveries served by the delta-invalidation fast path.
+    pub replans_cached: u64,
+    /// Recoveries that ran a full from-scratch compile.
+    pub replans_full: u64,
+    /// Per-fault breakdown, in timeline order.
+    pub faults: Vec<RecoveryEvent>,
+}
+
+impl RecoveryStats {
+    /// Nearest-rank quantile of time-to-recovery over [`RecoveryStats::faults`];
+    /// `None` when the run saw no faults. See [`time_to_recover_quantile`].
+    pub fn ttr_quantile(&self, p: f64) -> Option<f64> {
+        time_to_recover_quantile(&self.faults, p)
+    }
+
+    /// Median time-to-recovery, seconds.
+    pub fn ttr_p50(&self) -> Option<f64> {
+        self.ttr_quantile(0.5)
+    }
+
+    /// 99th-percentile time-to-recovery, seconds — the tail the fleet bench
+    /// gates on.
+    pub fn ttr_p99(&self) -> Option<f64> {
+        self.ttr_quantile(0.99)
+    }
+
+    /// Serialize through the repo's JSON layer (same shape the CLI and
+    /// `fault_bench` emit). Quantiles are `null` for fault-free runs.
+    pub fn to_json(&self) -> JsonValue {
+        let quantile = |p| self.ttr_quantile(p).map(num).unwrap_or(JsonValue::Null);
+        obj(vec![
+            ("committed_samples", num(self.committed_samples)),
+            ("processed_samples", num(self.processed_samples)),
+            ("samples_lost", num(self.samples_lost)),
+            ("wall_seconds", num(self.wall_seconds)),
+            ("training_seconds", num(self.training_seconds)),
+            ("downtime_seconds", num(self.downtime_seconds)),
+            ("goodput", num(self.goodput)),
+            ("raw_throughput", num(self.raw_throughput)),
+            ("availability", num(self.availability)),
+            ("replans_cached", num(self.replans_cached as f64)),
+            ("replans_full", num(self.replans_full as f64)),
+            ("ttr_p50_s", quantile(0.5)),
+            ("ttr_p99_s", quantile(0.99)),
+            (
+                "faults",
+                JsonValue::Array(
+                    self.faults
+                        .iter()
+                        .map(|e| {
+                            obj(vec![
+                                ("kind", s(e.kind.name())),
+                                ("at_samples", num(e.at_samples)),
+                                ("samples_lost", num(e.samples_lost)),
+                                ("downtime_s", num(e.downtime_s)),
+                                ("time_to_recover_s", num(e.time_to_recover_s)),
+                                ("retries", num(e.retries as f64)),
+                                ("replan", s(e.replan.name())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ttr: f64) -> RecoveryEvent {
+        RecoveryEvent {
+            kind: FaultKind::Degrade,
+            at_samples: 0.0,
+            samples_lost: 0.0,
+            downtime_s: ttr,
+            time_to_recover_s: ttr,
+            retries: 0,
+            replan: ReplanPath::CachedSuffix,
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_observed_values() {
+        // 1..=100, shuffled order must not matter.
+        let mut ttrs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        ttrs.reverse();
+        let events: Vec<RecoveryEvent> = ttrs.into_iter().map(event).collect();
+        assert_eq!(time_to_recover_quantile(&events, 0.5), Some(50.0));
+        assert_eq!(time_to_recover_quantile(&events, 0.99), Some(99.0));
+        assert_eq!(time_to_recover_quantile(&events, 1.0), Some(100.0));
+        assert_eq!(time_to_recover_quantile(&events, 0.0), Some(1.0));
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(time_to_recover_quantile(&events, 7.0), Some(100.0));
+        assert_eq!(time_to_recover_quantile(&events, -1.0), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_of_no_faults_is_none() {
+        assert_eq!(time_to_recover_quantile(&[], 0.99), None);
+        let stats = RecoveryStats::default();
+        assert_eq!(stats.ttr_p50(), None);
+        assert_eq!(stats.ttr_p99(), None);
+        // And serializes as null, parseable.
+        let text = stats.to_json().to_string_pretty();
+        let parsed = crate::json::parse(&text).unwrap();
+        assert_eq!(*parsed.get("ttr_p99_s"), JsonValue::Null);
+    }
+
+    #[test]
+    fn single_event_is_every_quantile() {
+        let events = [event(42.0)];
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(time_to_recover_quantile(&events, p), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn stats_json_carries_quantiles() {
+        let stats = RecoveryStats {
+            faults: vec![event(10.0), event(20.0), event(30.0), event(40.0)],
+            ..RecoveryStats::default()
+        };
+        assert_eq!(stats.ttr_p50(), Some(20.0));
+        assert_eq!(stats.ttr_p99(), Some(40.0));
+        let parsed = crate::json::parse(&stats.to_json().to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("ttr_p50_s").as_f64(), Some(20.0));
+        assert_eq!(parsed.get("ttr_p99_s").as_f64(), Some(40.0));
+        assert_eq!(parsed.get("faults").as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.backoff_s(1), 1.0);
+        assert_eq!(policy.backoff_s(2), 2.0);
+        assert_eq!(policy.backoff_s(5), 16.0);
+        assert_eq!(policy.backoff_s(10), 30.0, "capped");
+        assert_eq!(policy.backoff_s(0), 1.0, "retry 0 saturates to base");
+    }
+}

@@ -26,3 +26,9 @@ cargo run -q --release --offline -p whale-bench --bin comm_bench -- --quick
 # hot path; the 4x trillion-scale speedup gate is compile_bench's default
 # mode (see DESIGN.md §12).
 cargo run -q --release --offline -p whale-bench --bin compile_bench -- --quick
+
+# Fleet smoke test: shrunken multi-tenant run (elastic + kill-and-requeue on
+# the same churn) plus a small concurrent compile burst; asserts bounded
+# recovery, zero failed jobs, and zero hung burst requests. The 1.5x elastic
+# goodput gate is fleet_bench's default mode (see EXPERIMENTS.md).
+cargo run -q --release --offline -p whale-bench --bin fleet_bench -- --quick

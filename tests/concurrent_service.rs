@@ -138,6 +138,77 @@ fn sixteen_threads_one_clone_family_counters_balance() {
 }
 
 #[test]
+fn eviction_churn_keeps_every_request_accounted() {
+    // A deliberately tiny service — one shard, capacity 2 — serving 6
+    // unique keys from 8 threads: every round evicts entries that other
+    // threads are about to ask for, so the cache churns continuously.
+    // The accounting invariant must survive the churn: every single call
+    // still lands in exactly one of hits/misses/partials/coalesced, and
+    // the eviction counter explains where the missing entries went.
+    const CHURN_THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+    let irs: Vec<whale::WhaleIr> = [8, 16, 24, 32, 48, 64]
+        .into_iter()
+        .map(|b| strategies::data_parallel(models::resnet50(b).unwrap(), b).unwrap())
+        .collect();
+    let cluster = whale::Cluster::parse("4xV100").unwrap();
+    let config = whale::PlannerConfig::default();
+    let service = whale_planner::PlanService::new(1, 2);
+
+    let cold: Vec<ExecutionPlan> = irs
+        .iter()
+        .map(|ir| whale::planner::plan(ir, &cluster, &config).unwrap())
+        .collect();
+
+    let barrier = Barrier::new(CHURN_THREADS);
+    std::thread::scope(|scope| {
+        for t in 0..CHURN_THREADS {
+            let (service, irs, cold, cluster, config, barrier) =
+                (&service, &irs, &cold, &cluster, &config, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    for k in 0..irs.len() {
+                        let i = (k + t + round) % irs.len();
+                        let p = service.plan(&irs[i], cluster, config).unwrap();
+                        assert_eq!(*p, cold[i], "evicted-and-recompiled plan changed");
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let issued = (CHURN_THREADS * ROUNDS * irs.len()) as u64;
+    assert_eq!(
+        stats.requests(),
+        issued,
+        "every request must be accounted under eviction churn: {stats}"
+    );
+    assert_eq!(
+        stats.hits + stats.misses + stats.partial_hits + stats.coalesced,
+        issued
+    );
+    // Capacity 2 with 6 live keys: the cache must actually have churned...
+    assert!(
+        stats.evictions > 0,
+        "6 keys through a 2-entry cache must evict: {stats}"
+    );
+    assert!(
+        stats.misses > irs.len() as u64,
+        "evicted keys must recompile on their next request: {stats}"
+    );
+    // ...and the books must balance: everything ever inserted either got
+    // evicted or is still resident.
+    assert_eq!(
+        stats.misses + stats.partial_hits,
+        stats.evictions + service.len() as u64,
+        "inserts = evictions + resident entries: {stats}"
+    );
+    assert!(service.len() <= 2, "capacity must be enforced");
+}
+
+#[test]
 fn disabled_cache_still_serves_concurrently() {
     // With the cache off every plan is a cold compile — no sharing, no
     // stats, but identical bits.

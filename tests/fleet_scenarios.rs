@@ -1,0 +1,188 @@
+//! Fleet simulator scenarios: multi-tenant serving, graceful degradation,
+//! and the shared compile service across whole fleets.
+
+use std::sync::Arc;
+
+use whale_hardware::Cluster;
+use whale_planner::PlanService;
+use whale_sim::{default_templates, FaultModel, FleetConfig, FleetSim, RecoveryPolicy, SimError};
+
+fn pool() -> Cluster {
+    Cluster::parse("2x(4xV100)+2x(4xP100)").unwrap()
+}
+
+fn cfg() -> FleetConfig {
+    FleetConfig {
+        horizon_s: 8000.0,
+        arrival_mean_s: 300.0,
+        faults: FaultModel {
+            mtbf_samples: 800.0,
+            mttr_samples: 500.0,
+            seed: 1,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn two_fleets_share_one_plan_service() {
+    // Two fleets over identical pools compile through one service: the
+    // second rides the first's cache, and the shared counters stay
+    // consistent across both runs.
+    let service = Arc::new(PlanService::default());
+    let a = FleetSim::with_service(pool(), default_templates(), cfg(), Arc::clone(&service))
+        .unwrap()
+        .run()
+        .unwrap();
+    let after_first = service.stats();
+    let b = FleetSim::with_service(pool(), default_templates(), cfg(), Arc::clone(&service))
+        .unwrap()
+        .run()
+        .unwrap();
+    let after_second = service.stats();
+
+    // Same workload, same churn, shared cache: outcomes are identical.
+    assert_eq!(a.stats.goodput, b.stats.goodput);
+    assert_eq!(a.jobs, b.jobs);
+    // The warm second fleet never recompiles what the first compiled: no
+    // new misses beyond replan-layer traffic, and strictly more hits.
+    assert!(after_second.hits > after_first.hits, "warm fleet must hit");
+    assert_eq!(
+        after_second.requests(),
+        after_second.hits
+            + after_second.misses
+            + after_second.partial_hits
+            + after_second.coalesced,
+        "shared-service accounting must balance across fleets"
+    );
+}
+
+#[test]
+fn overload_queues_and_rejects_gracefully_instead_of_failing() {
+    // A 4-GPU pool flooded with arrivals: the fleet must degrade by
+    // queueing and (past the queue bound) rejecting — never by failing
+    // admitted jobs.
+    let small = Cluster::parse("1x(4xV100)").unwrap();
+    let report = FleetSim::new(
+        small,
+        default_templates(),
+        FleetConfig {
+            horizon_s: 6000.0,
+            arrival_mean_s: 60.0,
+            max_queue: 4,
+            faults: FaultModel {
+                mtbf_samples: 1e12, // isolate overload from churn
+                mttr_samples: 1.0,
+                seed: 1,
+            },
+            ..FleetConfig::default()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert_eq!(
+        report.stats.failed, 0,
+        "overload must not fail admitted jobs"
+    );
+    assert!(report.stats.rejected > 0, "queue bound must engage");
+    assert!(report.stats.queued_at_end + report.stats.completed + report.stats.running_at_end > 0);
+    assert!(
+        report.stats.mean_queue_wait_s > 0.0,
+        "jobs must have waited"
+    );
+    // Every rejection is accounted on a specific job row.
+    let rejected = report
+        .jobs
+        .iter()
+        .filter(|j| {
+            j.error
+                .as_deref()
+                .is_some_and(|e| e.starts_with("rejected"))
+        })
+        .count() as u64;
+    assert_eq!(rejected, report.stats.rejected);
+}
+
+#[test]
+fn elastic_outperforms_kill_and_requeue_on_shared_churn() {
+    let elastic = FleetSim::new(pool(), default_templates(), cfg())
+        .unwrap()
+        .run()
+        .unwrap();
+    let baseline = FleetSim::new(
+        pool(),
+        default_templates(),
+        FleetConfig {
+            elastic: false,
+            ..cfg()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(elastic.stats.goodput >= baseline.stats.goodput);
+    assert_eq!(elastic.stats.kills, 0, "elastic never kill-and-requeues");
+    assert!(
+        elastic.stats.samples_lost <= baseline.stats.samples_lost,
+        "checkpoint rollback must lose no more than restart-from-zero"
+    );
+}
+
+#[test]
+fn capacity_floor_surfaces_insufficient_capacity() {
+    // With the floor set just under full capacity, the first real
+    // degradation drops the pool below it and the run must stop with
+    // InsufficientCapacity — not a panic, not a silent wedge.
+    let err = FleetSim::new(
+        pool(),
+        default_templates(),
+        FleetConfig {
+            policy: RecoveryPolicy {
+                min_capacity: 0.999,
+                ..RecoveryPolicy::default()
+            },
+            faults: FaultModel {
+                mtbf_samples: 200.0, // churn strikes early and often
+                mttr_samples: 100.0,
+                seed: 3,
+            },
+            ..cfg()
+        },
+    )
+    .unwrap()
+    .run()
+    .unwrap_err();
+    match err {
+        SimError::InsufficientCapacity {
+            available,
+            required,
+        } => {
+            assert!(available < required);
+            assert_eq!(required, 0.999);
+        }
+        other => panic!("expected InsufficientCapacity, got {other}"),
+    }
+}
+
+#[test]
+fn fleet_recovery_quantiles_are_populated_under_churn() {
+    let report = FleetSim::new(pool(), default_templates(), cfg())
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        !report.stats.recovery.faults.is_empty(),
+        "scenario must actually exercise recovery"
+    );
+    let p50 = report.stats.recovery.ttr_p50().unwrap();
+    let p99 = report.stats.recovery.ttr_p99().unwrap();
+    assert!(p50 > 0.0 && p50 <= p99, "p50 {p50} vs p99 {p99}");
+    assert!(
+        p99 < report.stats.horizon_s,
+        "recovery must be bounded well inside the horizon"
+    );
+    // The quantiles surface in the JSON artifact too.
+    let json = report.stats.to_json().to_string_pretty();
+    assert!(json.contains("ttr_p99_s"));
+}

@@ -1,0 +1,230 @@
+//! Virtual devices under cluster churn: delta sequences must keep
+//! `VirtualDevice` bindings, `slice_cluster` partitions, and
+//! `Cluster::subcluster` views mutually consistent.
+//!
+//! The invariants under test:
+//!
+//! * **partition closure** — after any legal `ClusterDelta` sequence and
+//!   the matching `remap_removed`/`remap_inserted` calls, the bindings
+//!   plus the free set still form an exact partition of the pool
+//!   (`validate_partition`);
+//! * **identity tracking** — a binding keeps pointing at the *same
+//!   physical GPUs* across renumbering: each member's model and
+//!   throughput scale in the pool match what `subcluster` carves out;
+//! * **trace replay** — the invariants survive a full generated
+//!   `FaultTrace` (including its internal shadow-id renumbering of
+//!   pending heals), not just hand-picked deltas.
+
+use whale_hardware::{
+    slice_cluster, validate_partition, Cluster, ClusterDelta, GpuModel, SliceStrategy,
+    VirtualDevice,
+};
+use whale_sim::{FaultModel, FaultTrace};
+
+/// Bindings + free list must exactly cover the pool.
+fn assert_partition(pool: &Cluster, bindings: &[VirtualDevice], free: &[usize]) {
+    let mut vds: Vec<VirtualDevice> = bindings.to_vec();
+    if !free.is_empty() {
+        vds.push(VirtualDevice::new(free.to_vec()).unwrap());
+    }
+    validate_partition(pool, &vds)
+        .unwrap_or_else(|e| panic!("partition broke: {e} (free {free:?})"));
+}
+
+/// Every binding must carve into a subcluster whose GPUs mirror the pool's
+/// models and throughput scales, member by member.
+fn assert_bindings_carve(pool: &Cluster, bindings: &[VirtualDevice]) {
+    for (v, vd) in bindings.iter().enumerate() {
+        let sub = pool
+            .subcluster(vd.gpu_ids())
+            .unwrap_or_else(|e| panic!("binding {v} no longer carves: {e}"));
+        assert_eq!(sub.num_gpus(), vd.num_gpus());
+        for (local, &global) in vd.gpu_ids().iter().enumerate() {
+            let pool_gpu = pool.gpu(global).unwrap();
+            let sub_gpu = sub.gpu(local).unwrap();
+            assert_eq!(sub_gpu.model, pool_gpu.model, "binding {v} member {local}");
+            assert_eq!(
+                sub_gpu.throughput_scale, pool_gpu.throughput_scale,
+                "binding {v} member {local} lost its degradation state"
+            );
+        }
+    }
+}
+
+/// Apply `delta` to `pool` and remap `bindings` + `free` the way a
+/// scheduler must: removals drop-and-shift, insertions shift-and-free.
+fn apply_and_remap(
+    pool: &mut Cluster,
+    delta: ClusterDelta,
+    bindings: &mut Vec<VirtualDevice>,
+    free: &mut Vec<usize>,
+) {
+    match delta {
+        ClusterDelta::GpuRemoved { id } => {
+            pool.apply_delta(delta).unwrap();
+            free.retain(|&g| g != id);
+            for g in free.iter_mut() {
+                if *g > id {
+                    *g -= 1;
+                }
+            }
+            *bindings = bindings
+                .iter()
+                .filter_map(|b| b.remap_removed(id))
+                .collect();
+        }
+        ClusterDelta::GpuAdded { node, .. } => {
+            // The insertion point must be computed against the *pre-delta*
+            // pool — that is the id the new GPU will occupy.
+            let at = pool.insertion_id(node).unwrap();
+            pool.apply_delta(delta).unwrap();
+            for g in free.iter_mut() {
+                if *g >= at {
+                    *g += 1;
+                }
+            }
+            for b in bindings.iter_mut() {
+                *b = b.remap_inserted(at);
+            }
+            free.push(at);
+            free.sort_unstable();
+        }
+        _ => pool.apply_delta(delta).unwrap(),
+    }
+}
+
+#[test]
+fn bindings_survive_degrade_heal_remove_add() {
+    let mut pool = Cluster::parse("2x(4xV100)+1x(4xP100)").unwrap();
+    // Three tenants of 3 GPUs each; ids 9..12 free.
+    let mut bindings: Vec<VirtualDevice> = (0..3)
+        .map(|i| VirtualDevice::new((i * 3..(i + 1) * 3).collect()).unwrap())
+        .collect();
+    let mut free: Vec<usize> = (9..12).collect();
+    assert_partition(&pool, &bindings, &free);
+
+    let script = [
+        ClusterDelta::GpuDegraded { id: 4, scale: 0.3 },
+        ClusterDelta::GpuRemoved { id: 1 },  // inside binding 0
+        ClusterDelta::GpuRestored { id: 3 }, // old id 4, shifted down
+        ClusterDelta::GpuRemoved { id: 9 },  // from the free tail
+        ClusterDelta::GpuAdded {
+            node: 1,
+            model: GpuModel::V100_32GB,
+        },
+        ClusterDelta::GpuDegraded { id: 0, scale: 0.5 },
+        ClusterDelta::GpuRemoved { id: 0 }, // degraded GPU leaves entirely
+        ClusterDelta::GpuAdded {
+            node: 2,
+            model: GpuModel::P100_16GB,
+        },
+    ];
+    for delta in script {
+        apply_and_remap(&mut pool, delta, &mut bindings, &mut free);
+        assert_partition(&pool, &bindings, &free);
+        assert_bindings_carve(&pool, &bindings);
+    }
+    // Binding 0 lost ids 1 and (renumbered) 0 but kept its third member.
+    assert_eq!(bindings[0].num_gpus(), 1);
+    assert_eq!(bindings[1].num_gpus(), 3);
+    assert_eq!(bindings[2].num_gpus(), 3);
+    let total: usize = bindings.iter().map(|b| b.num_gpus()).sum();
+    assert_eq!(total + free.len(), pool.num_gpus());
+}
+
+#[test]
+fn binding_that_loses_every_gpu_dissolves_cleanly() {
+    let mut pool = Cluster::parse("1x(4xV100)").unwrap();
+    let mut bindings = vec![
+        VirtualDevice::new(vec![0, 1]).unwrap(),
+        VirtualDevice::new(vec![2, 3]).unwrap(),
+    ];
+    let mut free = Vec::new();
+    // Remove binding 0's two GPUs; it must vanish, not linger empty.
+    apply_and_remap(
+        &mut pool,
+        ClusterDelta::GpuRemoved { id: 0 },
+        &mut bindings,
+        &mut free,
+    );
+    apply_and_remap(
+        &mut pool,
+        ClusterDelta::GpuRemoved { id: 0 },
+        &mut bindings,
+        &mut free,
+    );
+    assert_eq!(bindings.len(), 1, "emptied binding must dissolve");
+    assert_eq!(
+        bindings[0].gpu_ids(),
+        &[0, 1],
+        "survivor renumbered to front"
+    );
+    assert_partition(&pool, &bindings, &free);
+    assert_bindings_carve(&pool, &bindings);
+}
+
+#[test]
+fn generated_trace_replay_preserves_partition_and_identity() {
+    // Replay full generated fault timelines — degrades, crashes (with the
+    // trace's own shadow-id renumbering of pending heals), congestion,
+    // restores, joins — against a per-node slicing of the pool.
+    for seed in [0u64, 7, 42, 1776] {
+        let mut pool = Cluster::parse("2x(4xV100)+2x(4xP100)").unwrap();
+        let model = FaultModel {
+            mtbf_samples: 600.0,
+            mttr_samples: 400.0,
+            seed,
+        };
+        let trace = FaultTrace::generate(&pool, &model, 20_000.0);
+        assert!(trace.len() > 10, "seed {seed}: trace too calm to test");
+
+        let mut bindings = slice_cluster(&pool, 0, SliceStrategy::PerNode).unwrap();
+        let mut free: Vec<usize> = Vec::new();
+        validate_partition(&pool, &bindings).unwrap();
+
+        let mut structural = 0;
+        for ev in &trace.events {
+            if matches!(
+                ev.delta,
+                ClusterDelta::GpuRemoved { .. } | ClusterDelta::GpuAdded { .. }
+            ) {
+                structural += 1;
+            }
+            apply_and_remap(&mut pool, ev.delta, &mut bindings, &mut free);
+            assert_partition(&pool, &bindings, &free);
+            assert_bindings_carve(&pool, &bindings);
+        }
+        assert!(
+            structural > 0,
+            "seed {seed}: no structural churn exercised the remaps"
+        );
+    }
+}
+
+#[test]
+fn trace_restores_target_live_gpus_after_renumbering() {
+    // A crash renumbers every later event's ids. Replaying the trace must
+    // never produce an out-of-range or double-restore delta — the trace
+    // generator's shadow renumbering and `apply_delta`'s validation agree.
+    for seed in [1u64, 9, 123] {
+        let mut pool = Cluster::parse("2x(4xV100)+1x(4xP100)").unwrap();
+        let trace = FaultTrace::generate(
+            &pool,
+            &FaultModel {
+                mtbf_samples: 300.0,
+                mttr_samples: 900.0,
+                seed,
+            },
+            30_000.0,
+        );
+        for ev in &trace.events {
+            if let ClusterDelta::GpuRestored { id } | ClusterDelta::GpuDegraded { id, .. } =
+                ev.delta
+            {
+                assert!(id < pool.num_gpus(), "seed {seed}: stale id {id}");
+            }
+            pool.apply_delta(ev.delta)
+                .unwrap_or_else(|e| panic!("seed {seed}: replay broke: {e} at {ev:?}"));
+        }
+    }
+}
