@@ -15,8 +15,8 @@ mod zoo;
 
 use args::Args;
 use whale::{
-    auto_parallel, strategies, ClusterDelta, CommConfig, Optimizer, RecoveryPolicy, ScheduleKind,
-    Session, SimConfig, TrainingConfig, WhaleIr, ZeroStage,
+    auto_parallel, strategies, ClusterDelta, CommConfig, GradDtype, Optimizer, RecoveryPolicy,
+    ScheduleKind, Session, SimConfig, TrainingConfig, WhaleIr, ZeroStage,
 };
 use whale_hardware::GpuModel;
 use whale_planner::PlanKey;
@@ -87,6 +87,11 @@ COMMON OPTIONS:
   --gpipe            GPipe flush schedule instead of 1F1B
   --fusion-mb N      fuse gradients into ~N MB buckets with per-bucket
                      AllReduce algorithm selection (0 = monolithic)   [0]
+  --grad-dtype D     gradient wire dtype: fp32 | bf16 | fp8          [fp32]
+                     (sub-fp32 shrinks AllReduce payloads, re-selects
+                     per-bucket algorithms, and accounts fp32 master
+                     weights + loss scaling in the memory ledger)
+  --compress-ratio F compress gradients to fraction F in (0,1]        [1.0]
   --amp --recompute --offload
   --json             (simulate) emit step stats as JSON
 
@@ -178,9 +183,22 @@ fn session_from(args: &Args) -> Result<Session, String> {
         ScheduleKind::BackwardFirst
     };
     let fusion_mb = args.get_num("fusion-mb", 0u64)?;
+    let grad_dtype = match args.get("grad-dtype") {
+        None => GradDtype::Fp32,
+        Some(s) => GradDtype::parse(s)
+            .ok_or_else(|| format!("--grad-dtype must be fp32|bf16|fp8, got '{s}'"))?,
+    };
+    let compress_ratio = args.get_num("compress-ratio", 1.0f64)?;
+    if !(compress_ratio > 0.0 && compress_ratio <= 1.0) {
+        return Err(format!(
+            "--compress-ratio must be in (0, 1], got {compress_ratio}"
+        ));
+    }
     let comm = CommConfig {
         fusion_bytes: fusion_mb << 20,
         auto_algorithm: fusion_mb > 0,
+        grad_dtype,
+        compress_ratio,
     };
     Ok(Session::on_cluster(cluster)
         .map_err(|e| e.to_string())?

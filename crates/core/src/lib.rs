@@ -60,8 +60,9 @@ pub use whale_graph::{models, CostProfile, Graph, Optimizer, TrainingConfig, Zer
 pub use whale_hardware::{Cluster, ClusterDelta, CommModel, GpuModel, VirtualDevice};
 pub use whale_ir::{Annotator, PipelineSpec, Primitive, ScopedBuilder, TaskGraph, WhaleIr};
 pub use whale_planner::{
-    CacheStats, CommConfig, DeviceAssignment, ExecutionPlan, GradSyncSchedule, PassId, PlanCache,
-    PlanService, PlannerConfig, ScheduleKind, SyncMode,
+    CacheStats, CommConfig, DeviceAssignment, ExecutionPlan, GradDtype, GradSyncSchedule,
+    LedgerComponent, MemoryLedger, PassId, PlanCache, PlanService, PlannerConfig, ScheduleKind,
+    SyncMode,
 };
 pub use whale_sim::{
     ascii_timeline, simulate_step, simulate_training, LossModel, SimConfig, StepOutcome, StepStats,

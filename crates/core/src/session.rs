@@ -116,6 +116,24 @@ impl Session {
         self
     }
 
+    /// Set the gradient wire dtype (fp32/bf16/fp8) on top of whatever comm
+    /// config is active: sub-fp32 dtypes shrink every AllReduce payload,
+    /// re-run per-bucket algorithm selection at the smaller size, charge
+    /// quantize/dequantize compute, and account fp32 master weights +
+    /// loss-scaling state in the memory ledger.
+    pub fn grad_dtype(mut self, dtype: whale_planner::GradDtype) -> Session {
+        self.planner.comm.grad_dtype = dtype;
+        self
+    }
+
+    /// Set the gradient compression factor in `(0, 1]` (1.0 = off) on top
+    /// of the dtype scaling; values below 1 also charge an error-feedback
+    /// residual in the memory ledger.
+    pub fn compress_ratio(mut self, ratio: f64) -> Session {
+        self.planner.comm.compress_ratio = ratio;
+        self
+    }
+
     /// Toggle the planner's per-stage cost memoization (on by default;
     /// results are bit-identical either way — `off` exists so benchmarks
     /// can measure the pre-fast-path planner).

@@ -236,6 +236,10 @@ impl<'c> CommModel<'c> {
     /// winner with its cost. Ties break deterministically toward ring, then
     /// hierarchical (the preference order NCCL uses when costs are equal:
     /// the bandwidth-optimal variant wins).
+    ///
+    /// Zero-byte payloads (compression rounding can empty a fusion bucket)
+    /// are skipped rather than priced: the result is `(Ring, 0.0)` — no
+    /// degenerate collective, no latency hops for bytes that never move.
     pub fn select_allreduce(&self, group: &[usize], bytes: u64) -> Result<(AllReduceAlgo, f64)> {
         Ok(self.allreduce_selector(group)?.select(bytes))
     }
@@ -251,19 +255,24 @@ impl<'c> CommModel<'c> {
     pub fn allreduce_selector(&self, group: &[usize]) -> Result<AllReduceSelector> {
         let n = check_group(group)?;
         if n == 1 {
+            let membw = self.cluster.gpu(group[0])?.model.memory_bandwidth();
             return Ok(AllReduceSelector {
                 n,
                 ring_bw: 1.0,
                 ring_lat: 0.0,
                 tree_depth: 0.0,
+                min_membw: membw,
                 hier: None,
             });
         }
         let (ring_bw, ring_lat) = self.ring_params(group)?;
         let tree_depth = (n as f64).log2().ceil();
         let mut per_node: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut min_membw = f64::INFINITY;
         for &id in group {
-            let node = self.cluster.gpu(id)?.node;
+            let g = self.cluster.gpu(id)?;
+            min_membw = min_membw.min(g.model.memory_bandwidth());
+            let node = g.node;
             match per_node.iter_mut().find(|(nd, _)| *nd == node) {
                 Some((_, v)) => v.push(id),
                 None => per_node.push((node, vec![id])),
@@ -295,6 +304,7 @@ impl<'c> CommModel<'c> {
             ring_bw,
             ring_lat,
             tree_depth,
+            min_membw,
             hier,
         })
     }
@@ -329,6 +339,10 @@ pub struct AllReduceSelector {
     ring_bw: f64,
     ring_lat: f64,
     tree_depth: f64,
+    /// Slowest group member's device memory bandwidth — the bound on the
+    /// elementwise quantize/dequantize passes mixed-precision collectives
+    /// run around the wire transfer.
+    min_membw: f64,
     /// `None` when the group sits on one node: hierarchical falls back to
     /// the flat ring there.
     hier: Option<HierTopo>,
@@ -395,8 +409,14 @@ impl AllReduceSelector {
     }
 
     /// Cost under an explicitly chosen algorithm; bit-identical to
-    /// [`CommModel::allreduce_with`].
+    /// [`CommModel::allreduce_with`] for non-empty payloads. Zero-byte
+    /// payloads are skipped (cost `0.0`) rather than charged the
+    /// algorithm's latency terms: compression rounding can produce empty
+    /// buckets, and an empty bucket launches no collective at all.
     pub fn cost(&self, algo: AllReduceAlgo, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
         match algo {
             AllReduceAlgo::Ring => self.ring(bytes),
             AllReduceAlgo::Tree => self.tree(bytes),
@@ -405,8 +425,12 @@ impl AllReduceSelector {
     }
 
     /// The cheapest algorithm for `bytes`, with
-    /// [`CommModel::select_allreduce`]'s tie-break order.
+    /// [`CommModel::select_allreduce`]'s tie-break order. Zero-byte
+    /// payloads short-circuit to `(Ring, 0.0)` — see [`Self::cost`].
     pub fn select(&self, bytes: u64) -> (AllReduceAlgo, f64) {
+        if bytes == 0 {
+            return (AllReduceAlgo::Ring, 0.0);
+        }
         let flat = self.ring(bytes);
         let hier = self.hierarchical(bytes);
         let tree = self.tree(bytes);
@@ -418,6 +442,31 @@ impl AllReduceSelector {
             (AllReduceAlgo::Tree, tree)
         }
     }
+
+    /// Time to quantize a `logical`-byte fp32 gradient down to `wire` bytes
+    /// before the collective and dequantize the result back afterwards:
+    /// two elementwise passes (read logical + write wire, then read wire +
+    /// write logical), memory-bandwidth-bound on the slowest group member.
+    /// Zero when nothing is scaled (`wire == logical` charges nothing —
+    /// callers gate on the schedule's `wire_scaled()`), on singleton
+    /// groups, and on empty payloads.
+    pub fn quantize_cost(&self, logical: u64, wire: u64) -> f64 {
+        if self.n == 1 || logical == 0 {
+            return 0.0;
+        }
+        quantize_dequantize_cost(logical, wire, self.min_membw)
+    }
+}
+
+/// Quantize + dequantize wall time for one rank: `2·(logical + wire)` bytes
+/// of device-memory traffic at `membw` bytes/s. Shared by the selector and
+/// the simulator's legacy (non-bucketed) sync path so both charge the exact
+/// same term.
+pub fn quantize_dequantize_cost(logical: u64, wire: u64, membw: f64) -> f64 {
+    if membw <= 0.0 {
+        return 0.0;
+    }
+    2.0 * (logical + wire) as f64 / membw
 }
 
 fn check_group(group: &[usize]) -> Result<usize> {
@@ -668,6 +717,65 @@ mod tests {
         assert_eq!(
             m.collective(Collective::ReduceScatter, &g, MB100).unwrap(),
             m.reduce_scatter(&g, MB100).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_byte_payloads_skip_pricing() {
+        // Compression rounding can empty a fusion bucket; an empty bucket
+        // launches no collective, so selection and explicit-algorithm
+        // pricing must both return 0 — not the algorithm's latency terms.
+        let c = Cluster::parse("2x(8xV100)+2x(8xP100)").unwrap();
+        let m = CommModel::new(&c);
+        let group: Vec<usize> = (0..32).collect();
+        let (algo, cost) = m.select_allreduce(&group, 0).unwrap();
+        assert_eq!((algo, cost), (AllReduceAlgo::Ring, 0.0));
+        assert_eq!(m.best_allreduce(&group, 0).unwrap(), 0.0);
+        let sel = m.allreduce_selector(&group).unwrap();
+        assert_eq!(sel.select(0), (AllReduceAlgo::Ring, 0.0));
+        for algo in [
+            AllReduceAlgo::Ring,
+            AllReduceAlgo::Tree,
+            AllReduceAlgo::Hierarchical,
+        ] {
+            assert_eq!(sel.cost(algo, 0), 0.0);
+        }
+        // One byte is already a real collective again.
+        assert!(sel.cost(AllReduceAlgo::Ring, 1) > 0.0);
+    }
+
+    #[test]
+    fn quantize_cost_is_bound_by_the_slowest_member() {
+        // V100 HBM2 is faster than P100; a mixed group pays the P100 rate.
+        let c = Cluster::parse("8xV100+8xP100").unwrap();
+        let m = CommModel::new(&c);
+        let v100s: Vec<usize> = (0..8).collect();
+        let mixed: Vec<usize> = (0..16).collect();
+        let (logical, wire) = (100u64 << 20, 50u64 << 20);
+        let fast = m
+            .allreduce_selector(&v100s)
+            .unwrap()
+            .quantize_cost(logical, wire);
+        let slow = m
+            .allreduce_selector(&mixed)
+            .unwrap()
+            .quantize_cost(logical, wire);
+        assert!(
+            slow > fast,
+            "mixed group must pay the P100 membw: {slow} vs {fast}"
+        );
+        let p100_bw = GpuModel::P100_16GB.memory_bandwidth();
+        let expect = 2.0 * (logical + wire) as f64 / p100_bw;
+        assert_eq!(slow, expect);
+        assert_eq!(slow, quantize_dequantize_cost(logical, wire, p100_bw));
+        // Degenerate cases are free.
+        let sel = m.allreduce_selector(&mixed).unwrap();
+        assert_eq!(sel.quantize_cost(0, 0), 0.0);
+        assert_eq!(
+            m.allreduce_selector(&[3])
+                .unwrap()
+                .quantize_cost(logical, wire),
+            0.0
         );
     }
 

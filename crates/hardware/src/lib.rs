@@ -38,7 +38,7 @@ pub mod interconnect;
 pub mod virtual_device;
 
 pub use cluster::{Cluster, ClusterBuilder, Node};
-pub use comm::{AllReduceAlgo, AllReduceSelector, Collective, CommModel};
+pub use comm::{quantize_dequantize_cost, AllReduceAlgo, AllReduceSelector, Collective, CommModel};
 pub use delta::ClusterDelta;
 pub use error::{HardwareError, Result};
 pub use gpu::{Gpu, GpuModel, GIB, TFLOPS};

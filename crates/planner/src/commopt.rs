@@ -41,10 +41,76 @@ use crate::plan::{CollectiveTask, ExecutionPlan};
 /// (`HOROVOD_FUSION_THRESHOLD`) and the paper's reference stack.
 pub const DEFAULT_FUSION_BYTES: u64 = 25 << 20;
 
+/// Wire dtype of gradient collectives. Logical payloads are always
+/// accounted in fp32 bytes (that is what `CollectiveTask::bytes` holds);
+/// the wire dtype scales what actually crosses the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GradDtype {
+    /// Full precision: wire bytes == logical bytes (the default; every
+    /// pre-existing plan and step time is bit-identical under it).
+    #[default]
+    Fp32,
+    /// Brain float 16: halves every AllReduce payload.
+    Bf16,
+    /// 8-bit floats (e4m3/e5m2-style): quarters every AllReduce payload.
+    Fp8,
+}
+
+impl GradDtype {
+    /// Bytes per gradient element on the wire.
+    pub fn bytes_per_elem(self) -> u64 {
+        match self {
+            GradDtype::Fp32 => 4,
+            GradDtype::Bf16 => 2,
+            GradDtype::Fp8 => 1,
+        }
+    }
+
+    /// Stable display name (`"fp32"`, `"bf16"`, `"fp8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            GradDtype::Fp32 => "fp32",
+            GradDtype::Bf16 => "bf16",
+            GradDtype::Fp8 => "fp8",
+        }
+    }
+
+    /// Parse a display name back into a dtype (the CLI's `--grad-dtype`).
+    pub fn parse(s: &str) -> Option<GradDtype> {
+        match s {
+            "fp32" => Some(GradDtype::Fp32),
+            "bf16" => Some(GradDtype::Bf16),
+            "fp8" => Some(GradDtype::Fp8),
+            _ => None,
+        }
+    }
+}
+
+/// Fractional bits of the fixed-point compression factor. Wire bytes are
+/// computed with a single integer division so per-bucket amounts telescope
+/// exactly (no float rounding drift across a group's bucket list).
+const COMPRESS_FRAC_BITS: u32 = 32;
+
+fn compress_numer(ratio: f64) -> u128 {
+    let r = if ratio.is_finite() {
+        ratio.clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    (r * (1u64 << COMPRESS_FRAC_BITS) as f64).round() as u128
+}
+
+/// `floor(logical · dtype_bytes · ratio / 4)` in exact integer arithmetic.
+/// For fp32 with ratio 1.0 this is the identity.
+fn wire_scale(logical: u64, dtype: GradDtype, numer: u128) -> u64 {
+    ((logical as u128 * dtype.bytes_per_elem() as u128 * numer) / (4u128 << COMPRESS_FRAC_BITS))
+        as u64
+}
+
 /// Communication-optimizer options, part of
 /// [`PlannerConfig`](crate::PlannerConfig) (and thus of every plan-cache
 /// key).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommConfig {
     /// Fusion-bucket byte cap. `0` (the default) disables bucketing
     /// entirely: one bucket per sync group, legacy algorithm selection, and
@@ -55,6 +121,27 @@ pub struct CommConfig {
     /// hierarchical) per bucket from the topology-aware cost model instead
     /// of the legacy default.
     pub auto_algorithm: bool,
+    /// Wire dtype of gradient collectives. Non-fp32 dtypes shrink every
+    /// bucket's wire bytes, re-running algorithm selection at the smaller
+    /// payload, and charge a per-bucket quantize/dequantize compute term
+    /// plus an fp32 master-weight + loss-scaling memory-ledger entry.
+    pub grad_dtype: GradDtype,
+    /// Optional gradient compression factor in `(0, 1]` applied on top of
+    /// the dtype scaling (top-k / sketching-style). `1.0` (the default)
+    /// means no compression. Values below 1 also charge an error-feedback
+    /// residual in the memory ledger.
+    pub compress_ratio: f64,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            fusion_bytes: 0,
+            auto_algorithm: false,
+            grad_dtype: GradDtype::Fp32,
+            compress_ratio: 1.0,
+        }
+    }
 }
 
 impl CommConfig {
@@ -64,12 +151,53 @@ impl CommConfig {
         CommConfig {
             fusion_bytes: DEFAULT_FUSION_BYTES,
             auto_algorithm: true,
+            ..CommConfig::default()
         }
     }
 
     /// Whether bucketed fusion is on.
     pub fn enabled(&self) -> bool {
         self.fusion_bytes > 0
+    }
+
+    /// Set the gradient wire dtype (builder style).
+    pub fn dtype(mut self, dtype: GradDtype) -> CommConfig {
+        self.grad_dtype = dtype;
+        self
+    }
+
+    /// Communicate gradients in bf16 (halves every wire payload).
+    pub fn bf16(self) -> CommConfig {
+        self.dtype(GradDtype::Bf16)
+    }
+
+    /// Communicate gradients in fp8 (quarters every wire payload).
+    pub fn fp8(self) -> CommConfig {
+        self.dtype(GradDtype::Fp8)
+    }
+
+    /// Apply a compression factor in `(0, 1]` on top of the dtype scaling.
+    pub fn compress(mut self, ratio: f64) -> CommConfig {
+        self.compress_ratio = ratio;
+        self
+    }
+
+    /// Whether this config scales wire bytes at all. `false` means every
+    /// priced byte count is bit-identical to the logical payload (the
+    /// strict fp32/no-compression compatibility contract).
+    pub fn wire_scaled(&self) -> bool {
+        self.grad_dtype != GradDtype::Fp32
+            || compress_numer(self.compress_ratio) != 1u128 << COMPRESS_FRAC_BITS
+    }
+
+    /// Wire bytes for a `logical` fp32 payload under this config, in exact
+    /// integer arithmetic (identity for fp32 + no compression).
+    pub fn wire_bytes(&self, logical: u64) -> u64 {
+        wire_scale(
+            logical,
+            self.grad_dtype,
+            compress_numer(self.compress_ratio),
+        )
     }
 }
 
@@ -91,8 +219,15 @@ pub struct GradBucket {
     /// Index into [`ExecutionPlan::grad_syncs`] of the group this bucket
     /// belongs to.
     pub sync_index: usize,
-    /// Payload bytes (the buckets of one sync sum exactly to its `bytes`).
+    /// Logical payload bytes (the buckets of one sync sum exactly to its
+    /// `bytes`).
     pub bytes: u64,
+    /// Bytes on the wire after dtype + compression scaling (the buckets of
+    /// one sync sum exactly to `CommConfig::wire_bytes(sync.bytes)`; equal
+    /// to `bytes` for fp32 without compression). Zero-byte buckets are
+    /// legal — compression rounding can empty a small bucket — and cost
+    /// nothing to price (the selector skips them).
+    pub wire_bytes: u64,
     /// Fraction of the owning stage's backward work that must complete
     /// before this bucket's last gradient is final, in `[0, 1]`. The last
     /// bucket of every sync has `ready_frac == 1.0`.
@@ -111,6 +246,10 @@ pub struct GradSyncSchedule {
     pub mode: SyncMode,
     /// Fusion cap the buckets were built with.
     pub fusion_bytes: u64,
+    /// Wire dtype the buckets were scaled with.
+    pub grad_dtype: GradDtype,
+    /// Compression factor the buckets were scaled with.
+    pub compress_ratio: f64,
     /// Buckets, grouped by sync and in reverse backward order within each
     /// sync (deepest layers first).
     pub buckets: Vec<GradBucket>,
@@ -122,6 +261,30 @@ impl GradSyncSchedule {
         self.buckets
             .iter()
             .filter(move |b| b.sync_index == sync_index)
+    }
+
+    /// Whether the schedule scales wire bytes at all (false ⇒ every bucket
+    /// has `wire_bytes == bytes` and pricing is bit-identical to fp32).
+    pub fn wire_scaled(&self) -> bool {
+        self.grad_dtype != GradDtype::Fp32
+            || compress_numer(self.compress_ratio) != 1u128 << COMPRESS_FRAC_BITS
+    }
+
+    /// Total wire bytes of one sync group (`None` if the schedule carries
+    /// no buckets for it).
+    pub fn wire_bytes_of(&self, sync_index: usize) -> Option<u64> {
+        let mut total = 0u64;
+        let mut seen = false;
+        for b in self.buckets_of(sync_index) {
+            total += b.wire_bytes;
+            seen = true;
+        }
+        seen.then_some(total)
+    }
+
+    /// Total wire bytes across every sync group.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.buckets.iter().map(|b| b.wire_bytes).sum()
     }
 }
 
@@ -141,6 +304,7 @@ pub(crate) fn build_grad_sync_schedule(
         SyncMode::Legacy
     };
     let comm = CommModel::new(cluster);
+    let numer = compress_numer(cfg.compress_ratio);
     let mut buckets = Vec::with_capacity(grad_syncs.len());
     for (sync_index, sync) in grad_syncs.iter().enumerate() {
         let start = buckets.len();
@@ -148,6 +312,7 @@ pub(crate) fn build_grad_sync_schedule(
             SyncMode::Legacy => buckets.push(GradBucket {
                 sync_index,
                 bytes: sync.bytes,
+                wire_bytes: 0,
                 ready_frac: 1.0,
                 algo: None,
                 layers: (0, 0),
@@ -156,19 +321,34 @@ pub(crate) fn build_grad_sync_schedule(
                 bucket_sync(sync_index, sync, task_graphs, graph, cfg, &mut buckets)
             }
         }
+        // Wire bytes telescope over the *logical* cumulative marks, so the
+        // group's wire total is exactly `wire_scale(sync.bytes)` regardless
+        // of how packing split the payload (bucket boundaries themselves
+        // stay dtype-independent — algorithm flips are attributable to
+        // payload scaling alone, never to repacking).
+        let mut cum = 0u64;
+        for b in &mut buckets[start..] {
+            let before = wire_scale(cum, cfg.grad_dtype, numer);
+            cum += b.bytes;
+            b.wire_bytes = wire_scale(cum, cfg.grad_dtype, numer) - before;
+        }
         if cfg.auto_algorithm && mode == SyncMode::Bucketed {
             // One topology walk per group; each bucket then costs three
             // multiply-adds to price (the selector is bit-identical to
-            // `select_allreduce`).
+            // `select_allreduce`). Selection runs on *wire* bytes: smaller
+            // messages sit closer to the latency-optimal side of the
+            // ring/tree/hierarchical crossover.
             let selector = comm.allreduce_selector(&sync.group)?;
             for b in &mut buckets[start..] {
-                b.algo = Some(selector.select(b.bytes).0);
+                b.algo = Some(selector.select(b.wire_bytes).0);
             }
         }
     }
     Ok(GradSyncSchedule {
         mode,
         fusion_bytes: cfg.fusion_bytes,
+        grad_dtype: cfg.grad_dtype,
+        compress_ratio: cfg.compress_ratio,
         buckets,
     })
 }
@@ -225,6 +405,7 @@ fn bucket_sync(
         out.push(GradBucket {
             sync_index,
             bytes: sync.bytes,
+            wire_bytes: 0,
             ready_frac: 1.0,
             algo: None,
             layers: (0, 0),
@@ -248,6 +429,7 @@ fn bucket_sync(
             out.push(GradBucket {
                 sync_index,
                 bytes: mark(cum_params) - mark(bucket_start),
+                wire_bytes: 0,
                 ready_frac: if total_flops > 0.0 {
                     cum_flops / total_flops
                 } else {
@@ -269,6 +451,7 @@ fn bucket_sync(
     out.push(GradBucket {
         sync_index,
         bytes: sync.bytes - mark(bucket_start),
+        wire_bytes: 0,
         ready_frac: 1.0,
         algo: None,
         layers: (min, max),
@@ -408,11 +591,97 @@ mod tests {
     }
 
     #[test]
+    fn fp32_wire_bytes_equal_logical_bytes() {
+        let cfg = crate::PlannerConfig {
+            comm: CommConfig::fused(),
+            ..crate::PlannerConfig::default()
+        };
+        assert!(!cfg.comm.wire_scaled());
+        let (p, _) = dp_plan(&cfg);
+        let sched = p.grad_sync_schedule.as_ref().unwrap();
+        assert!(!sched.wire_scaled());
+        for b in &sched.buckets {
+            assert_eq!(b.wire_bytes, b.bytes, "fp32 must be the identity");
+        }
+    }
+
+    #[test]
+    fn scaled_wire_bytes_telescope_exactly() {
+        for (dtype, ratio) in [
+            (GradDtype::Bf16, 1.0),
+            (GradDtype::Fp8, 1.0),
+            (GradDtype::Bf16, 0.37),
+            (GradDtype::Fp32, 0.125),
+        ] {
+            let comm = CommConfig::fused().dtype(dtype).compress(ratio);
+            assert!(comm.wire_scaled());
+            let cfg = crate::PlannerConfig {
+                comm,
+                ..crate::PlannerConfig::default()
+            };
+            let (p, _) = dp_plan(&cfg);
+            let sched = p.grad_sync_schedule.as_ref().unwrap();
+            assert_eq!(sched.grad_dtype, dtype);
+            for (i, sync) in p.grad_syncs.iter().enumerate() {
+                assert_eq!(
+                    sched.wire_bytes_of(i),
+                    Some(comm.wire_bytes(sync.bytes)),
+                    "{}/{ratio}: group wire bytes must telescope to scale(sync.bytes)",
+                    dtype.name()
+                );
+                for b in sched.buckets_of(i) {
+                    assert!(b.wire_bytes <= b.bytes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_scaling_keeps_bucket_boundaries() {
+        // Bucket packing runs on logical bytes, so a dtype change must not
+        // repack — algorithm flips are attributable to payload scaling only.
+        let base = crate::PlannerConfig {
+            comm: CommConfig::fused(),
+            ..crate::PlannerConfig::default()
+        };
+        let fp8 = crate::PlannerConfig {
+            comm: CommConfig::fused().fp8(),
+            ..crate::PlannerConfig::default()
+        };
+        let (p32, _) = dp_plan(&base);
+        let (p8, _) = dp_plan(&fp8);
+        let s32 = p32.grad_sync_schedule.as_ref().unwrap();
+        let s8 = p8.grad_sync_schedule.as_ref().unwrap();
+        assert_eq!(s32.buckets.len(), s8.buckets.len());
+        for (a, b) in s32.buckets.iter().zip(&s8.buckets) {
+            assert_eq!(
+                (a.sync_index, a.bytes, a.layers),
+                (b.sync_index, b.bytes, b.layers)
+            );
+            assert_eq!(a.ready_frac, b.ready_frac);
+        }
+    }
+
+    #[test]
+    fn wire_scale_is_exact_at_the_extremes() {
+        let id = CommConfig::default();
+        for bytes in [0u64, 1, 3, 4, 1 << 20, u64::MAX >> 3] {
+            assert_eq!(id.wire_bytes(bytes), bytes);
+        }
+        let bf16 = CommConfig::default().bf16();
+        assert_eq!(bf16.wire_bytes(10), 5);
+        assert_eq!(bf16.wire_bytes(1), 0, "sub-element payloads round down");
+        let heavy = CommConfig::default().fp8().compress(0.25);
+        assert_eq!(heavy.wire_bytes(1 << 20), 1 << 16);
+    }
+
+    #[test]
     fn huge_cap_yields_one_bucket_per_sync() {
         let cfg = crate::PlannerConfig {
             comm: CommConfig {
                 fusion_bytes: u64::MAX,
                 auto_algorithm: true,
+                ..CommConfig::default()
             },
             ..crate::PlannerConfig::default()
         };

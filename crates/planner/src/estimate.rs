@@ -243,16 +243,31 @@ pub fn estimate_step_cached(
         (m as f64 * total_stage_time, 0.0)
     };
 
+    // Mixed-precision schedules shrink each sync's wire bytes and pay the
+    // quantize/dequantize passes; fp32 plans (and plans with no schedule)
+    // price the logical bytes exactly as before. The memo key carries both
+    // byte counts so scaled and unscaled estimates never collide.
+    let wire_sched = plan.grad_sync_schedule.as_ref().filter(|s| s.wire_scaled());
     let mut sync = 0.0;
-    for c in plan.grad_syncs.iter() {
+    for (sync_index, c) in plan.grad_syncs.iter().enumerate() {
+        let wire = wire_sched
+            .and_then(|s| s.wire_bytes_of(sync_index))
+            .unwrap_or(c.bytes);
         key.clear();
         key.push(c.kind as u64);
         key.push(c.bytes);
+        key.push(wire);
         key.extend(c.group.iter().map(|&g| g as u64));
         let t = match cache.sync_terms.get(key.as_slice()) {
             Some(&t) => t,
             None => {
-                let t = cache.comm.collective(c.kind, &c.group, c.bytes)?;
+                let mut t = cache.comm.collective(c.kind, &c.group, wire)?;
+                if wire_sched.is_some() && c.group.len() > 1 {
+                    t += cache
+                        .comm
+                        .allreduce_selector(&c.group)?
+                        .quantize_cost(c.bytes, wire);
+                }
                 cache.sync_terms.insert(key.clone(), t);
                 t
             }

@@ -37,6 +37,7 @@ pub mod commopt;
 pub mod dp_balance;
 pub mod error;
 pub mod estimate;
+pub mod ledger;
 pub mod partition;
 pub mod pipe_balance;
 pub mod pipeline;
@@ -49,13 +50,14 @@ pub mod shard;
 
 pub use cache::{replan_from_seed, CacheStats, PlanCache, PlanKey};
 pub use commopt::{
-    CommConfig, CommOpt, GradBucket, GradSyncSchedule, SyncMode, DEFAULT_FUSION_BYTES,
+    CommConfig, CommOpt, GradBucket, GradDtype, GradSyncSchedule, SyncMode, DEFAULT_FUSION_BYTES,
 };
 pub use dp_balance::{dp_partition, dp_partition_traced, DpPartition};
 pub use error::{PlanError, Result};
 pub use estimate::{
     estimate_step, estimate_step_cached, estimate_step_keyed, EstimateCache, StepEstimate,
 };
+pub use ledger::{LedgerComponent, LedgerEntry, MemoryLedger, LOSS_SCALING_STATE_BYTES};
 pub use pipe_balance::{
     in_flight_micro_batches, pipeline_partition, pipeline_partition_opts, stage_flops,
     PipePartition,

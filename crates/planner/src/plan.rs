@@ -113,21 +113,24 @@ impl ExecutionPlan {
         ids
     }
 
-    /// Estimated peak memory per GPU, bytes. Co-located stages sum their
-    /// model memory, but the fixed runtime overhead (CUDA context +
-    /// workspace) is charged once per GPU, not once per stage.
+    /// Estimated peak memory per GPU, bytes: the [`memory_ledger`]'s
+    /// per-GPU totals. Co-located stages sum their model memory, but the
+    /// fixed runtime overhead (CUDA context + workspace) is charged once
+    /// per GPU, not once per stage. Plans whose grad-sync schedule
+    /// communicates in a sub-fp32 dtype (or compresses) additionally carry
+    /// fp32 master weights, loss-scaling state, and error-feedback
+    /// residuals — see [`crate::ledger`].
+    ///
+    /// [`memory_ledger`]: ExecutionPlan::memory_ledger
     pub fn memory_per_gpu(&self) -> std::collections::BTreeMap<usize, u64> {
-        let overhead = whale_graph::profile::RUNTIME_OVERHEAD_BYTES;
-        let mut mem = std::collections::BTreeMap::new();
-        for stage in self.stages.iter() {
-            for d in &stage.devices {
-                *mem.entry(d.gpu).or_insert(0) += d.mem_bytes.saturating_sub(overhead);
-            }
-        }
-        for v in mem.values_mut() {
-            *v += overhead;
-        }
-        mem
+        self.memory_ledger().per_gpu()
+    }
+
+    /// Itemized per-GPU memory accounting (model state, runtime overhead,
+    /// and — under mixed-precision or compressed gradient collectives —
+    /// master weights, loss-scaling state, and compression residuals).
+    pub fn memory_ledger(&self) -> crate::ledger::MemoryLedger {
+        crate::ledger::build_ledger(self)
     }
 
     /// Validate the plan against a cluster: GPU ids exist, stage and

@@ -123,7 +123,13 @@ impl PlannerConfig {
         }
         fp.push_bool(self.memoize)
             .push_u64(self.comm.fusion_bytes)
-            .push_bool(self.comm.auto_algorithm);
+            .push_bool(self.comm.auto_algorithm)
+            .push_tag(match self.comm.grad_dtype {
+                crate::commopt::GradDtype::Fp32 => 0,
+                crate::commopt::GradDtype::Bf16 => 1,
+                crate::commopt::GradDtype::Fp8 => 2,
+            })
+            .push_f64(self.comm.compress_ratio);
         fp.finish()
     }
 }

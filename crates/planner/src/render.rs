@@ -80,17 +80,28 @@ pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
         );
     }
     if let Some(sched) = &plan.grad_sync_schedule {
+        let scaled = sched.wire_scaled();
+        let wire_note = if scaled {
+            format!(
+                ", wire {} ×{:.2} → {:.1} MB",
+                sched.grad_dtype.name(),
+                sched.compress_ratio,
+                sched.total_wire_bytes() as f64 / 1e6
+            )
+        } else {
+            String::new()
+        };
         match sched.mode {
             SyncMode::Legacy => {
                 let _ = writeln!(
                     out,
-                    "  grad-sync schedule: legacy (fusion off, one bucket per group)"
+                    "  grad-sync schedule: legacy (fusion off, one bucket per group){wire_note}"
                 );
             }
             SyncMode::Bucketed => {
                 let _ = writeln!(
                     out,
-                    "  grad-sync schedule: bucketed, fusion cap {:.1} MB, {} bucket(s)",
+                    "  grad-sync schedule: bucketed, fusion cap {:.1} MB, {} bucket(s){wire_note}",
                     sched.fusion_bytes as f64 / 1e6,
                     sched.buckets.len()
                 );
@@ -116,13 +127,36 @@ pub fn render_plan(plan: &ExecutionPlan, cluster: &Cluster) -> String {
                         .map(|(n, c)| format!("{n}×{c}"))
                         .collect::<Vec<_>>()
                         .join(" ");
+                    let group_wire = if scaled {
+                        let wire: u64 = buckets.iter().map(|b| b.wire_bytes).sum();
+                        format!(" → {:.1} MB wire", wire as f64 / 1e6)
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "      {} bucket(s), {:.1} MB, algo {census} — {}",
+                        "      {} bucket(s), {:.1} MB{group_wire}, algo {census} — {}",
                         buckets.len(),
                         c.bytes as f64 / 1e6,
                         c.label
                     );
+                    // Per-bucket wire detail: only when precision actually
+                    // scales the wire — this is how dtype-induced algorithm
+                    // flips are inspected from the CLI.
+                    if scaled {
+                        for (j, b) in buckets.iter().enumerate() {
+                            let _ = writeln!(
+                                out,
+                                "        b{j} layers {}-{}: {:.2} MB → {:.2} MB {} on wire, {}",
+                                b.layers.1,
+                                b.layers.0,
+                                b.bytes as f64 / 1e6,
+                                b.wire_bytes as f64 / 1e6,
+                                sched.grad_dtype.name(),
+                                b.algo.map(|a| a.name()).unwrap_or("default"),
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -190,6 +224,35 @@ mod tests {
             r.contains("ring×") || r.contains("tree×") || r.contains("hierarchical×"),
             "algorithm census missing:\n{r}"
         );
+    }
+
+    #[test]
+    fn render_shows_wire_bytes_and_per_bucket_detail_when_scaled() {
+        let g = models::bert_large(64, 128).unwrap();
+        let ir = Annotator::new(g, 64)
+            .replicate_all()
+            .unwrap()
+            .finish()
+            .unwrap();
+        let cluster = Cluster::parse("2x(8xV100)").unwrap();
+        let cfg = PlannerConfig {
+            comm: crate::commopt::CommConfig::fused().bf16(),
+            ..PlannerConfig::default()
+        };
+        let p = plan(&ir, &cluster, &cfg).unwrap();
+        let r = render_plan(&p, &cluster);
+        assert!(r.contains("wire bf16 ×1.00"), "wire note missing:\n{r}");
+        assert!(r.contains("MB wire"), "group wire total missing:\n{r}");
+        assert!(r.contains("b0 layers"), "per-bucket detail missing:\n{r}");
+        assert!(r.contains("bf16 on wire"), "per-bucket dtype missing:\n{r}");
+        // fp32 renders without the wire annotations (output unchanged).
+        let plain_cfg = PlannerConfig {
+            comm: crate::commopt::CommConfig::fused(),
+            ..PlannerConfig::default()
+        };
+        let plain = plan(&ir, &cluster, &plain_cfg).unwrap();
+        let pr = render_plan(&plain, &cluster);
+        assert!(!pr.contains("on wire"), "fp32 must not show wire detail");
     }
 
     #[test]

@@ -594,10 +594,16 @@ fn simulate_step_impl(
         struct SyncCtx {
             selector: Option<whale_hardware::AllReduceSelector>,
             nodes: Vec<usize>,
+            membw: f64,
             done: f64,
             bw_dur: f64,
             tie: usize,
         }
+        // Mixed-precision schedules serialize *wire* bytes on the NICs and
+        // charge each bucket's quantize/dequantize passes; fp32 schedules
+        // have `wire_bytes == bytes` and skip the quantize term entirely
+        // (bit-identical to the pre-precision simulator).
+        let scaled = sched.wire_scaled();
         let mut ctxs: Vec<Option<SyncCtx>> = std::iter::repeat_with(|| None)
             .take(plan.grad_syncs.len())
             .collect();
@@ -611,8 +617,11 @@ fn simulate_step_impl(
             if ctxs[b.sync_index].is_none() {
                 let stage_idx = c.stage.filter(|&s| s < num_stages);
                 let mut nodes: Vec<usize> = Vec::with_capacity(2);
+                let mut membw = f64::INFINITY;
                 for &g in &c.group {
-                    let n = cluster.gpu(g)?.node;
+                    let gpu = cluster.gpu(g)?;
+                    membw = membw.min(gpu.model.memory_bandwidth());
+                    let n = gpu.node;
                     if !nodes.contains(&n) {
                         nodes.push(n);
                     }
@@ -621,6 +630,7 @@ fn simulate_step_impl(
                 ctxs[b.sync_index] = Some(SyncCtx {
                     selector: None,
                     nodes,
+                    membw,
                     done: stage_idx
                         .map(|s| stage_bw_done[s])
                         .unwrap_or(compute_makespan_tmp),
@@ -629,6 +639,11 @@ fn simulate_step_impl(
                 });
             }
             let ctx = ctxs[b.sync_index].as_mut().expect("just built");
+            let quant = if scaled && c.group.len() > 1 {
+                whale_hardware::quantize_dequantize_cost(b.bytes, b.wire_bytes, ctx.membw)
+            } else {
+                0.0
+            };
             let dur = match b.algo {
                 // `AllReduceSelector::cost` is bit-identical to
                 // `allreduce_with` with the group re-derived per call.
@@ -639,10 +654,11 @@ fn simulate_step_impl(
                     ctx.selector
                         .as_ref()
                         .expect("just built")
-                        .cost(algo, b.bytes)
+                        .cost(algo, b.wire_bytes)
                 }
-                None => comm.collective(c.kind, &c.group, b.bytes)?,
-            } * zero_factor;
+                None => comm.collective(c.kind, &c.group, b.wire_bytes)?,
+            } * zero_factor
+                + quant;
             sync_total += dur;
             let ready = (ctx.done - (1.0 - b.ready_frac) * ctx.bw_dur).max(0.0);
             events.push((ready, ctx.tie, dur, ctx.nodes.clone()));
@@ -684,8 +700,27 @@ fn simulate_step_impl(
         // could silently change.
         let mut syncs: Vec<(f64, usize, f64)> = Vec::with_capacity(plan.grad_syncs.len());
         let mut sync_total = 0.0;
-        for c in plan.grad_syncs.iter() {
-            let dur = comm.collective(c.kind, &c.group, c.bytes)? * zero_factor;
+        // A mixed-precision legacy schedule (fusion off, but a non-fp32
+        // dtype or a compression factor) still shrinks the wire: each sync
+        // moves its schedule's wire bytes and pays the quantize passes.
+        // fp32 schedules — and plans with no schedule at all — take the
+        // exact pre-existing expression.
+        let wire_sched = plan.grad_sync_schedule.as_ref().filter(|s| s.wire_scaled());
+        for (sync_index, c) in plan.grad_syncs.iter().enumerate() {
+            let (wire, quant) = match wire_sched.and_then(|s| s.wire_bytes_of(sync_index)) {
+                Some(wire) if c.group.len() > 1 => {
+                    let mut membw = f64::INFINITY;
+                    for &g in &c.group {
+                        membw = membw.min(cluster.gpu(g)?.model.memory_bandwidth());
+                    }
+                    (
+                        wire,
+                        whale_hardware::quantize_dequantize_cost(c.bytes, wire, membw),
+                    )
+                }
+                _ => (c.bytes, 0.0),
+            };
+            let dur = comm.collective(c.kind, &c.group, wire)? * zero_factor + quant;
             sync_total += dur;
             let stage_idx = c.stage.filter(|&s| s < num_stages);
             let done = stage_idx

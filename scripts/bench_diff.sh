@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Diff a freshly generated BENCH_comm.json against the committed baseline and
+# flag per-cell step-time regressions greater than THRESHOLD percent
+# (default 10). Cells are keyed by (model, cluster) for the fp32 sweep and
+# (model, cluster, dtype) for the mixed-precision sweep, so a regression in
+# any arm is caught even when the medians still clear their gates.
+#
+# Usage:
+#   scripts/bench_diff.sh              # re-run comm_bench, then diff vs HEAD
+#   scripts/bench_diff.sh fresh.json   # diff an existing artifact vs HEAD
+#   THRESHOLD=5 scripts/bench_diff.sh  # tighter tolerance
+#
+# Exit status: 0 when no cell regressed past the threshold, 1 otherwise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-10}"
+command -v jq >/dev/null || { echo "bench_diff: jq not found" >&2; exit 2; }
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+baseline="$tmp/baseline.json"
+if ! git show HEAD:BENCH_comm.json > "$baseline" 2>/dev/null; then
+  echo "bench_diff: no committed BENCH_comm.json at HEAD" >&2
+  exit 2
+fi
+
+fresh="${1:-}"
+if [[ -z "$fresh" ]]; then
+  echo "bench_diff: regenerating BENCH_comm.json (release run, asserts its own gates)..."
+  cargo run -q --release --offline -p whale-bench --bin comm_bench >/dev/null
+  fresh=BENCH_comm.json
+fi
+[[ -r "$fresh" ]] || { echo "bench_diff: cannot read $fresh" >&2; exit 2; }
+
+jq -n -r --argjson thr "$THRESHOLD" \
+  --slurpfile base "$baseline" --slurpfile fresh "$fresh" '
+  # One flat {cell key -> step seconds} map per document: the fp32 sweep
+  # keys on (model, cluster); mixed-precision cells append the dtype.
+  def cellmap(d):
+    [ (d.cells // [])[]
+        | {key: "\(.model) @ \(.cluster)", value: .bucketed_step_s} ]
+    + [ (d.mixed_precision_cells // [])[]
+        | {key: "\(.model) @ \(.cluster) [\(.grad_dtype)]", value: .step_s} ]
+    | from_entries;
+  cellmap($base[0]) as $b | cellmap($fresh[0]) as $f |
+  [ $f | to_entries[] | select($b[.key] != null)
+      | {cell: .key, base: $b[.key], fresh: .value,
+         pct: ((.value / $b[.key] - 1) * 100)} ] as $rows |
+  ($rows | map(select(.pct > $thr))) as $regressions |
+  ( $rows[] | "\(if .pct > $thr then "REGRESSION" else "ok" end)\t\(.cell)\t" +
+      "\(.base | tostring | .[0:8])s -> \(.fresh | tostring | .[0:8])s\t" +
+      "\(.pct | . * 100 | round / 100)%" ),
+  "---",
+  "\($rows | length) cell(s) compared, \($regressions | length) regression(s) over \($thr)%",
+  ( [ $f | keys[] | select($b[.] == null) ] | select(length > 0)
+      | "new cells (no baseline): \(join(", "))" ) // empty,
+  ( [ $b | keys[] | select($f[.] == null) ] | select(length > 0)
+      | "dropped cells (baseline only): \(join(", "))" ) // empty,
+  (if ($regressions | length) > 0 then "FAIL" else "PASS" end)
+' | {
+  status=0
+  while IFS= read -r line; do
+    case "$line" in
+      FAIL) status=1 ;;
+      PASS) ;;
+      *) printf '%s\n' "$line" ;;
+    esac
+  done
+  exit "$status"
+}

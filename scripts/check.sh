@@ -16,9 +16,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 # full sweep).
 cargo run -q --release --offline -p whale-bench --bin serve_bench -- --quick
 
-# Comm-optimizer smoke test: one cell, asserts fusion-off bit-identity,
-# bucket telescoping, and a >1x speedup on a bandwidth-bound cluster; the
-# gated sweep lives in comm_bench's default mode (see EXPERIMENTS.md).
+# Comm-optimizer smoke test: asserts fusion-off bit-identity, bucket
+# telescoping, a >1x bucketed speedup on a bandwidth-bound cluster, and one
+# mixed-precision cell (bf16 wire bytes telescope to half the payload and
+# beat fp32 bucketed on a saturated network); the gated sweep lives in
+# comm_bench's default mode (see EXPERIMENTS.md). To compare a fresh
+# BENCH_comm.json against the committed baseline, run scripts/bench_diff.sh.
 cargo run -q --release --offline -p whale-bench --bin comm_bench -- --quick
 
 # Interned-core smoke test: shrunken zoo pair, asserts interned-vs-flat

@@ -10,8 +10,8 @@
 //! bucket carries a selected algorithm, and ready fractions rise
 //! monotonically to 1.0 along each group's bucket list.
 
-use whale::{models, strategies, CommConfig, Session, SyncMode, WhaleIr};
-use whale_hardware::Cluster;
+use whale::{models, strategies, CommConfig, GradDtype, Session, SyncMode, WhaleIr};
+use whale_hardware::{AllReduceAlgo, Cluster, CommModel, Interconnect};
 
 type Case = (&'static str, fn() -> WhaleIr);
 
@@ -79,6 +79,184 @@ fn legacy_schedule_is_bit_identical_to_no_schedule() {
             );
         }
     }
+}
+
+/// Spelling out the default precision (`fp32`, no compression) must be a
+/// no-op at every level: the config fingerprints identically, every bucket's
+/// wire bytes equal its logical bytes, and the simulated step is
+/// bit-identical to the implicit-default plan. This is the contract that
+/// lets mixed precision ship without perturbing existing users.
+#[test]
+fn explicit_fp32_is_bit_identical_to_the_default() {
+    for (cspec, cluster) in clusters() {
+        for (mname, build) in zoo() {
+            let label = format!("{mname} on {cspec}");
+            let ir = build();
+            let implicit = Session::new(cluster.clone()).comm(CommConfig::fused());
+            let explicit = Session::new(cluster.clone())
+                .comm(CommConfig::fused().dtype(GradDtype::Fp32).compress(1.0));
+            let p1 = implicit
+                .plan(&ir)
+                .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+            let p2 = explicit
+                .plan(&ir)
+                .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+            let sched = p2
+                .grad_sync_schedule
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: no schedule attached"));
+            assert!(
+                !sched.wire_scaled(),
+                "{label}: fp32 + no compression must not scale the wire"
+            );
+            for b in &sched.buckets {
+                assert_eq!(
+                    b.wire_bytes, b.bytes,
+                    "{label}: fp32 wire bytes must equal logical bytes"
+                );
+            }
+            let s1 = implicit
+                .step_plan(&p1)
+                .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+            let s2 = explicit
+                .step_plan(&p2)
+                .unwrap_or_else(|e| panic!("{label}: sim failed: {e}"));
+            assert_eq!(
+                s1, s2,
+                "{label}: explicit fp32 config changed the simulated step"
+            );
+        }
+    }
+}
+
+/// Property sweep: for every (model, cluster, fusion cap, dtype, ratio)
+/// cell, the per-sync bucket wire bytes telescope *exactly* to the scaled
+/// group payload — the same single-division fixed-point scaling applied to
+/// `sync.bytes` — and the logical bucket boundaries are identical to the
+/// fp32 packing (dtype only shrinks payloads; it never re-shapes buckets,
+/// so algorithm flips are attributable to wire scaling alone).
+#[test]
+fn wire_bytes_telescope_to_the_scaled_payload_across_the_matrix() {
+    let caps: [u64; 3] = [1 << 20, 4 << 20, 25 << 20];
+    let precisions = [
+        (GradDtype::Bf16, 1.0),
+        (GradDtype::Fp8, 1.0),
+        (GradDtype::Bf16, 0.37),
+        (GradDtype::Fp32, 0.125),
+    ];
+    for (cspec, cluster) in clusters() {
+        for (mname, build) in zoo() {
+            let ir = build();
+            for cap in caps {
+                let base_cfg = CommConfig {
+                    fusion_bytes: cap,
+                    auto_algorithm: true,
+                    ..CommConfig::default()
+                };
+                let base_plan = Session::new(cluster.clone())
+                    .comm(base_cfg)
+                    .plan(&ir)
+                    .expect("fp32 plan");
+                let base_sched = base_plan.grad_sync_schedule.as_ref().expect("schedule");
+                for (dtype, ratio) in precisions {
+                    let label = format!("{mname} on {cspec}, cap {cap}, {} ×{ratio}", dtype.name());
+                    let cfg = base_cfg.dtype(dtype).compress(ratio);
+                    let plan = Session::new(cluster.clone())
+                        .comm(cfg)
+                        .plan(&ir)
+                        .unwrap_or_else(|e| panic!("{label}: plan failed: {e}"));
+                    let sched = plan
+                        .grad_sync_schedule
+                        .as_ref()
+                        .unwrap_or_else(|| panic!("{label}: no schedule attached"));
+                    for (i, sync) in plan.grad_syncs.iter().enumerate() {
+                        let wire_total: u64 = sched.buckets_of(i).map(|b| b.wire_bytes).sum();
+                        assert_eq!(
+                            wire_total,
+                            cfg.wire_bytes(sync.bytes),
+                            "{label}: wire bytes must telescope to scale(sync.bytes)"
+                        );
+                        assert_eq!(
+                            sched.wire_bytes_of(i),
+                            Some(wire_total),
+                            "{label}: wire_bytes_of must agree with the bucket sum"
+                        );
+                        let scaled: Vec<(u64, (usize, usize))> =
+                            sched.buckets_of(i).map(|b| (b.bytes, b.layers)).collect();
+                        let fp32: Vec<(u64, (usize, usize))> = base_sched
+                            .buckets_of(i)
+                            .map(|b| (b.bytes, b.layers))
+                            .collect();
+                        assert_eq!(
+                            scaled, fp32,
+                            "{label}: logical bucket boundaries must not move with dtype"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dtype-driven algorithm crossover on a latency-dominated fabric: 32
+/// single-GPU nodes on 10 GbE put the ring/tree break-even near 320 KB
+/// (ring pays `2(n−1)` latency hops; tree pays `2⌈log₂n⌉`). A 1 MiB payload
+/// rides the bandwidth-optimal ring at fp32; the same payload at fp8 is
+/// 256 KiB on the wire and flips to the latency-optimal tree — both at the
+/// selector and end-to-end through the planner's bucket schedule.
+#[test]
+fn fp8_payload_scaling_flips_ring_to_tree_on_a_latency_dominated_fabric() {
+    let mut cluster = Cluster::parse("32x(1xV100)").expect("cluster");
+    cluster.interconnect = Interconnect::ethernet_10g();
+    let comm = CommModel::new(&cluster);
+    let group: Vec<usize> = (0..cluster.num_gpus()).collect();
+    let sel = comm.allreduce_selector(&group).expect("selector");
+
+    let logical: u64 = 1 << 20;
+    let fp32_wire = CommConfig::fused().wire_bytes(logical);
+    let fp8_wire = CommConfig::fused().fp8().wire_bytes(logical);
+    assert_eq!(fp32_wire, logical);
+    assert_eq!(fp8_wire, logical / 4);
+    assert_eq!(
+        sel.select(fp32_wire).0,
+        AllReduceAlgo::Ring,
+        "1 MiB at fp32 must stay on the ring"
+    );
+    assert_eq!(
+        sel.select(fp8_wire).0,
+        AllReduceAlgo::Tree,
+        "256 KiB at fp8 must flip to the tree"
+    );
+
+    // End-to-end: identical logical buckets, flipped per-bucket algorithms.
+    let ir = strategies::data_parallel(models::resnet50(64).expect("build"), 64).expect("annotate");
+    let fp32_cfg = CommConfig {
+        fusion_bytes: 1 << 20,
+        auto_algorithm: true,
+        ..CommConfig::default()
+    };
+    let fp32_plan = Session::new(cluster.clone())
+        .comm(fp32_cfg)
+        .plan(&ir)
+        .expect("fp32 plan");
+    let fp8_plan = Session::new(cluster.clone())
+        .comm(fp32_cfg.fp8())
+        .plan(&ir)
+        .expect("fp8 plan");
+    let fp32_sched = fp32_plan.grad_sync_schedule.as_ref().expect("schedule");
+    let fp8_sched = fp8_plan.grad_sync_schedule.as_ref().expect("schedule");
+    assert_eq!(fp32_sched.buckets.len(), fp8_sched.buckets.len());
+    let mut flips = 0;
+    for (a, b) in fp32_sched.buckets.iter().zip(fp8_sched.buckets.iter()) {
+        assert_eq!(a.bytes, b.bytes, "logical boundaries must match");
+        if a.algo == Some(AllReduceAlgo::Ring) && b.algo == Some(AllReduceAlgo::Tree) {
+            flips += 1;
+        }
+    }
+    assert!(
+        flips >= 1,
+        "at least one bucket must flip ring → tree under fp8 scaling"
+    );
 }
 
 /// Fusion on ⇒ buckets telescope to the exact payload, every bucket has an

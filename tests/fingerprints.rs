@@ -144,10 +144,61 @@ fn every_planner_config_field_is_keyed() {
             },
             ..base.clone()
         },
+        PlannerConfig {
+            comm: whale::CommConfig {
+                fusion_bytes: base.comm.fusion_bytes + (1 << 20),
+                ..base.comm
+            },
+            ..base.clone()
+        },
+        PlannerConfig {
+            comm: whale::CommConfig {
+                auto_algorithm: !base.comm.auto_algorithm,
+                ..base.comm
+            },
+            ..base.clone()
+        },
+        PlannerConfig {
+            comm: base.comm.dtype(whale::GradDtype::Bf16),
+            ..base.clone()
+        },
+        PlannerConfig {
+            comm: base.comm.dtype(whale::GradDtype::Fp8),
+            ..base.clone()
+        },
+        PlannerConfig {
+            comm: base.comm.compress(0.5),
+            ..base.clone()
+        },
     ];
     for v in &variants {
         assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
     }
+    // Pairwise distinct too: bf16 and fp8 must not collide, nor dtype with
+    // compression.
+    for (i, a) in variants.iter().enumerate() {
+        for b in variants.iter().skip(i + 1) {
+            assert_ne!(a.fingerprint(), b.fingerprint(), "{a:?} vs {b:?}");
+        }
+    }
+}
+
+#[test]
+fn comm_config_fingerprint_changes_iff_a_field_changes() {
+    // Spelling out the defaults is content-identical — same key.
+    let base = PlannerConfig::default();
+    let explicit = PlannerConfig {
+        comm: base.comm.dtype(whale::GradDtype::Fp32).compress(1.0),
+        ..base.clone()
+    };
+    assert_eq!(base.fingerprint(), explicit.fingerprint());
+    // And any real precision change re-keys (cache must not serve an fp32
+    // plan to a bf16 request).
+    let bf16 = PlannerConfig {
+        comm: base.comm.dtype(whale::GradDtype::Bf16),
+        ..base.clone()
+    };
+    assert_ne!(base.fingerprint(), bf16.fingerprint());
 }
 
 #[test]
