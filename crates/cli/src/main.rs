@@ -111,6 +111,17 @@ FAULTS OPTIONS:
   --min-capacity F     abort below this fraction of starting FLOPS   [0.25]
   --json               emit RecoveryStats as JSON instead of text
 
+AUTO OPTIONS:
+  --search           branch-and-bound search over the nested hybrid space
+                     (per-stage replicas × pipeline depth × micro batches ×
+                     schedule, + expert-parallel degree on MoE graphs)
+                     instead of the narrow fixed enumeration
+  --threads N        search worker threads (0 = all cores)            [0]
+  --wave N           leaves evaluated per deterministic wave          [8]
+  --max-micro N      largest micro-batch count generated              [128]
+  --no-gpipe         drop the GPipe schedule dimension (1F1B only)
+  --exhaustive       disable pruning: plan and simulate every leaf
+
 FLEET OPTIONS:
   --pool SPEC          shared GPU pool spec             [2x(4xV100)+2x(4xP100)]
   --horizon N          wall-clock seconds to simulate                [20000]
@@ -529,20 +540,45 @@ fn cmd_auto(args: &Args) -> Result<(), String> {
     let model = args.get_or("model", "resnet50").to_string();
     let batch = args.get_num("batch", 64usize)?;
     let seq = args.get_num("seq", 128usize)?;
-    let report = auto_parallel(&session, batch, || {
-        zoo::build(&model, batch, seq).map_err(whale::WhaleError::Graph)
-    })
+    let build = || zoo::build(&model, batch, seq).map_err(whale::WhaleError::Graph);
+    let report = if args.flag("search") {
+        let opts = whale::SearchOptions {
+            search_threads: args.get_num("threads", 0usize)?,
+            wave: args.get_num("wave", whale::SearchOptions::default().wave)?,
+            max_micro: args.get_num("max-micro", whale::SearchOptions::default().max_micro)?,
+            gpipe: !args.flag("no-gpipe"),
+            exhaustive: args.flag("exhaustive"),
+            ..whale::SearchOptions::default()
+        };
+        whale::auto_parallel_search(&session, batch, &opts, build)
+    } else {
+        auto_parallel(&session, batch, build)
+    }
     .map_err(|e| e.to_string())?;
     println!("auto-parallel over {model} (batch {batch}):");
     for c in &report.candidates {
         match (&c.stats, &c.rejected) {
             (Some(s), _) => println!(
-                "  {:<24} step {:>9.3} s   {:>9.1} samples/s",
+                "  {:<32} step {:>9.3} s   {:>9.1} samples/s",
                 c.name, s.step_time, s.throughput
             ),
-            (None, Some(why)) => println!("  {:<24} rejected: {why}", c.name),
+            (_, Some(why)) => println!("  {:<32} rejected: {why}", c.name),
             _ => {}
         }
+    }
+    if let Some(st) = &report.search {
+        println!(
+            "search: {} structures ({} pruned whole), {} nodes — {} bounded, \
+             {} planned, {} pruned post-plan, {} simulated ({:.0}% never simulated)",
+            st.structures_expanded,
+            st.structures_pruned,
+            st.nodes_expanded,
+            st.nodes_bounded,
+            st.nodes_planned,
+            st.nodes_pruned_planned,
+            st.nodes_simulated,
+            st.bounded_fraction() * 100.0
+        );
     }
     println!("chosen: {}", report.chosen);
     Ok(())

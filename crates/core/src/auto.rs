@@ -16,6 +16,67 @@ use crate::error::{Result, WhaleError};
 use crate::session::Session;
 use crate::strategies;
 
+/// Why a candidate was rejected — structured so callers can branch on the
+/// cause (and render it) without parsing strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// The plan needs more bytes on some GPU than that GPU has.
+    MemoryInfeasible {
+        /// Peak bytes on the worst offending GPU.
+        need: u64,
+        /// That GPU's capacity, bytes.
+        have: u64,
+    },
+    /// The strategy is structurally unrealizable on this workload: it asks
+    /// for more micro batches than its per-replica batch has samples, so no
+    /// plan can give every micro batch even one sample. Detected before
+    /// planning; not a prune (no bound involved).
+    DegenerateMicro {
+        /// Micro batches the strategy requested.
+        num_micro: usize,
+        /// Samples available per replica group.
+        group_batch: usize,
+    },
+    /// Planning itself failed.
+    PlanError(String),
+    /// The simulator failed on a planned candidate.
+    SimError(String),
+    /// Bounded away: the candidate's admissible lower bound on step time
+    /// (`bound`, seconds) already meets or exceeds the incumbent
+    /// (`incumbent`, seconds), so it cannot win.
+    Pruned {
+        /// Lower bound on this candidate's step time, seconds.
+        bound: f64,
+        /// Step time of the incumbent it lost to, seconds.
+        incumbent: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::MemoryInfeasible { need, have } => write!(
+                f,
+                "out of memory (need {:.1} GiB, have {:.1} GiB)",
+                *need as f64 / (1u64 << 30) as f64,
+                *have as f64 / (1u64 << 30) as f64
+            ),
+            RejectReason::DegenerateMicro {
+                num_micro,
+                group_batch,
+            } => write!(
+                f,
+                "unrealizable ({num_micro} micro batches for {group_batch} samples per replica)"
+            ),
+            RejectReason::PlanError(e) => write!(f, "planning failed: {e}"),
+            RejectReason::SimError(e) => write!(f, "simulation failed: {e}"),
+            RejectReason::Pruned { bound, incumbent } => {
+                write!(f, "pruned (bound {bound:.4}s vs incumbent {incumbent:.4}s)")
+            }
+        }
+    }
+}
+
 /// One evaluated candidate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
@@ -26,7 +87,39 @@ pub struct Candidate {
     /// Step statistics, if simulation succeeded and memory fit.
     pub stats: Option<StepStats>,
     /// Why the candidate was rejected, if it was.
-    pub rejected: Option<String>,
+    pub rejected: Option<RejectReason>,
+}
+
+/// Pruning counters of one branch-and-bound search (present on
+/// [`AutoReport::search`] when the report came from
+/// [`crate::search::auto_parallel_search`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Level-1 structure nodes considered.
+    pub structures_expanded: usize,
+    /// Structures whose entire leaf set was bounded away at level 1.
+    pub structures_pruned: usize,
+    /// Leaf strategies generated (every (structure, micro, schedule) cell).
+    pub nodes_expanded: usize,
+    /// Leaves pruned by the pre-plan structural bound (never planned).
+    pub nodes_bounded: usize,
+    /// Leaves that paid for a full plan.
+    pub nodes_planned: usize,
+    /// Planned leaves pruned by the post-plan bound (never simulated).
+    pub nodes_pruned_planned: usize,
+    /// Leaves that paid for a full simulation.
+    pub nodes_simulated: usize,
+}
+
+impl SearchStats {
+    /// Fraction of expanded leaves that never reached full plan+simulate
+    /// (the headline pruning metric `search_bench` gates on).
+    pub fn bounded_fraction(&self) -> f64 {
+        if self.nodes_expanded == 0 {
+            return 0.0;
+        }
+        (self.nodes_expanded - self.nodes_simulated) as f64 / self.nodes_expanded as f64
+    }
 }
 
 /// The auto-parallel decision.
@@ -40,6 +133,9 @@ pub struct AutoReport {
     pub stats: StepStats,
     /// All candidates in evaluation order.
     pub candidates: Vec<Candidate>,
+    /// Pruning counters (`None` for the narrow enumeration, `Some` for the
+    /// branch-and-bound search).
+    pub search: Option<SearchStats>,
 }
 
 /// Knobs of the candidate search; [`AutoOptions::default`] is the fast
@@ -72,54 +168,138 @@ impl Default for AutoOptions {
 
 impl AutoOptions {
     fn effective_threads(&self, work_items: usize) -> usize {
-        let requested = if self.search_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.search_threads
-        };
-        requested.min(work_items).max(1)
+        effective_threads(self.search_threads, work_items)
     }
 }
 
+/// Resolve a `search_threads` knob (0 = all cores) against the number of
+/// work items.
+pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.min(work_items).max(1)
+}
+
+/// Structure probe shared by the narrow enumeration and the
+/// branch-and-bound search: pattern-match MoE layers and a dominant
+/// fully-connected classifier (the paper's planner likewise
+/// pattern-matches these shapes, §4 "TaskGraph Partition").
+pub(crate) struct GraphProbe {
+    pub has_moe: bool,
+    pub dominant_fc: Option<String>,
+}
+
+pub(crate) fn probe_graph(graph: &Graph) -> GraphProbe {
+    let has_moe = graph
+        .ops()
+        .iter()
+        .any(|op| matches!(op.kind, whale_graph::OpKind::MoeFfn { .. }));
+    let total_params = graph.total_params().max(1);
+    let dominant_fc: Option<String> = graph
+        .ops()
+        .iter()
+        .filter(|op| {
+            matches!(
+                op.kind,
+                whale_graph::OpKind::MatMul {
+                    has_params: true,
+                    ..
+                }
+            ) && op.param_count() * 2 > total_params
+        })
+        .map(|op| op.name.clone())
+        .next();
+    GraphProbe {
+        has_moe,
+        dominant_fc,
+    }
+}
+
+/// Structured memory rejection for `plan` on `cluster`: the worst
+/// overcommitted GPU's (need, have) pair, or the busiest GPU when the
+/// ledger itself stays under capacity.
+pub(crate) fn memory_reject(
+    plan: &ExecutionPlan,
+    cluster: &whale_hardware::Cluster,
+) -> RejectReason {
+    let (need, have) = plan
+        .memory_per_gpu()
+        .iter()
+        .map(|(&gpu, &bytes)| {
+            let cap = cluster.gpu(gpu).map(|g| g.memory_bytes()).unwrap_or(0);
+            (bytes, cap)
+        })
+        .max_by_key(|&(bytes, cap)| (bytes.saturating_sub(cap), bytes))
+        .unwrap_or((0, 0));
+    RejectReason::MemoryInfeasible { need, have }
+}
+
 /// Run `f` over `items`, fanning across `threads` scoped workers when
-/// `threads > 1`; workers pull indices from a shared counter. Results come
-/// back in item order no matter which worker ran them, and each item is
-/// processed exactly once, so the output is identical to the serial loop.
-fn fan_out<T: Send, R: Send>(threads: usize, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+/// `threads > 1`. Items are pre-split into contiguous chunks and workers
+/// steal whole chunks from a shared counter, so the hot path (one item)
+/// acquires no lock — each chunk's mutexes are touched exactly twice, at
+/// claim and at publish. Results come back in item order no matter which
+/// worker ran which chunk, and each item is processed exactly once, so the
+/// output is identical to the serial loop.
+pub(crate) fn fan_out<T: Send, R: Send>(
+    threads: usize,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> Vec<R> {
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
     let n = items.len();
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // ~4 chunks per worker keeps stealing granular enough to absorb uneven
+    // item costs (one slow simulate does not serialize the tail) without
+    // per-item synchronization.
+    let num_chunks = (threads * 4).min(n).max(1);
+    let chunk_len = n.div_ceil(num_chunks);
+    let mut work: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(num_chunks);
+    {
+        let mut items = items.into_iter();
+        loop {
+            let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            work.push(Mutex::new(Some(chunk)));
+        }
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..work.len()).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
+        for _ in 0..threads.min(work.len()) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= work.len() {
                     break;
                 }
-                let item = work[i]
+                let chunk = work[c]
                     .lock()
                     .expect("work mutex poisoned")
                     .take()
-                    .expect("each index claimed exactly once");
-                let result = f(item);
-                *slots[i].lock().expect("slot mutex poisoned") = Some(result);
+                    .expect("each chunk claimed exactly once");
+                // Lock-free hot path: the whole chunk runs between the
+                // claim above and the publish below.
+                let results: Vec<R> = chunk.into_iter().map(&f).collect();
+                *slots[c].lock().expect("slot mutex poisoned") = Some(results);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
+        .flat_map(|slot| {
             slot.into_inner()
                 .expect("slot mutex poisoned")
-                .expect("every slot filled before scope exit")
+                .expect("every chunk published before scope exit")
         })
         .collect()
 }
@@ -158,25 +338,10 @@ pub fn auto_parallel_opts(
     // strategies (the paper's planner likewise pattern-matches MoE and
     // large-classification graphs, §4 "TaskGraph Partition").
     let probe = build()?;
-    let has_moe = probe
-        .ops()
-        .iter()
-        .any(|op| matches!(op.kind, whale_graph::OpKind::MoeFfn { .. }));
-    let total_params = probe.total_params().max(1);
-    let dominant_fc: Option<String> = probe
-        .ops()
-        .iter()
-        .filter(|op| {
-            matches!(
-                op.kind,
-                whale_graph::OpKind::MatMul {
-                    has_params: true,
-                    ..
-                }
-            ) && op.param_count() * 2 > total_params
-        })
-        .map(|op| op.name.clone())
-        .next();
+    let GraphProbe {
+        has_moe,
+        dominant_fc,
+    } = probe_graph(&probe);
     // On the fast path the probe doubles as the candidate template: `Graph`
     // clones are an O(1) Arc bump, so every candidate reuses the one built
     // model instead of re-running the model constructor (the dominant cost
@@ -291,17 +456,20 @@ pub fn auto_parallel_opts(
                 name,
                 plan: None,
                 stats: None,
-                rejected: Some(format!("planning failed: {e}")),
+                rejected: Some(RejectReason::PlanError(e)),
             }),
             Ok((plan, _)) => match estimate {
                 Some(est) if est > 4.0 * best_estimate && best_estimate.is_finite() => {
+                    // The narrow enumeration's 4x-estimate cut: `bound` is
+                    // this candidate's estimate, `incumbent` the best one.
                     Pending::Done(Candidate {
                         name,
                         plan: Some(plan),
                         stats: None,
-                        rejected: Some(format!(
-                            "pruned by cost model (estimate {est:.3}s > 4x best {best_estimate:.3}s)"
-                        )),
+                        rejected: Some(RejectReason::Pruned {
+                            bound: est,
+                            incumbent: best_estimate,
+                        }),
                     })
                 }
                 _ => Pending::Simulate(name, plan),
@@ -334,6 +502,7 @@ pub fn auto_parallel_opts(
                     plan: plan.clone(),
                     stats: stats.clone(),
                     candidates,
+                    search: None,
                 }),
                 _ => Err(WhaleError::NoFeasibleStrategy),
             }
@@ -342,7 +511,7 @@ pub fn auto_parallel_opts(
     }
 }
 
-fn evaluate_plan(
+pub(crate) fn evaluate_plan(
     session: &Session,
     name: &str,
     plan: Arc<ExecutionPlan>,
@@ -360,16 +529,17 @@ fn evaluate_plan(
                 name: name.into(),
                 plan: Some(plan),
                 stats: None,
-                rejected: Some(format!("simulation failed: {e}")),
+                rejected: Some(RejectReason::SimError(e.to_string())),
             }
         }
     };
     if outcome.stats.has_oom() {
+        let rejected = Some(memory_reject(&plan, session.cluster()));
         return Candidate {
             name: name.into(),
             plan: Some(plan),
             stats: None,
-            rejected: Some(format!("out of memory on {:?}", outcome.stats.oom_gpus)),
+            rejected,
         };
     }
     Candidate {

@@ -40,12 +40,17 @@
 pub mod auto;
 pub mod error;
 pub mod resilient;
+pub mod search;
 pub mod session;
 pub mod strategies;
 
-pub use auto::{auto_parallel, auto_parallel_opts, AutoOptions, AutoReport, Candidate};
+pub use auto::{
+    auto_parallel, auto_parallel_opts, AutoOptions, AutoReport, Candidate, RejectReason,
+    SearchStats,
+};
 pub use error::{Result, WhaleError};
 pub use resilient::{RecoveryEvent, RecoveryPolicy, RecoveryStats, ReplanPath, ResilientRun};
+pub use search::{auto_parallel_search, SearchOptions};
 pub use session::Session;
 
 // Re-export the substrate crates under stable names.

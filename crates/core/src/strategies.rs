@@ -79,6 +79,28 @@ pub fn moe_hybrid(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
     Ok(annot.finish()?)
 }
 
+/// [`moe_hybrid`] with plan-level data parallelism on top: the cluster is
+/// carved into replica groups (`Session::outer_dp` picks how many) and the
+/// expert layers are split *within* each group, so the expert-parallel
+/// degree becomes `num_gpus / outer_dp`. The branch-and-bound search sweeps
+/// that degree; the narrow enumeration only ever proposed the full-cluster
+/// split ([`moe_hybrid`]).
+pub fn moe_hybrid_ep(graph: Graph, global_batch: usize) -> Result<WhaleIr> {
+    let moe_ops: Vec<OpId> = graph
+        .ops()
+        .iter()
+        .filter(|op| op.name.ends_with("/moe_ffn"))
+        .map(|op| op.id)
+        .collect();
+    let mut annot = Annotator::new(graph, global_batch)
+        .outer_replica()
+        .set_default(Primitive::Replica);
+    for id in moe_ops {
+        annot = annot.annotate_ops(vec![id], vec![Primitive::Split])?;
+    }
+    Ok(annot.finish()?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +144,19 @@ mod tests {
 mod moe_tests {
     use super::*;
     use whale_graph::models::{self, MoeConfig};
+
+    #[test]
+    fn moe_ep_ir_shape() {
+        let g = models::m6_moe(MoeConfig::tiny(), 8).unwrap();
+        let ir = moe_hybrid_ep(g, 8).unwrap();
+        assert!(ir.outer_replica, "EP variant adds plan-level DP");
+        let splits = ir
+            .task_graphs
+            .iter()
+            .filter(|tg| tg.innermost() == Primitive::Split)
+            .count();
+        assert_eq!(splits, 2, "expert layers still split within each group");
+    }
 
     #[test]
     fn example8_ir_shape() {

@@ -55,12 +55,14 @@ pub use commopt::{
 pub use dp_balance::{dp_partition, dp_partition_traced, DpPartition};
 pub use error::{PlanError, Result};
 pub use estimate::{
-    estimate_step, estimate_step_cached, estimate_step_keyed, EstimateCache, StepEstimate,
+    estimate_step, estimate_step_cached, estimate_step_keyed, estimate_step_lower_bound,
+    structural_lower_bound, structural_lower_bound_keyed, EstimateCache, StepEstimate,
+    StructuralBound,
 };
 pub use ledger::{LedgerComponent, LedgerEntry, MemoryLedger, LOSS_SCALING_STATE_BYTES};
 pub use pipe_balance::{
-    in_flight_micro_batches, pipeline_partition, pipeline_partition_opts, stage_flops,
-    PipePartition,
+    in_flight_micro_batches, pipeline_leaf_bound, pipeline_partition, pipeline_partition_opts,
+    stage_flops, PipePartition,
 };
 pub use pipeline::{
     compile, invalidation_start, replan, BalancedStages, BridgedPlan, CompilePipeline,

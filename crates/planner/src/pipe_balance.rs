@@ -5,12 +5,82 @@
 //! memory, PSVF repairs the cut with `shift_op` — moving one boundary
 //! operation at a time from the peak stage toward the valley stage through
 //! the intermediate stages (Fig. 11), which preserves topological order.
+//!
+//! # Cross-plan partition memo
+//!
+//! The FLOP-proportional cut and the per-stage [`CostProfile`]s depend only
+//! on the graph content, the training config, the stage GPUs' specs, the
+//! reference batch, and the hardware-awareness flag — **not** on the leaf's
+//! micro-batch size, micro-batch count, or schedule. Those three only enter
+//! through the activation-memory overflow check that decides whether PSVF
+//! runs. The auto-parallel search plans the *same* model on the *same*
+//! stage shape dozens of times while sweeping micro counts and schedules,
+//! so this module keeps a process-global, content-fingerprint-keyed memo of
+//! `(cuts, profiles)`; a hit replays the O(stages) overflow check from the
+//! cached profiles and skips the O(ops) cost scan and profiling pass
+//! entirely. Hits are bit-identical to cold computes by construction (the
+//! memo stores the exact pre-PSVF state the cold path would reach), and an
+//! overflowing hit still runs PSVF, seeded from the cached profiles.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::error::{PlanError, Result};
 use crate::partition::{balanced_cuts, group_costs};
 use crate::psvf::{psvf, PsvfReport, Workload};
+use whale_fp::{Fingerprint, Fingerprinter};
 use whale_graph::{CostProfile, Graph, OpId, TrainingConfig};
 use whale_hardware::Gpu;
+
+/// One memoized FLOP-proportional cut: the balanced cut points plus the
+/// per-stage profiles at the reference batch, captured *before* any PSVF
+/// repair (PSVF depends on the leaf's micro/schedule and is never cached).
+type PartitionSeed = Arc<(Vec<usize>, Vec<CostProfile>)>;
+
+/// Bound on the memo; past it the map is flushed wholesale. Entries are a
+/// few hundred bytes, and one search touches a handful of keys (one per
+/// stage shape), so the cap exists only to keep long-lived processes that
+/// plan many distinct models from growing without bound.
+const PARTITION_MEMO_CAP: usize = 512;
+
+fn partition_memo() -> &'static Mutex<HashMap<Fingerprint, PartitionSeed>> {
+    static MEMO: OnceLock<Mutex<HashMap<Fingerprint, PartitionSeed>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_memo() -> std::sync::MutexGuard<'static, HashMap<Fingerprint, PartitionSeed>> {
+    partition_memo()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Content key over exactly the inputs the balanced cut and the reference
+/// profiles read: graph ops, training config, each stage GPU's model and
+/// throughput scale (covering both its FLOPS weight and memory capacity),
+/// the reference batch, and hardware awareness. Deliberately excludes GPU
+/// ids and node placement so every plan replica, micro count, and schedule
+/// sharing a stage shape shares one entry.
+fn partition_key(
+    graph: &Graph,
+    cfg: &TrainingConfig,
+    gpus: &[Gpu],
+    ref_batch: usize,
+    hardware_aware: bool,
+) -> Fingerprint {
+    let mut fp = Fingerprinter::new("pipe-partition");
+    fp.push_fingerprint(graph.fingerprint())
+        .push_fingerprint(cfg.fingerprint())
+        .push_usize(ref_batch)
+        .push_bool(hardware_aware)
+        .push_len(gpus.len());
+    for g in gpus {
+        // The memo is process-local, so the enum discriminant is a stable
+        // enough model identity — cheaper than formatting the name on a
+        // path the search hits once per planned leaf.
+        fp.push_usize(g.model as usize).push_f64(g.throughput_scale);
+    }
+    fp.finish()
+}
 
 /// Outcome of Algorithm 3.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,22 +175,61 @@ impl<'a> PipeWorkload<'a> {
             cache: None,
         };
         if memoize {
-            let n = w.gpus.len();
-            let mut cache = StageCostCache {
-                mem: vec![0; n],
-                flops: vec![0.0; n],
-                profiles: Vec::with_capacity(n),
-            };
-            for i in 0..n {
-                let p = w.stage_profile(i);
-                let (m, f) = w.stage_cost_of(i, &p);
-                cache.mem[i] = m;
-                cache.flops[i] = f;
-                cache.profiles.push(p);
-            }
-            w.cache = Some(cache);
+            let profiles = (0..w.gpus.len()).map(|i| w.stage_profile(i)).collect();
+            w.install_cache(profiles);
         }
         w
+    }
+
+    /// [`PipeWorkload::new`] with the initial per-stage profiles supplied by
+    /// the caller (a cross-plan memo hit) instead of recomputed from the op
+    /// ranges. The profiles must correspond to `cuts` at `ref_batch`;
+    /// `stage_profile` is deterministic, so the seeded workload is
+    /// bit-identical to a freshly profiled one.
+    #[allow(clippy::too_many_arguments)]
+    fn seeded(
+        graph: &'a Graph,
+        cuts: Vec<usize>,
+        cfg: &'a TrainingConfig,
+        gpus: &'a [Gpu],
+        micro_batch: usize,
+        num_micro: usize,
+        gpipe: bool,
+        ref_batch: usize,
+        profiles: Vec<CostProfile>,
+    ) -> PipeWorkload<'a> {
+        let mut w = PipeWorkload {
+            graph,
+            cuts,
+            cfg,
+            gpus,
+            micro_batch,
+            num_micro,
+            gpipe,
+            ref_batch,
+            cache: None,
+        };
+        w.install_cache(profiles);
+        w
+    }
+
+    /// Build the stage-cost cache from the given per-stage profiles,
+    /// deriving the (memory, flops) pairs through the same `stage_cost_of`
+    /// the direct queries use.
+    fn install_cache(&mut self, profiles: Vec<CostProfile>) {
+        let n = self.gpus.len();
+        let mut mem = vec![0; n];
+        let mut flops = vec![0.0; n];
+        for (i, p) in profiles.iter().enumerate() {
+            let (m, f) = self.stage_cost_of(i, p);
+            mem[i] = m;
+            flops[i] = f;
+        }
+        self.cache = Some(StageCostCache {
+            mem,
+            flops,
+            profiles,
+        });
     }
 
     fn stage_profile(&self, i: usize) -> CostProfile {
@@ -285,6 +394,11 @@ pub fn pipeline_partition_opts(
 /// profiles equal `CostProfile::from_ops` over each stage's op range at
 /// `ref_batch` — exactly what the planner's stage loop would recompute — so
 /// callers can skip that second profiling pass.
+///
+/// With `memoize` on, the balanced cut and reference profiles come from the
+/// cross-plan partition memo when a previous call already computed them for
+/// the same (graph, config, stage GPUs, reference batch, awareness) key —
+/// see the module docs. Results are bit-identical with or without a hit.
 #[allow(clippy::too_many_arguments)]
 pub fn pipeline_partition_profiled(
     graph: &Graph,
@@ -301,6 +415,49 @@ pub fn pipeline_partition_profiled(
         return Err(PlanError::BadConfig(
             "pipeline needs at least one stage GPU".into(),
         ));
+    }
+    let key = memoize.then(|| partition_key(graph, cfg, gpus, ref_batch, hardware_aware));
+    if let Some(key) = key {
+        let seed = lock_memo().get(&key).cloned();
+        if let Some(seed) = seed {
+            let (cuts, profiles) = &*seed;
+            // Replay the cold path's overflow check from the cached
+            // profiles — the only place the leaf's micro/schedule enters.
+            let overflow = hardware_aware
+                && gpus.iter().enumerate().any(|(i, g)| {
+                    let act = in_flight_micro_batches(i, gpus.len(), num_micro, gpipe) as f64;
+                    cfg.memory_bytes(&profiles[i], micro_batch, act) > g.memory_bytes()
+                });
+            if !overflow {
+                return Ok((
+                    PipePartition {
+                        cuts: cuts.clone(),
+                        psvf: None,
+                    },
+                    Some(profiles.clone()),
+                ));
+            }
+            let mut w = PipeWorkload::seeded(
+                graph,
+                cuts.clone(),
+                cfg,
+                gpus,
+                micro_batch,
+                num_micro,
+                gpipe,
+                ref_batch,
+                profiles.clone(),
+            );
+            let report = Some(psvf(&mut w)?);
+            let profiles = w.cache.map(|c| c.profiles);
+            return Ok((
+                PipePartition {
+                    cuts: w.cuts,
+                    psvf: report,
+                },
+                profiles,
+            ));
+        }
     }
     let costs: Vec<f64> = graph.ops().iter().map(|op| op.forward_flops()).collect();
     let weights: Vec<f64> = if hardware_aware {
@@ -320,6 +477,14 @@ pub fn pipeline_partition_profiled(
         ref_batch,
         memoize,
     );
+    if let (Some(key), Some(cache)) = (key, &w.cache) {
+        // Snapshot the pre-PSVF state: exactly what a future hit replays.
+        let mut memo = lock_memo();
+        if memo.len() >= PARTITION_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, Arc::new((w.cuts.clone(), cache.profiles.clone())));
+    }
     let report = if hardware_aware {
         let overflow = (0..w.len()).any(|i| w.mem_bytes(i) > w.mem_capacity(i));
         if overflow {
@@ -344,6 +509,112 @@ pub fn pipeline_partition_profiled(
 pub fn stage_flops(graph: &Graph, part: &PipePartition) -> Vec<f64> {
     let costs: Vec<f64> = graph.ops().iter().map(|op| op.forward_flops()).collect();
     group_costs(&costs, &part.cuts)
+}
+
+/// Admissible pre-plan lower bound on the simulated step time of the
+/// pipeline leaf `(replicas, num_micro, gpipe)` on `cluster`, priced from
+/// the **exact partition the planner would produce** — cuts, PSVF repair
+/// and all — without paying for placement, bridging, balancing, or
+/// scheduling.
+///
+/// The planner's replica groups are contiguous device ranges and a `Stage`
+/// TaskGraph runs whole on one group GPU in order, so replica 0's stage →
+/// GPU pairing, batch share, and per-stage profiles are all determined
+/// before any plan exists. This reruns the planner's own partition entry
+/// point ([`pipeline_partition_profiled`]) with the leaf's exact arguments
+/// — a memo hit after the structure's first plan — and then reprices each
+/// stage the way the estimator's post-plan bound does (per-micro FLOPs at
+/// the device's effective rate plus memory traffic at device bandwidth,
+/// backward = κ× forward), keeping only the data-dependency term
+///
+/// ```text
+/// step ≥ max_j  Σ_{s<j} (fw_s + bw_s)  +  m · (fw_j + bw_j)
+/// ```
+///
+/// Transfers, collectives, sync serialization, and the optimizer pass are
+/// dropped (each only adds time in the engine), and only replica 0's
+/// devices are priced (the plan's per-stage time is a max over every
+/// replica's), so the value never exceeds the leaf's true simulated step
+/// time. Because the partition call is bit-identical memoized or cold, the
+/// bound — and hence the search report it gates — does not depend on memo
+/// warmth.
+///
+/// Returns `Ok(None)` when the leaf cannot be priced this way: the cluster
+/// does not tile into `replicas` groups of depth ≥ 2, the group batch is
+/// empty, or profiles are unavailable (`memoize` off).
+#[allow(clippy::too_many_arguments)]
+pub fn pipeline_leaf_bound(
+    graph: &Graph,
+    cluster: &whale_hardware::Cluster,
+    config: &crate::planner::PlannerConfig,
+    replicas: usize,
+    num_micro: usize,
+    gpipe: bool,
+    global_batch: usize,
+) -> Result<Option<f64>> {
+    let n = cluster.num_gpus();
+    if replicas == 0 || n == 0 || !n.is_multiple_of(replicas) || num_micro == 0 {
+        return Ok(None);
+    }
+    let depth = n / replicas;
+    if depth < 2 {
+        return Ok(None);
+    }
+    // Replica 0's batch share, exactly as DegreeInference splits it.
+    let weights: Vec<f64> = if config.hardware_aware {
+        (0..replicas)
+            .map(|g| {
+                cluster.gpus()[g * depth..(g + 1) * depth]
+                    .iter()
+                    .map(|gpu| gpu.flops())
+                    .sum()
+            })
+            .collect()
+    } else {
+        vec![1.0; replicas]
+    };
+    let group_batch = crate::partition::proportional_split(global_batch, &weights)?[0];
+    if group_batch == 0 {
+        return Ok(None);
+    }
+    let gpus: Vec<Gpu> = cluster.gpus()[..depth].to_vec();
+    let micro_batch = (group_batch / num_micro).max(1);
+    let (_, profiles) = pipeline_partition_profiled(
+        graph,
+        &config.training,
+        &gpus,
+        micro_batch,
+        num_micro,
+        gpipe,
+        global_batch.max(1),
+        config.hardware_aware,
+        config.memoize,
+    )?;
+    let Some(profiles) = profiles else {
+        return Ok(None);
+    };
+    // Price replica 0's stages the way `plan_taskgraph` + the estimator's
+    // `stage_fw_bw` do, minus everything additive.
+    let amp = config.training.amp;
+    let bw_factor = if config.training.recompute { 3.0 } else { 2.0 };
+    let m = num_micro as f64;
+    let mut chain = 0.0_f64;
+    let mut bound = 0.0_f64;
+    for (j, profile) in profiles.iter().enumerate() {
+        let gpu = &gpus[j.min(gpus.len() - 1)];
+        let boost = if amp { gpu.model.amp_speedup() } else { 1.0 };
+        let fw_flops_per_micro =
+            profile.forward_flops_per_sample * group_batch as f64 / num_micro as f64;
+        let traffic_per_micro = profile.memory_traffic_bytes_per_sample * group_batch as f64
+            / num_micro as f64
+            * if amp { 0.5 } else { 1.0 };
+        let t = fw_flops_per_micro / (gpu.flops() * boost * config.efficiency)
+            + traffic_per_micro / gpu.model.memory_bandwidth();
+        let fw_bw = t * (1.0 + bw_factor);
+        bound = bound.max(chain + m * fw_bw);
+        chain += fw_bw;
+    }
+    Ok(Some(bound))
 }
 
 #[cfg(test)]
@@ -454,6 +725,59 @@ mod tests {
                     (Ok(f), Ok(s)) => assert_eq!(f, s, "aware={aware} mb={micro_batch}"),
                     (Err(f), Err(s)) => assert_eq!(f.to_string(), s.to_string()),
                     (f, s) => panic!("divergent outcomes: {f:?} vs {s:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_plan_memo_hits_are_bit_identical() {
+        // The search's leaf pattern: one (graph, cluster) pair swept over
+        // many (micro_batch, num_micro, schedule) leaves. After the first
+        // call every memoized call is a memo hit; each must equal the
+        // uncached compute bit-for-bit, including leaves whose memory
+        // pressure forces the PSVF fall-through.
+        let g = models::bert_large(8, 128).unwrap();
+        let c = Cluster::parse("2xP100,2xV100").unwrap();
+        let cfg = TrainingConfig::default();
+        for num_micro in [1usize, 2, 4, 8, 16] {
+            for micro_batch in [1usize, 4, 16] {
+                for gpipe in [false, true] {
+                    let hit = pipeline_partition_profiled(
+                        &g,
+                        &cfg,
+                        c.gpus(),
+                        micro_batch,
+                        num_micro,
+                        gpipe,
+                        8,
+                        true,
+                        true,
+                    )
+                    .unwrap();
+                    let cold = pipeline_partition_profiled(
+                        &g,
+                        &cfg,
+                        c.gpus(),
+                        micro_batch,
+                        num_micro,
+                        gpipe,
+                        8,
+                        true,
+                        false,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        hit.0, cold.0,
+                        "mb={micro_batch} m={num_micro} gpipe={gpipe}"
+                    );
+                    // The memoized path must also hand back the profiles the
+                    // planner's stage loop needs, for the repaired cuts.
+                    let profiles = hit.1.expect("memoized call returns profiles");
+                    for (k, p) in profiles.iter().enumerate() {
+                        let ops: Vec<OpId> = hit.0.stage_ops(k);
+                        assert_eq!(*p, CostProfile::from_ops(&g, &ops, 8));
+                    }
                 }
             }
         }

@@ -723,12 +723,20 @@ impl std::fmt::Debug for CompilePipeline {
 /// Compile `ir` onto `cluster` with the standard pipeline, returning the
 /// full artifact state (use [`plan()`](crate::plan()) if only the plan is
 /// needed).
+///
+/// The standard pipeline is stateless (unit-struct passes), so one shared
+/// instance serves every compile — rebuilding the boxed pass list per call
+/// is measurable overhead under the auto-parallel search, which plans
+/// dozens of leaves back to back.
 pub fn compile(ir: &WhaleIr, cluster: &Cluster, config: &PlannerConfig) -> Result<CompileState> {
-    CompilePipeline::standard().run(&PassContext {
-        ir,
-        cluster,
-        config,
-    })
+    static STANDARD: std::sync::OnceLock<CompilePipeline> = std::sync::OnceLock::new();
+    STANDARD
+        .get_or_init(CompilePipeline::standard)
+        .run(&PassContext {
+            ir,
+            cluster,
+            config,
+        })
 }
 
 /// The earliest pass a [`ClusterDelta`] invalidates.

@@ -43,6 +43,18 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Default config with the given pipeline schedule — the knob the
+    /// auto-parallel search sweeps (backward-first vs GPipe flush change
+    /// in-flight activation lifetimes and hence bubble shape).
+    pub fn with_schedule(schedule: ScheduleKind) -> Self {
+        Self {
+            schedule,
+            ..Self::default()
+        }
+    }
+}
+
 /// Per-task timing record from a simulated step (feeds the trace exporter).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskRecord {
@@ -973,6 +985,39 @@ mod tests {
         .stats;
         let ratio = gp.compute_makespan / bf.compute_makespan;
         assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn schedule_choice_changes_the_simulated_timeline() {
+        // The auto-parallel search treats the pipeline schedule as a search
+        // dimension via `SimConfig::with_schedule`; the axis is only
+        // meaningful if the simulator actually orders work differently.
+        let cluster = Cluster::parse("4xV100").unwrap();
+        let g = models::bert_base(32, 64).unwrap();
+        let ir = Annotator::new(g, 32)
+            .auto_pipeline(8)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let p = plan(&ir, &cluster, &PlannerConfig::default()).unwrap();
+        let bf = simulate_step(
+            &p,
+            &cluster,
+            &SimConfig::with_schedule(ScheduleKind::BackwardFirst),
+        )
+        .unwrap();
+        let gp =
+            simulate_step(&p, &cluster, &SimConfig::with_schedule(ScheduleKind::GPipe)).unwrap();
+        assert_ne!(
+            bf.timeline, gp.timeline,
+            "backward-first and GPipe must order micro-batches differently"
+        );
+        // And the helper is the default config with only the schedule swapped.
+        let c = SimConfig::with_schedule(ScheduleKind::GPipe);
+        let d = SimConfig::default();
+        assert_eq!(c.schedule, ScheduleKind::GPipe);
+        assert_eq!(c.sync_overlap, d.sync_overlap);
+        assert_eq!(c.occupancy_half_sat, d.occupancy_half_sat);
     }
 
     #[test]

@@ -35,3 +35,12 @@ cargo run -q --release --offline -p whale-bench --bin compile_bench -- --quick
 # recovery, zero failed jobs, and zero hung burst requests. The 1.5x elastic
 # goodput gate is fleet_bench's default mode (see EXPERIMENTS.md).
 cargo run -q --release --offline -p whale-bench --bin fleet_bench -- --quick
+
+# Strategy-search smoke test: 3-model single-cluster matrix; asserts the
+# branch-and-bound search never loses a cell to the narrow enumeration,
+# strictly beats it somewhere, bounds >=50% of leaves without planning, and
+# stays within a noise-padded wall-clock ratio. The full gated matrix
+# (<=3x wall clock over >=20x the strategies) is search_bench's default
+# mode and its artifact BENCH_search.json is committed; compare against
+# the baseline with scripts/bench_diff.sh.
+cargo run -q --release --offline -p whale-bench --bin search_bench -- --quick

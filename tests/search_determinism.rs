@@ -1,0 +1,148 @@
+//! Guarantees of the branch-and-bound auto-parallel search
+//! (`whale::auto_parallel_search`):
+//!
+//! * the full [`whale::AutoReport`] — winner, candidate order, reject
+//!   reasons, pruning counters — is invariant under `search_threads`
+//!   (serial, fixed pool, all cores) across models and clusters;
+//! * the bounds are *admissible*: disabling pruning (`exhaustive`) and
+//!   simulating every leaf never finds a strategy with higher simulated
+//!   throughput than the pruned search's winner;
+//! * the widened space never loses to the narrow enumeration it replaces.
+
+use whale::{auto_parallel, auto_parallel_search, models, RejectReason, SearchOptions, Session};
+use whale_graph::Graph;
+
+fn opts(threads: usize) -> SearchOptions {
+    SearchOptions {
+        search_threads: threads,
+        ..SearchOptions::default()
+    }
+}
+
+#[test]
+fn report_is_thread_count_invariant_across_zoo_and_clusters() {
+    type Build = fn() -> whale::Result<Graph>;
+    let builds: [(&str, usize, Build); 3] = [
+        ("resnet50", 64, || Ok(models::resnet50(64).expect("build"))),
+        ("bert-base", 128, || {
+            Ok(models::bert_base(128, 64).expect("build"))
+        }),
+        ("m6-moe", 64, || {
+            Ok(models::m6_moe(models::MoeConfig::tiny(), 64).expect("build"))
+        }),
+    ];
+    for cluster in ["2x(4xV100)", "4xV100,4xP100"] {
+        let session = Session::on_cluster(cluster).unwrap();
+        for (name, batch, build) in builds {
+            let serial = auto_parallel_search(&session, batch, &opts(1), build).unwrap();
+            let pool = auto_parallel_search(&session, batch, &opts(4), build).unwrap();
+            let auto = auto_parallel_search(&session, batch, &opts(0), build).unwrap();
+            assert_eq!(
+                serial, pool,
+                "{name} on {cluster}: 1 vs 4 threads changed the report"
+            );
+            assert_eq!(
+                serial, auto,
+                "{name} on {cluster}: 1 vs all threads changed the report"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_is_admissible_on_an_exhaustively_enumerable_space() {
+    // Small space (4 GPUs, batch 16 clips the micro grid) so exhaustive
+    // evaluation stays cheap, heterogeneous so bounds must respect per-GPU
+    // rates. If any bound were optimistic in the wrong direction, the
+    // exhaustive sweep would surface a pruned leaf that out-simulates the
+    // pruned search's winner.
+    let session = Session::on_cluster("2xV100,2xP100").unwrap();
+    let build = || Ok(models::bert_base(16, 64).expect("build"));
+    let pruned = auto_parallel_search(&session, 16, &opts(1), build).unwrap();
+    let exhaustive = auto_parallel_search(
+        &session,
+        16,
+        &SearchOptions {
+            search_threads: 1,
+            exhaustive: true,
+            ..SearchOptions::default()
+        },
+        build,
+    )
+    .unwrap();
+    let st = exhaustive.search.unwrap();
+    assert_eq!(st.nodes_bounded, 0, "exhaustive mode must not prune");
+    assert_eq!(st.nodes_pruned_planned, 0, "exhaustive mode must not prune");
+    // Admissibility: nothing the pruned search discarded beats its winner.
+    for c in &exhaustive.candidates {
+        if let Some(s) = &c.stats {
+            assert!(
+                s.throughput <= pruned.stats.throughput + 1e-9,
+                "pruned search missed {} at {:.1} samples/s (kept {} at {:.1})",
+                c.name,
+                s.throughput,
+                pruned.chosen,
+                pruned.stats.throughput
+            );
+        }
+    }
+    assert_eq!(pruned.chosen, exhaustive.chosen);
+    assert_eq!(pruned.stats, exhaustive.stats);
+}
+
+#[test]
+fn search_never_loses_to_the_narrow_enumeration() {
+    type Build = fn() -> whale::Result<Graph>;
+    let builds: [(&str, usize, Build); 2] = [
+        ("bert-base", 128, || {
+            Ok(models::bert_base(128, 64).expect("build"))
+        }),
+        ("m6-moe", 64, || {
+            Ok(models::m6_moe(models::MoeConfig::tiny(), 64).expect("build"))
+        }),
+    ];
+    for cluster in ["1x(8xV100)", "2x(8xV100)+2x(8xP100)"] {
+        let session = Session::on_cluster(cluster).unwrap();
+        for (name, batch, build) in builds {
+            let narrow = auto_parallel(&session, batch, build).unwrap();
+            let wide = auto_parallel_search(&session, batch, &opts(0), build).unwrap();
+            assert!(
+                wide.stats.throughput >= narrow.stats.throughput - 1e-9,
+                "{name} on {cluster}: search {:.1} < enumeration {:.1} samples/s",
+                wide.stats.throughput,
+                narrow.stats.throughput
+            );
+        }
+    }
+}
+
+#[test]
+fn pruned_rejects_carry_bound_and_incumbent() {
+    let session = Session::on_cluster("2x(4xV100)").unwrap();
+    let report = auto_parallel_search(&session, 128, &opts(1), || {
+        Ok(models::bert_base(128, 64).expect("build"))
+    })
+    .unwrap();
+    let mut saw_pruned = false;
+    for c in &report.candidates {
+        if let Some(RejectReason::Pruned { bound, incumbent }) = &c.rejected {
+            saw_pruned = true;
+            assert!(bound.is_finite() && *bound > 0.0);
+            assert!(incumbent.is_finite() && *incumbent > 0.0);
+            // The prune was justified: the bound's throughput cannot beat
+            // the incumbent the search held at that moment.
+            assert!(
+                bound >= incumbent,
+                "pruned {} with bound {bound} < incumbent {incumbent}",
+                c.name
+            );
+        }
+    }
+    assert!(saw_pruned, "expected at least one pruned leaf");
+    let st = report.search.unwrap();
+    assert!(
+        st.bounded_fraction() >= 0.5,
+        "bounds too weak: only {:.0}% of nodes skipped simulation",
+        st.bounded_fraction() * 100.0
+    );
+}
